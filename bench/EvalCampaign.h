@@ -1,0 +1,103 @@
+//===- bench/EvalCampaign.h - Shared Sec. VI evaluation campaign -*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full evaluation campaign shared by the Fig. 4 benches: for one
+/// machine, infer the Palmed mapping, train PMEvo, instantiate the
+/// ground-truth tool stand-ins, generate both workload suites, and run the
+/// harness. Tool availability mirrors the paper: uops.info and IACA do not
+/// support the ZEN1 machine (Sec. VI-B "hence the absence of data").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_BENCH_EVALCAMPAIGN_H
+#define PALMED_BENCH_EVALCAMPAIGN_H
+
+#include "baselines/GroundTruthPredictors.h"
+#include "baselines/PMEvo.h"
+#include "core/PalmedDriver.h"
+#include "eval/Harness.h"
+#include "eval/Workload.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace palmed {
+namespace bench {
+
+struct CampaignConfig {
+  size_t BlocksPerSuite = 600;
+  uint64_t WorkloadSeed = 2022;
+  PalmedConfig Palmed;
+  PMEvoConfig PMEvo;
+};
+
+struct Campaign {
+  std::string MachineName;
+  std::unique_ptr<MachineModel> Machine;
+  PalmedStats Stats;
+  std::vector<std::string> Tools;
+  /// Per suite name ("SPEC2017" / "Polybench"), the harness outcome.
+  std::map<std::string, EvalOutcome> Outcomes;
+};
+
+/// Runs the whole campaign for \p Zen ? ZEN1-like : SKL-SP-like.
+inline Campaign runCampaign(bool Zen,
+                            const CampaignConfig &Config = CampaignConfig()) {
+  Campaign C;
+  C.MachineName = Zen ? "ZEN1" : "SKL-SP";
+  C.Machine = std::make_unique<MachineModel>(Zen ? makeZenLike()
+                                                 : makeSklLike());
+  const MachineModel &M = *C.Machine;
+
+  AnalyticOracle Oracle(M);
+  BenchmarkRunner Runner(M, Oracle);
+
+  PalmedResult PR = runPalmed(Runner, Config.Palmed);
+  C.Stats = PR.Stats;
+
+  std::vector<std::unique_ptr<Predictor>> Owned;
+  std::vector<Predictor *> Predictors;
+  auto AddTool = [&](std::unique_ptr<Predictor> P) {
+    C.Tools.push_back(P->name());
+    Predictors.push_back(P.get());
+    Owned.push_back(std::move(P));
+  };
+
+  AddTool(std::make_unique<MappingPredictor>("palmed", PR.Mapping));
+  if (!Zen) {
+    // uops.info and IACA have no usable ZEN1 port mapping in the paper.
+    AddTool(makeUopsInfoPredictor(M));
+    AddTool(makeIacaLikePredictor(M));
+  }
+  AddTool(PMEvoPredictor::train(Runner, M.isa().allIds(), Config.PMEvo));
+  AddTool(makeLlvmMcaLikePredictor(M));
+
+  for (auto [SuiteName, Profile] :
+       std::initializer_list<std::pair<const char *, WorkloadProfile>>{
+           {"SPEC2017", WorkloadProfile::SpecLike},
+           {"Polybench", WorkloadProfile::PolybenchLike}}) {
+    WorkloadConfig WCfg;
+    WCfg.Profile = Profile;
+    WCfg.NumBlocks = Config.BlocksPerSuite;
+    WCfg.Seed = Config.WorkloadSeed + (Profile == WorkloadProfile::SpecLike
+                                           ? 0
+                                           : 1);
+    auto Blocks = generateWorkload(M, WCfg);
+    C.Outcomes.emplace(SuiteName,
+                       runEvaluation(Oracle, Blocks, Predictors, "palmed"));
+  }
+  return C;
+}
+
+} // namespace bench
+} // namespace palmed
+
+#endif // PALMED_BENCH_EVALCAMPAIGN_H

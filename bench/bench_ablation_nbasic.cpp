@@ -1,0 +1,71 @@
+//===- bench/bench_ablation_nbasic.cpp - Basic-count ablation -------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Ablation XTRA2 (DESIGN.md): the `n` parameter of Algorithm 1 (basic
+// instructions per extension group) against mapping quality and solving
+// time — the scalability trade-off behind the paper's Sec. II claim that
+// the incremental LP formulation scales where PMEvo's global search does
+// not. Too small an n misses whole port classes (accuracy collapses); a
+// larger n grows the quadratic benchmark and LP sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PalmedDriver.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace palmed;
+
+int main() {
+  std::cout << "ABLATION: basic instructions per group (n) vs quality/time "
+               "(SKL-SP-like)\n\n";
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+
+  TextTable T({"n/group", "basic", "resources", "benchmarks", "map time s",
+               "RMS err %", "tau"});
+  for (int N : {3, 4, 6, 8, 10}) {
+    BenchmarkRunner Runner(M, O);
+    PalmedConfig Cfg;
+    Cfg.Selection.NumBasicPerGroup = N;
+    PalmedResult R = runPalmed(Runner, Cfg);
+
+    Rng Rand(777);
+    std::vector<double> Pred, Native;
+    for (int Trial = 0; Trial < 200; ++Trial) {
+      Microkernel K;
+      size_t Terms = 1 + Rand.uniformInt(5);
+      for (size_t I = 0; I < Terms; ++I) {
+        InstrId Id =
+            static_cast<InstrId>(Rand.uniformInt(M.numInstructions()));
+        if (R.Mapping.isMapped(Id))
+          K.add(Id, static_cast<double>(1 + Rand.uniformInt(3)));
+      }
+      if (K.empty() || M.kernelMixesExtensions(K))
+        continue;
+      auto P = R.Mapping.predictIpc(K);
+      if (!P)
+        continue;
+      Pred.push_back(*P);
+      Native.push_back(O.measureIpc(K));
+    }
+    T.addRow(
+        {TextTable::fmt(static_cast<int64_t>(N)),
+         TextTable::fmt(static_cast<int64_t>(R.Stats.NumBasic)),
+         TextTable::fmt(static_cast<int64_t>(R.Stats.NumResources)),
+         TextTable::fmt(static_cast<int64_t>(R.Stats.NumBenchmarks)),
+         TextTable::fmt(R.Stats.CoreMappingSeconds +
+                            R.Stats.CompleteMappingSeconds,
+                        2),
+         TextTable::fmt(100.0 * weightedRmsRelativeError(Pred, Native), 1),
+         TextTable::fmt(kendallTau(Pred, Native), 2)});
+  }
+  T.print(std::cout);
+  return 0;
+}

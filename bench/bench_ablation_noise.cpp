@@ -1,0 +1,64 @@
+//===- bench/bench_ablation_noise.cpp - Noise-robustness ablation ---------===//
+//
+// Part of the PALMED reproduction.
+//
+// Ablation XTRA1 (DESIGN.md): how measurement noise degrades the inferred
+// mapping. The paper constrains measurement error to 5% and rounds
+// benchmark coefficients accordingly (Sec. VI-A); this bench quantifies the
+// sensitivity of the full pipeline to multiplicative measurement noise,
+// something the paper could not isolate on real hardware.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PalmedDriver.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace palmed;
+
+int main() {
+  std::cout << "ABLATION: measurement noise vs mapping accuracy "
+               "(SKL-SP-like)\n\n";
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+
+  TextTable T({"noise stddev", "resources", "RMS err %", "Kendall tau"});
+  for (double Noise : {0.0, 0.001, 0.01, 0.05}) {
+    BenchmarkConfig BCfg;
+    BCfg.NoiseStdDev = Noise;
+    BenchmarkRunner Runner(M, O, BCfg);
+    PalmedResult R = runPalmed(Runner);
+
+    Rng Rand(4242);
+    std::vector<double> Pred, Native;
+    for (int Trial = 0; Trial < 250; ++Trial) {
+      Microkernel K;
+      size_t Terms = 1 + Rand.uniformInt(5);
+      for (size_t I = 0; I < Terms; ++I) {
+        InstrId Id =
+            static_cast<InstrId>(Rand.uniformInt(M.numInstructions()));
+        if (R.Mapping.isMapped(Id))
+          K.add(Id, static_cast<double>(1 + Rand.uniformInt(3)));
+      }
+      if (K.empty() || M.kernelMixesExtensions(K))
+        continue;
+      auto P = R.Mapping.predictIpc(K);
+      if (!P)
+        continue;
+      Pred.push_back(*P);
+      Native.push_back(O.measureIpc(K)); // Noise-free ground truth.
+    }
+    T.addRow({TextTable::fmt(100.0 * Noise, 1) + "%",
+              TextTable::fmt(static_cast<int64_t>(R.Stats.NumResources)),
+              TextTable::fmt(100.0 * weightedRmsRelativeError(Pred, Native),
+                             1),
+              TextTable::fmt(kendallTau(Pred, Native), 2)});
+  }
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+//===- bench/bench_fig4b_accuracy.cpp - Paper Fig. 4b table ---------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Regenerates the Fig. 4b table: per machine x suite x tool, the block
+// coverage (relative to Palmed-supported blocks), the weighted RMS relative
+// IPC error, and Kendall's tau against native (simulated) execution.
+//
+// Expected shape vs the paper: Palmed beats uops.info-style and PMEvo on
+// both machines; IACA-like (full manual-expertise model) is the strongest
+// port-based tool; ZEN1 errors are higher than SKL for Palmed (split
+// pipelines); port-based tools over-estimate IPC (visible in Fig. 4a).
+//
+//===----------------------------------------------------------------------===//
+
+#include "EvalCampaign.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace palmed;
+using namespace palmed::bench;
+
+int main() {
+  std::cout << "FIG. 4b: coverage / RMS error / Kendall tau per tool\n\n";
+  TextTable T({"machine", "suite", "tool", "Cov. %", "Err. %", "tauK"});
+  for (bool Zen : {false, true}) {
+    Campaign C = runCampaign(Zen);
+    for (const auto &[Suite, Outcome] : C.Outcomes) {
+      for (const std::string &Tool : C.Tools) {
+        ToolAccuracy A = Outcome.accuracy(Tool);
+        T.addRow({C.MachineName, Suite, Tool,
+                  TextTable::fmt(A.CoveragePct, 1),
+                  TextTable::fmt(A.ErrPct, 1),
+                  TextTable::fmt(A.KendallTau, 2)});
+      }
+      T.addSeparator();
+    }
+  }
+  T.print(std::cout);
+  std::cout << "\nPaper reference (SKL-SP SPEC2017): palmed 7.8%/0.90, "
+               "uops.info 40.3%/0.71,\nPMEvo 28.1%/0.47, IACA 8.7%/0.80, "
+               "llvm-mca 20.1%/0.73.\n";
+  return 0;
+}

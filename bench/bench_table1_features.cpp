@@ -1,0 +1,33 @@
+//===- bench/bench_table1_features.cpp - Paper Table I --------------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Regenerates Table I: the qualitative feature matrix of Palmed vs related
+// work. The rows are facts about the tools (as modelled in this repo; see
+// baselines/), not measurements.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace palmed;
+
+int main() {
+  std::cout << "TABLE I: summary of key features of Palmed vs related work\n"
+            << "(y = yes, n = no, - = not applicable)\n\n";
+  TextTable T({"tool", "no HW counters", "no manual expertise",
+               "interpretable", "general"});
+  T.addRow({"llvm-mca", "y", "n", "y", "n"});
+  T.addRow({"Ithemal", "y", "y", "n", "n"});
+  T.addRow({"IACA", "-", "n", "y", "n"});
+  T.addRow({"uops.info", "n", "y", "y", "n"});
+  T.addRow({"PMEvo", "y", "y", "y", "n"});
+  T.addRow({"Palmed", "y", "y", "y", "y"});
+  T.print(std::cout);
+  std::cout << "\n'general': models non-port bottlenecks (front-end, "
+               "non-pipelined units)\nvia the same abstract-resource "
+               "formalism.\n";
+  return 0;
+}

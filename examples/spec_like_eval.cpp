@@ -1,0 +1,56 @@
+//===- examples/spec_like_eval.cpp - Mini evaluation campaign -------------===//
+//
+// Part of the PALMED reproduction.
+//
+// A compact version of the paper's Sec. VI evaluation: generate a SPEC-like
+// basic-block workload, infer a mapping with Palmed, and compare its
+// accuracy against the uops.info-style and llvm-mca-like baselines. The
+// full campaign (all machines, suites, tools, heatmaps) lives in bench/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GroundTruthPredictors.h"
+#include "baselines/Predictor.h"
+#include "core/PalmedDriver.h"
+#include "eval/Harness.h"
+#include "eval/Workload.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace palmed;
+
+int main() {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  BenchmarkRunner Runner(M, O);
+
+  PalmedResult PR = runPalmed(Runner);
+  MappingPredictor Palmed("palmed", PR.Mapping);
+  auto Uops = makeUopsInfoPredictor(M);
+  auto Mca = makeLlvmMcaLikePredictor(M);
+
+  WorkloadConfig WCfg;
+  WCfg.Profile = WorkloadProfile::SpecLike;
+  WCfg.NumBlocks = 400;
+  auto Blocks = generateWorkload(M, WCfg);
+
+  EvalOutcome Out = runEvaluation(
+      O, Blocks, {&Palmed, Uops.get(), Mca.get()}, "palmed");
+
+  TextTable T({"tool", "coverage %", "RMS err %", "Kendall tau"});
+  for (const char *Tool : {"palmed", "uops.info", "llvm-mca"}) {
+    ToolAccuracy A = Out.accuracy(Tool);
+    T.addRow({A.Tool, TextTable::fmt(A.CoveragePct, 1),
+              TextTable::fmt(A.ErrPct, 1), TextTable::fmt(A.KendallTau, 2)});
+  }
+  std::cout << "SPEC-like workload, " << Blocks.size() << " blocks, machine "
+            << M.name() << ":\n\n";
+  T.print(std::cout);
+
+  std::cout << '\n';
+  Out.printHeatmap(std::cout, "palmed", 48, 14, 5.0, 2.0);
+  return 0;
+}

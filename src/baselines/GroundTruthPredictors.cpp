@@ -1,0 +1,43 @@
+//===- baselines/GroundTruthPredictors.cpp - Tool stand-ins ---------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GroundTruthPredictors.h"
+
+#include "core/DualConstruction.h"
+
+using namespace palmed;
+
+std::unique_ptr<Predictor>
+palmed::makeUopsInfoPredictor(const MachineModel &Machine) {
+  DualOptions Options;
+  Options.IncludeFrontEnd = false;
+  Options.IncludeOccupancy = false;
+  return std::make_unique<MappingPredictor>(
+      "uops.info", buildDualMapping(Machine, Options));
+}
+
+std::unique_ptr<Predictor>
+palmed::makeIacaLikePredictor(const MachineModel &Machine) {
+  DualOptions Options;
+  Options.IncludeFrontEnd = true;
+  Options.IncludeOccupancy = true;
+  return std::make_unique<MappingPredictor>(
+      "iaca", buildDualMapping(Machine, Options));
+}
+
+std::unique_ptr<Predictor>
+palmed::makeLlvmMcaLikePredictor(const MachineModel &Machine) {
+  DualOptions Options;
+  Options.IncludeFrontEnd = true;
+  Options.IncludeOccupancy = false;
+  std::set<InstrId> Unsupported;
+  for (InstrId Id = 0; Id < Machine.numInstructions(); ++Id)
+    if (Machine.isa().info(Id).Category == InstrCategory::Other)
+      Unsupported.insert(Id);
+  return std::make_unique<MappingPredictor>(
+      "llvm-mca", buildDualMapping(Machine, Options),
+      std::move(Unsupported));
+}

@@ -1,0 +1,52 @@
+//===- baselines/GroundTruthPredictors.h - Tool stand-ins ------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-ins for the evaluation's comparison tools, built from the
+/// ground-truth machine with each tool's characteristic *model
+/// idealisations* (see DESIGN.md substitution table):
+///
+///  * uops.info-style: the exact port mapping run as a conjunctive dual —
+///    ports only: no front-end bound, dividers assumed fully pipelined.
+///    The paper observes exactly this class of tool "tend[s] to
+///    over-estimate the IPC".
+///  * IACA-like: port mapping + front-end + non-pipelined units (closest to
+///    native among the port-based tools, as in the paper), but supports
+///    only the instructions of the vendor's own ISA extensions era — here:
+///    everything (full coverage, like the paper's 100%).
+///  * llvm-mca-like: port mapping + front-end, pipelined-divider
+///    assumption, and a small unsupported-instruction set (the paper
+///    reports 96.8% coverage) — here the "Other"-category instructions.
+///
+/// All three read the MachineModel directly: they represent tools with
+/// manual expertise / hardware counters, which Palmed must match without
+/// either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_BASELINES_GROUNDTRUTHPREDICTORS_H
+#define PALMED_BASELINES_GROUNDTRUTHPREDICTORS_H
+
+#include "baselines/Predictor.h"
+#include "machine/MachineModel.h"
+
+#include <memory>
+
+namespace palmed {
+
+/// uops.info-style predictor (see file comment).
+std::unique_ptr<Predictor> makeUopsInfoPredictor(const MachineModel &Machine);
+
+/// IACA-like predictor (see file comment).
+std::unique_ptr<Predictor> makeIacaLikePredictor(const MachineModel &Machine);
+
+/// llvm-mca-like predictor (see file comment).
+std::unique_ptr<Predictor>
+makeLlvmMcaLikePredictor(const MachineModel &Machine);
+
+} // namespace palmed
+
+#endif // PALMED_BASELINES_GROUNDTRUTHPREDICTORS_H

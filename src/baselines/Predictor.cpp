@@ -1,0 +1,23 @@
+//===- baselines/Predictor.cpp - Throughput predictor interface -----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Predictor.h"
+
+using namespace palmed;
+
+Predictor::~Predictor() = default;
+
+MappingPredictor::MappingPredictor(std::string Name, ResourceMapping Mapping,
+                                   std::set<InstrId> Unsupported)
+    : Name(std::move(Name)), Mapping(std::move(Mapping)),
+      Unsupported(std::move(Unsupported)) {}
+
+std::optional<double> MappingPredictor::predictIpc(const Microkernel &K) {
+  for (const auto &[Id, Mult] : K.terms())
+    if (Unsupported.count(Id))
+      return std::nullopt;
+  return Mapping.predictIpc(K);
+}

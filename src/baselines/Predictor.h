@@ -1,0 +1,63 @@
+//===- baselines/Predictor.h - Throughput predictor interface --*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface shared by every throughput prediction tool in the
+/// evaluation (paper Sec. VI): Palmed's inferred mapping, the
+/// ground-truth-based stand-ins for uops.info / IACA / llvm-mca, and PMEvo.
+/// A predictor may decline a kernel (unsupported instructions), which the
+/// harness reports as lost coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_BASELINES_PREDICTOR_H
+#define PALMED_BASELINES_PREDICTOR_H
+
+#include "core/ResourceMapping.h"
+#include "isa/Microkernel.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace palmed {
+
+/// Abstract throughput predictor.
+class Predictor {
+public:
+  virtual ~Predictor();
+
+  /// Predicted IPC of \p K, or nullopt when the kernel cannot be processed.
+  virtual std::optional<double> predictIpc(const Microkernel &K) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Predicts through a conjunctive ResourceMapping (the paper's closed-form
+/// t(K) = max_r sum sigma*rho). Used both for Palmed's inferred mapping and
+/// for the dual-of-ground-truth baselines. Instructions in \p Unsupported
+/// are treated as unknown: the kernel is declined, reproducing the coverage
+/// limitations of the modelled tools.
+class MappingPredictor : public Predictor {
+public:
+  MappingPredictor(std::string Name, ResourceMapping Mapping,
+                   std::set<InstrId> Unsupported = {});
+
+  std::optional<double> predictIpc(const Microkernel &K) override;
+  std::string name() const override { return Name; }
+
+  const ResourceMapping &mapping() const { return Mapping; }
+
+private:
+  std::string Name;
+  ResourceMapping Mapping;
+  std::set<InstrId> Unsupported;
+};
+
+} // namespace palmed
+
+#endif // PALMED_BASELINES_PREDICTOR_H

@@ -1,0 +1,435 @@
+//===- core/BwpSolver.cpp - LP2/LPAUX: bipartite weight problem -----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BwpSolver.h"
+
+#include "lp/Milp.h"
+#include "lp/Simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+using namespace palmed;
+
+namespace {
+
+/// Shared LP2/LPAUX machinery: free weight variables plus frozen
+/// contributions, per-kernel per-resource load rows, pinned or exact-MILP
+/// objective handling.
+class GenericBwp {
+public:
+  /// \p TieBreak is a tiny signed per-weight objective coefficient:
+  /// positive prefers maximal consistent weights (core problem, where every
+  /// resource is capped by many measured kernels), negative prefers minimal
+  /// attribution (aux problem, where only the saturation probes provide
+  /// evidence).
+  /// \p VarScales normalizes weights for the balancing pass (a weight w
+  /// with scale s contributes s*w to the balanced maximum; callers pass the
+  /// instruction's solo IPC so that "fully saturating alone" compares
+  /// equally across instructions). Empty disables balancing.
+  GenericBwp(size_t NumResources, size_t NumVars,
+             std::vector<double> VarUpperBounds, double TieBreak,
+             std::vector<double> VarScales = {})
+      : NumResources(NumResources), NumVars(NumVars),
+        VarUpperBounds(std::move(VarUpperBounds)), TieBreak(TieBreak),
+        VarScales(std::move(VarScales)) {
+    assert(this->VarUpperBounds.size() == NumVars);
+  }
+
+  struct KernelRow {
+    double TMeas = 0.0;
+    int Pin = -1;
+    /// Frozen load per resource.
+    std::vector<double> FrozenLoad;
+    /// Variable load per resource: (varIndex, coefficient) terms.
+    std::vector<std::vector<std::pair<size_t, double>>> VarLoad;
+    /// Resources with any (frozen or variable) contribution.
+    std::vector<size_t> Supported;
+  };
+
+  void addKernel(KernelRow Row) {
+    assert(Row.TMeas > 0.0 && "kernel with non-positive time");
+    Row.Supported.clear();
+    for (size_t R = 0; R < NumResources; ++R)
+      if (Row.FrozenLoad[R] > 0.0 || !Row.VarLoad[R].empty())
+        Row.Supported.push_back(R);
+    Rows.push_back(std::move(Row));
+  }
+
+  /// Solves and returns the variable values; sets \p TotalSlack.
+  std::vector<double> solve(BwpMode Mode, int MaxPinIterations,
+                            double &TotalSlack, bool &Feasible) {
+    std::vector<double> Values =
+        Mode == BwpMode::ExactMilp ? solveExact(Feasible)
+                                   : solvePinned(MaxPinIterations, Feasible);
+    TotalSlack = 0.0;
+    if (Feasible)
+      for (const KernelRow &Row : Rows)
+        TotalSlack += 1.0 - std::min(1.0, maxLoad(Row, Values) / Row.TMeas);
+    return Values;
+  }
+
+private:
+  double load(const KernelRow &Row, size_t R,
+              const std::vector<double> &Values) const {
+    double L = Row.FrozenLoad[R];
+    for (const auto &[V, C] : Row.VarLoad[R])
+      L += C * Values[V];
+    return L;
+  }
+
+  double maxLoad(const KernelRow &Row, const std::vector<double> &Values) const {
+    double M = 0.0;
+    for (size_t R : Row.Supported)
+      M = std::max(M, load(Row, R, Values));
+    return M;
+  }
+
+  /// Builds the common variable/constraint skeleton. Residuals are clamped
+  /// at zero: measurement noise can make a kernel appear *faster* than its
+  /// frozen load alone (t < frozen), which would otherwise render the
+  /// problem infeasible; the correct reading is "no attributable usage".
+  void buildBase(lp::Model &M, std::vector<lp::VarId> &Vars) const {
+    for (size_t V = 0; V < NumVars; ++V)
+      Vars.push_back(M.addVar("w" + std::to_string(V), 0.0,
+                              VarUpperBounds[V]));
+    for (const KernelRow &Row : Rows) {
+      for (size_t R : Row.Supported) {
+        lp::LinearExpr Load;
+        for (const auto &[V, C] : Row.VarLoad[R])
+          Load.add(Vars[V], C);
+        M.addConstraint(std::move(Load), lp::Sense::LE,
+                        std::max(0.0, Row.TMeas - Row.FrozenLoad[R]));
+      }
+    }
+  }
+
+  /// Pinned mode exploits the BWP's structure: the capacity constraints
+  /// sum weights *within* one resource only, and the pinned objective is a
+  /// sum of per-resource terms — so each pin iteration decomposes into one
+  /// small LP per resource, keeping the core problem tractable even with
+  /// thousands of kernels.
+  std::vector<double> solvePinned(int MaxPinIterations, bool &Feasible) {
+    // Working pins; fixed pins are respected, free pins start unassigned.
+    std::vector<int> Pins(Rows.size(), -1);
+    for (size_t K = 0; K < Rows.size(); ++K)
+      Pins[K] = Rows[K].Pin;
+
+    // Variables touching each resource (each variable belongs to exactly
+    // one resource by construction of the callers).
+    std::vector<std::vector<size_t>> ResourceVars(NumResources);
+    {
+      std::vector<bool> Seen(NumVars, false);
+      for (const KernelRow &Row : Rows)
+        for (size_t R = 0; R < NumResources; ++R)
+          for (const auto &[V, C] : Row.VarLoad[R]) {
+            (void)C;
+            if (!Seen[V]) {
+              Seen[V] = true;
+              ResourceVars[R].push_back(V);
+            }
+          }
+    }
+
+    std::vector<double> Values(NumVars, 0.0);
+    Feasible = false;
+    for (int Iter = 0; Iter < MaxPinIterations; ++Iter) {
+      bool AllSolved = true;
+      for (size_t R = 0; R < NumResources; ++R) {
+        if (ResourceVars[R].empty())
+          continue;
+        lp::Model M;
+        std::vector<int> LocalOf(NumVars, -1);
+        std::vector<lp::VarId> Vars;
+        for (size_t V : ResourceVars[R]) {
+          LocalOf[V] = static_cast<int>(Vars.size());
+          Vars.push_back(
+              M.addVar("w" + std::to_string(V), 0.0, VarUpperBounds[V]));
+        }
+        // Saturation objective (pinned loads); the tie-break is kept in a
+        // separate expression so the balancing pass can preserve the
+        // saturation value exactly, without the tie-break distorting it.
+        lp::LinearExpr PinnedObj;
+        for (size_t K = 0; K < Rows.size(); ++K) {
+          const KernelRow &Row = Rows[K];
+          if (Row.VarLoad[R].empty() && Row.FrozenLoad[R] == 0.0)
+            continue;
+          lp::LinearExpr Load;
+          for (const auto &[V, C] : Row.VarLoad[R])
+            Load.add(Vars[static_cast<size_t>(LocalOf[V])], C);
+          if (!Row.VarLoad[R].empty())
+            M.addConstraint(Load, lp::Sense::LE,
+                            std::max(0.0, Row.TMeas - Row.FrozenLoad[R]));
+          if (Pins[K] == static_cast<int>(R)) {
+            for (const auto &[V, C] : Row.VarLoad[R])
+              PinnedObj.add(Vars[static_cast<size_t>(LocalOf[V])],
+                            C / Row.TMeas);
+          } else if (Pins[K] == -1) {
+            // Unpinned (first iteration): spread the objective across the
+            // kernel's supported resources.
+            double Scale =
+                Row.TMeas *
+                static_cast<double>(std::max<size_t>(1, Row.Supported.size()));
+            for (const auto &[V, C] : Row.VarLoad[R])
+              PinnedObj.add(Vars[static_cast<size_t>(LocalOf[V])],
+                            C / Scale);
+          }
+        }
+        PinnedObj.normalize();
+        lp::LinearExpr Obj = PinnedObj;
+        for (lp::VarId V : Vars)
+          Obj.add(V, TieBreak);
+        M.setObjective(std::move(Obj), lp::Goal::Maximize);
+        lp::Solution Sol = lp::solveLp(M);
+        if (Sol.Status != lp::SolveStatus::Optimal) {
+          AllSolved = false;
+          continue;
+        }
+        if (!VarScales.empty()) {
+          // Balancing pass: the measured kernels often leave the split of
+          // a resource's capacity between instructions under-determined
+          // (any vertex of the optimal face fits). The dual's weights are
+          // uniform per resource (use/|J|), so among the optima prefer the
+          // most balanced one: fix the primary objective and minimize the
+          // largest scaled weight.
+          lp::Model M2;
+          std::vector<lp::VarId> Vars2;
+          for (size_t V : ResourceVars[R])
+            Vars2.push_back(
+                M2.addVar("w" + std::to_string(V), 0.0, VarUpperBounds[V]));
+          // Re-add the capacity rows.
+          for (const KernelRow &Row : Rows) {
+            if (Row.VarLoad[R].empty())
+              continue;
+            lp::LinearExpr Load;
+            for (const auto &[V, C] : Row.VarLoad[R])
+              Load.add(Vars2[static_cast<size_t>(LocalOf[V])], C);
+            M2.addConstraint(std::move(Load), lp::Sense::LE,
+                             std::max(0.0, Row.TMeas - Row.FrozenLoad[R]));
+          }
+          // Keep the saturation-objective value (remap onto the new
+          // vars; model M's variable ids coincide with local indices).
+          lp::LinearExpr Primary;
+          double PinnedValue = 0.0;
+          for (const auto &[V, C] : PinnedObj.terms()) {
+            Primary.add(Vars2[static_cast<size_t>(V)], C);
+            PinnedValue += C * Sol.value(V);
+          }
+          M2.addConstraint(std::move(Primary), lp::Sense::GE,
+                           PinnedValue - 1e-9);
+          lp::VarId Z = M2.addVar("z", 0.0, lp::Infinity);
+          for (size_t V : ResourceVars[R]) {
+            lp::LinearExpr E;
+            E.add(Vars2[static_cast<size_t>(LocalOf[V])], VarScales[V])
+                .add(Z, -1.0);
+            M2.addConstraint(std::move(E), lp::Sense::LE, 0.0);
+          }
+          lp::LinearExpr Obj2;
+          Obj2.add(Z, 1.0);
+          M2.setObjective(std::move(Obj2), lp::Goal::Minimize);
+          lp::Solution Sol2 = lp::solveLp(M2);
+          if (Sol2.Status == lp::SolveStatus::Optimal) {
+            // Third pass: with the saturation value and the balanced
+            // ceiling fixed, raise every weight to its consistent maximum
+            // (min-max alone leaves the non-binding weights at arbitrary
+            // vertices below the ceiling).
+            lp::LinearExpr CapZ;
+            CapZ.add(Z, 1.0);
+            M2.addConstraint(std::move(CapZ), lp::Sense::LE,
+                             Sol2.Objective + 1e-9);
+            lp::LinearExpr Obj3;
+            for (size_t V : ResourceVars[R])
+              Obj3.add(Vars2[static_cast<size_t>(LocalOf[V])], 1.0);
+            M2.setObjective(std::move(Obj3), lp::Goal::Maximize);
+            lp::Solution Sol3 = lp::solveLp(M2);
+            const lp::Solution &Fin =
+                Sol3.Status == lp::SolveStatus::Optimal ? Sol3 : Sol2;
+            for (size_t V : ResourceVars[R])
+              Values[V] = Fin.value(Vars2[static_cast<size_t>(LocalOf[V])]);
+            continue;
+          }
+        }
+        for (size_t V : ResourceVars[R])
+          Values[V] = Sol.value(Vars[static_cast<size_t>(LocalOf[V])]);
+      }
+      Feasible = AllSolved;
+      if (!AllSolved)
+        return Values;
+
+      // Re-derive pins for free kernels; stop at a fixed point.
+      bool Changed = false;
+      for (size_t K = 0; K < Rows.size(); ++K) {
+        if (Rows[K].Pin != -1)
+          continue; // Fixed by the caller, or constraint-only.
+        const KernelRow &Row = Rows[K];
+        int BestR = -1;
+        double BestLoad = -1.0;
+        for (size_t R : Row.Supported) {
+          double L = load(Row, R, Values);
+          if (L > BestLoad + 1e-12) {
+            BestLoad = L;
+            BestR = static_cast<int>(R);
+          }
+        }
+        if (BestR != Pins[K]) {
+          Pins[K] = BestR;
+          Changed = true;
+        }
+      }
+      if (!Changed && Iter > 0)
+        break;
+    }
+    return Values;
+  }
+
+  std::vector<double> solveExact(bool &Feasible) {
+    lp::Model M;
+    std::vector<lp::VarId> Vars;
+    buildBase(M, Vars);
+
+    lp::LinearExpr Obj;
+    for (size_t K = 0; K < Rows.size(); ++K) {
+      const KernelRow &Row = Rows[K];
+      if (Row.Supported.empty() || Row.Pin == WeightKernel::ConstraintOnly)
+        continue;
+      if (Row.Pin >= 0) {
+        // Pinned kernels contribute their pinned saturation linearly.
+        size_t R = static_cast<size_t>(Row.Pin);
+        for (const auto &[V, C] : Row.VarLoad[R])
+          Obj.add(Vars[V], C / Row.TMeas);
+        continue;
+      }
+      lp::VarId S = M.addVar("S" + std::to_string(K), 0.0, 1.0);
+      Obj.add(S, 1.0);
+      lp::LinearExpr PickOne;
+      for (size_t R : Row.Supported) {
+        lp::VarId Z = M.addBoolVar("z" + std::to_string(K) + "_" +
+                                   std::to_string(R));
+        PickOne.add(Z, 1.0);
+        // S <= load/t + (1 - z)
+        lp::LinearExpr E;
+        E.add(S, 1.0).add(Z, 1.0);
+        for (const auto &[V, C] : Row.VarLoad[R])
+          E.add(Vars[V], -C / Row.TMeas);
+        M.addConstraint(std::move(E), lp::Sense::LE,
+                        1.0 + Row.FrozenLoad[R] / Row.TMeas);
+      }
+      M.addConstraint(std::move(PickOne), lp::Sense::EQ, 1.0);
+    }
+    M.setObjective(std::move(Obj), lp::Goal::Maximize);
+
+    lp::Solution Sol = lp::solveMilp(M);
+    Feasible = Sol.ok();
+    std::vector<double> Values(NumVars, 0.0);
+    if (Feasible)
+      for (size_t V = 0; V < NumVars; ++V)
+        Values[V] = Sol.value(Vars[V]);
+    return Values;
+  }
+
+  size_t NumResources;
+  size_t NumVars;
+  std::vector<double> VarUpperBounds;
+  double TieBreak;
+  std::vector<double> VarScales;
+  std::vector<KernelRow> Rows;
+};
+
+} // namespace
+
+CoreWeights palmed::solveCoreWeights(const MappingShape &Shape,
+                                     const std::map<InstrId, size_t> &IndexOf,
+                                     const std::vector<WeightKernel> &Kernels,
+                                     BwpMode Mode, int MaxPinIterations,
+                                     const std::vector<double> &SoloIpc) {
+  const size_t NumRes = Shape.numResources();
+  const size_t NumBasic = IndexOf.size();
+
+  // Enumerate free edge variables from the shape.
+  std::vector<std::vector<int>> EdgeVar(NumBasic,
+                                        std::vector<int>(NumRes, -1));
+  size_t NumVars = 0;
+  for (size_t I = 0; I < NumBasic; ++I)
+    for (size_t R = 0; R < NumRes; ++R)
+      if (Shape.instrUses(I, R))
+        EdgeVar[I][R] = static_cast<int>(NumVars++);
+
+  std::vector<double> VarScales;
+  if (!SoloIpc.empty()) {
+    VarScales.assign(NumVars, 1.0);
+    for (size_t I = 0; I < NumBasic; ++I)
+      for (size_t R = 0; R < NumRes; ++R)
+        if (EdgeVar[I][R] >= 0)
+          VarScales[static_cast<size_t>(EdgeVar[I][R])] = SoloIpc[I];
+  }
+  GenericBwp Bwp(NumRes, NumVars, std::vector<double>(NumVars, 1.0),
+                 /*TieBreak=*/1e-6, std::move(VarScales));
+  for (const WeightKernel &WK : Kernels) {
+    GenericBwp::KernelRow Row;
+    Row.TMeas = WK.measuredCycles();
+    Row.Pin = WK.PinnedResource;
+    Row.FrozenLoad.assign(NumRes, 0.0);
+    Row.VarLoad.assign(NumRes, {});
+    for (const auto &[Id, Mult] : WK.K.terms()) {
+      size_t I = IndexOf.at(Id);
+      for (size_t R = 0; R < NumRes; ++R)
+        if (EdgeVar[I][R] >= 0)
+          Row.VarLoad[R].push_back({static_cast<size_t>(EdgeVar[I][R]), Mult});
+    }
+    Bwp.addKernel(std::move(Row));
+  }
+
+  CoreWeights Out;
+  bool Feasible = false;
+  std::vector<double> Values =
+      Bwp.solve(Mode, MaxPinIterations, Out.TotalSlack, Feasible);
+  assert(Feasible && "core BWP must be feasible (slack model)");
+
+  Out.Rho.assign(NumBasic, std::vector<double>(NumRes, 0.0));
+  for (size_t I = 0; I < NumBasic; ++I)
+    for (size_t R = 0; R < NumRes; ++R)
+      if (EdgeVar[I][R] >= 0)
+        Out.Rho[I][R] = Values[static_cast<size_t>(EdgeVar[I][R])];
+  return Out;
+}
+
+AuxWeights
+palmed::solveAuxWeights(const MappingShape &Shape,
+                        const std::map<InstrId, size_t> &IndexOf,
+                        const std::vector<std::vector<double>> &FrozenRho,
+                        InstrId Inst, const std::vector<WeightKernel> &Kernels,
+                        BwpMode Mode, int MaxPinIterations) {
+  const size_t NumRes = Shape.numResources();
+
+  // One free variable per resource for the new instruction; unbounded above
+  // (low-IPC instructions legitimately exceed a full resource per instance).
+  GenericBwp Bwp(NumRes, NumRes, std::vector<double>(NumRes, lp::Infinity),
+                 /*TieBreak=*/-1e-6);
+  for (const WeightKernel &WK : Kernels) {
+    GenericBwp::KernelRow Row;
+    Row.TMeas = WK.measuredCycles();
+    Row.Pin = WK.PinnedResource;
+    Row.FrozenLoad.assign(NumRes, 0.0);
+    Row.VarLoad.assign(NumRes, {});
+    for (const auto &[Id, Mult] : WK.K.terms()) {
+      if (Id == Inst) {
+        for (size_t R = 0; R < NumRes; ++R)
+          Row.VarLoad[R].push_back({R, Mult});
+        continue;
+      }
+      size_t I = IndexOf.at(Id);
+      for (size_t R = 0; R < NumRes; ++R)
+        Row.FrozenLoad[R] += Mult * FrozenRho[I][R];
+    }
+    Bwp.addKernel(std::move(Row));
+  }
+
+  AuxWeights Out;
+  Out.Rho = Bwp.solve(Mode, MaxPinIterations, Out.TotalSlack, Out.Feasible);
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- core/BwpSolver.h - LP2/LPAUX: bipartite weight problem --*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Algorithm 4 (LP2, the Bipartite Weight Problem) and Algorithm 5
+/// (LPAUX): given the shape of the mapping and a set of measured kernels,
+/// compute the edge weights rho_i,r.
+///
+/// For kernel K with measured IPC K̄, the normalized usage of resource r is
+///   rho_K,r = (sum_i sigma_K,i rho_i,r) * K̄ / |K|
+/// constrained by rho_K,r <= 1, and the objective minimizes
+/// sum_K (1 - S_K) with S_K = max_r rho_K,r.
+///
+/// The `max` in the objective is not linear. Two solution modes:
+///  * Pinned (default): each kernel's bottleneck resource is fixed (for
+///    saturating kernels it is known by construction; for the rest it is
+///    re-derived from the previous iterate), giving a pure LP that is
+///    re-solved until the pins stabilize. Matches the paper's stated
+///    intent that Ksat(i,r) "forces the saturation of r".
+///  * ExactMilp: one argmax indicator per kernel; exact but exponential in
+///    the worst case — used by tests and the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_CORE_BWPSOLVER_H
+#define PALMED_CORE_BWPSOLVER_H
+
+#include "core/ShapeSolver.h"
+#include "isa/Microkernel.h"
+
+#include <map>
+#include <vector>
+
+namespace palmed {
+
+/// How the BWP objective's max is handled.
+enum class BwpMode { Pinned, ExactMilp };
+
+/// A measured kernel entering a weight problem. \p PinnedResource fixes the
+/// bottleneck resource; -1 = free (derived by pin iteration / argmax
+/// indicators); ConstraintOnly (-2) = the kernel only contributes capacity
+/// constraints and is never pinned (used for LPAUX solo kernels, whose
+/// bottleneck resource is unknown and must not attract speculative
+/// attribution).
+struct WeightKernel {
+  Microkernel K;
+  double Ipc = 0.0;
+  int PinnedResource = -1;
+  static constexpr int ConstraintOnly = -2;
+
+  double measuredCycles() const { return K.size() / Ipc; }
+};
+
+/// Result of the core weight problem.
+struct CoreWeights {
+  /// Rho[basicIndex][resource], normalized.
+  std::vector<std::vector<double>> Rho;
+  /// Final objective sum_K (1 - S_K) (prediction slack over the kernels).
+  double TotalSlack = 0.0;
+};
+
+/// LP2: weights of the basic instructions. \p IndexOf maps InstrId to basic
+/// index; kernels may only contain basic instructions. \p SoloIpc (indexed
+/// by basic index) enables the balanced tie-break of under-determined
+/// weight splits; empty disables it.
+CoreWeights solveCoreWeights(const MappingShape &Shape,
+                             const std::map<InstrId, size_t> &IndexOf,
+                             const std::vector<WeightKernel> &Kernels,
+                             BwpMode Mode, int MaxPinIterations = 6,
+                             const std::vector<double> &SoloIpc = {});
+
+/// Result of one LPAUX solve.
+struct AuxWeights {
+  /// Rho[resource] row of the newly mapped instruction.
+  std::vector<double> Rho;
+  double TotalSlack = 0.0;
+  bool Feasible = false;
+};
+
+/// LPAUX: weights of one additional instruction \p Inst against the frozen
+/// core. \p FrozenRho is indexed [basicIndex][resource]; kernels may
+/// contain basic instructions and \p Inst.
+AuxWeights solveAuxWeights(const MappingShape &Shape,
+                           const std::map<InstrId, size_t> &IndexOf,
+                           const std::vector<std::vector<double>> &FrozenRho,
+                           InstrId Inst,
+                           const std::vector<WeightKernel> &Kernels,
+                           BwpMode Mode, int MaxPinIterations = 4);
+
+} // namespace palmed
+
+#endif // PALMED_CORE_BWPSOLVER_H

@@ -1,0 +1,132 @@
+//===- core/DualConstruction.cpp - Disjunctive-to-conjunctive dual --------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DualConstruction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <string>
+
+using namespace palmed;
+
+std::vector<PortMask>
+palmed::computeResourceClosure(const MachineModel &Machine,
+                               size_t MaxResources) {
+  std::set<PortMask> Closure;
+  for (InstrId Id = 0; Id < Machine.numInstructions(); ++Id)
+    for (const MicroOpDesc &Op : Machine.exec(Id).MicroOps)
+      Closure.insert(Op.Ports);
+
+  // Fixpoint: add the union of any two intersecting members.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<PortMask> Current(Closure.begin(), Closure.end());
+    for (size_t I = 0; I < Current.size() && !Changed; ++I) {
+      for (size_t J = I + 1; J < Current.size(); ++J) {
+        PortMask A = Current[I], B = Current[J];
+        if ((A & B) == 0)
+          continue;
+        PortMask U = A | B;
+        if (Closure.insert(U).second) {
+          Changed = true;
+          assert(Closure.size() <= MaxResources &&
+                 "resource closure exceeded cap");
+          break;
+        }
+      }
+    }
+  }
+  return std::vector<PortMask>(Closure.begin(), Closure.end());
+}
+
+double palmed::optimalPortCycles(
+    const std::vector<std::pair<PortMask, double>> &Demands) {
+  // Merge duplicate masks.
+  std::map<PortMask, double> ByMask;
+  for (const auto &[Mask, Demand] : Demands) {
+    assert(Mask != 0 && "µOP with empty port set");
+    assert(Demand >= 0.0 && "negative demand");
+    ByMask[Mask] += Demand;
+  }
+  // Closure under union-of-intersecting-sets.
+  std::set<PortMask> Closure;
+  for (const auto &[Mask, Demand] : ByMask)
+    Closure.insert(Mask);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<PortMask> Current(Closure.begin(), Closure.end());
+    for (size_t I = 0; I < Current.size() && !Changed; ++I)
+      for (size_t J = I + 1; J < Current.size(); ++J)
+        if ((Current[I] & Current[J]) != 0 &&
+            Closure.insert(Current[I] | Current[J]).second) {
+          Changed = true;
+          break;
+        }
+  }
+  double Best = 0.0;
+  for (PortMask J : Closure) {
+    double Inside = 0.0;
+    for (const auto &[Mask, Demand] : ByMask)
+      if ((Mask & ~J) == 0)
+        Inside += Demand;
+    Best = std::max(Best, Inside / portCount(J));
+  }
+  return Best;
+}
+
+ResourceMapping palmed::buildDualMapping(const MachineModel &Machine,
+                                         const DualOptions &Options) {
+  std::vector<PortMask> Masks =
+      computeResourceClosure(Machine, Options.MaxResources);
+  // Deterministic, human-friendly order: few ports first, then numeric.
+  std::sort(Masks.begin(), Masks.end(), [](PortMask A, PortMask B) {
+    unsigned CA = portCount(A), CB = portCount(B);
+    if (CA != CB)
+      return CA < CB;
+    return A < B;
+  });
+
+  ResourceMapping M(Machine.numInstructions());
+  std::vector<ResourceId> MaskResource(Masks.size());
+  for (size_t I = 0; I < Masks.size(); ++I) {
+    std::string Name = "r";
+    for (unsigned P = 0; P < Machine.numPorts(); ++P)
+      if (Masks[I] & (PortMask{1} << P))
+        Name += std::to_string(P);
+    MaskResource[I] =
+        M.addResource(std::move(Name), static_cast<double>(portCount(Masks[I])));
+  }
+
+  ResourceId FrontEnd = static_cast<ResourceId>(-1);
+  if (Options.IncludeFrontEnd && Machine.decodeWidth() > 0)
+    FrontEnd = M.addResource("frontend",
+                             static_cast<double>(Machine.decodeWidth()));
+
+  for (InstrId Id = 0; Id < Machine.numInstructions(); ++Id) {
+    const InstrExec &E = Machine.exec(Id);
+    for (size_t I = 0; I < Masks.size(); ++I) {
+      PortMask J = Masks[I];
+      // Usage of r_J: demand of all µOPs whose port set fits inside J,
+      // normalized by the resource's throughput |J| (paper Def. A.5).
+      double Use = 0.0;
+      for (const MicroOpDesc &Op : E.MicroOps)
+        if ((Op.Ports & ~J) == 0)
+          Use += Options.IncludeOccupancy ? Op.Occupancy : 1.0;
+      if (Use > 0.0)
+        M.setUsage(Id, MaskResource[I],
+                   Use / static_cast<double>(portCount(J)));
+    }
+    if (FrontEnd != static_cast<ResourceId>(-1))
+      M.setUsage(Id, FrontEnd,
+                 1.0 / static_cast<double>(Machine.decodeWidth()));
+    M.markMapped(Id);
+  }
+  return M;
+}

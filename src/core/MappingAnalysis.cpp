@@ -1,0 +1,109 @@
+//===- core/MappingAnalysis.cpp - Bottleneck analysis ---------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MappingAnalysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+using namespace palmed;
+
+BottleneckReport palmed::analyzeKernel(const ResourceMapping &Mapping,
+                                       const Microkernel &K) {
+  BottleneckReport Report;
+  if (!Mapping.supports(K) || K.empty())
+    return Report;
+
+  for (ResourceId R = 0; R < Mapping.numResources(); ++R) {
+    double Load = 0.0;
+    for (const auto &[Id, Mult] : K.terms())
+      Load += Mult * Mapping.rho(Id, R);
+    if (Load <= 0.0)
+      continue;
+    ResourceLoad L;
+    L.Resource = R;
+    L.Name = Mapping.resourceName(R);
+    L.Load = Load;
+    Report.Loads.push_back(std::move(L));
+  }
+  if (Report.Loads.empty())
+    return Report;
+
+  std::sort(Report.Loads.begin(), Report.Loads.end(),
+            [](const ResourceLoad &A, const ResourceLoad &B) {
+              if (A.Load != B.Load)
+                return A.Load > B.Load;
+              return A.Resource < B.Resource;
+            });
+  double Bottleneck = Report.Loads.front().Load;
+  for (ResourceLoad &L : Report.Loads)
+    L.RelativeToBottleneck = L.Load / Bottleneck;
+
+  Report.PredictedCycles = Bottleneck;
+  Report.PredictedIpc = K.size() / Bottleneck;
+  Report.HeadroomToNextResource =
+      Report.Loads.size() > 1
+          ? 1.0 - Report.Loads[1].Load / Bottleneck
+          : 1.0;
+
+  ResourceId BottleneckRes = Report.Loads.front().Resource;
+  for (const auto &[Id, Mult] : K.terms()) {
+    double Cycles = Mult * Mapping.rho(Id, BottleneckRes);
+    if (Cycles <= 0.0)
+      continue;
+    InstrContribution C;
+    C.Instr = Id;
+    C.Cycles = Cycles;
+    C.Fraction = Cycles / Bottleneck;
+    Report.BottleneckContributions.push_back(C);
+  }
+  std::sort(Report.BottleneckContributions.begin(),
+            Report.BottleneckContributions.end(),
+            [](const InstrContribution &A, const InstrContribution &B) {
+              if (A.Cycles != B.Cycles)
+                return A.Cycles > B.Cycles;
+              return A.Instr < B.Instr;
+            });
+  return Report;
+}
+
+void palmed::printReport(std::ostream &OS, const BottleneckReport &Report,
+                         const InstructionSet &Isa, size_t MaxRows) {
+  if (!Report.valid()) {
+    OS << "kernel not supported by the mapping\n";
+    return;
+  }
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "predicted: %.3f cycles/iteration, IPC %.3f\n",
+                Report.PredictedCycles, Report.PredictedIpc);
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "bottleneck: %s (headroom to next resource: %.1f%%)\n",
+                Report.Loads.front().Name.c_str(),
+                100.0 * Report.HeadroomToNextResource);
+  OS << Buf;
+
+  OS << "bottleneck contributors:\n";
+  size_t Rows = 0;
+  for (const InstrContribution &C : Report.BottleneckContributions) {
+    if (Rows++ >= MaxRows)
+      break;
+    std::snprintf(Buf, sizeof(Buf), "  %-16s %6.3f cycles  (%5.1f%%)\n",
+                  Isa.name(C.Instr).c_str(), C.Cycles, 100.0 * C.Fraction);
+    OS << Buf;
+  }
+  OS << "resource load profile:\n";
+  Rows = 0;
+  for (const ResourceLoad &L : Report.Loads) {
+    if (Rows++ >= MaxRows)
+      break;
+    std::snprintf(Buf, sizeof(Buf), "  %-10s %6.3f  %5.1f%%\n",
+                  L.Name.c_str(), L.Load, 100.0 * L.RelativeToBottleneck);
+    OS << Buf;
+  }
+}

@@ -1,0 +1,75 @@
+//===- core/MappingAnalysis.h - Bottleneck analysis -------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating use case beyond raw prediction (Sec. I/III-A):
+/// "pinpoint the precise cause of slowdowns in highly optimized codes, and
+/// measure the relative usage of the peak performance of the machine".
+/// Given a conjunctive mapping and a kernel, this module reports the
+/// per-resource loads, the bottleneck resource, each instruction's
+/// contribution to it, and the headroom a kernel-tuner has before the next
+/// resource saturates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_CORE_MAPPINGANALYSIS_H
+#define PALMED_CORE_MAPPINGANALYSIS_H
+
+#include "core/ResourceMapping.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// Load of one abstract resource under a kernel.
+struct ResourceLoad {
+  ResourceId Resource = 0;
+  std::string Name;
+  /// Cycles per iteration this resource is busy.
+  double Load = 0.0;
+  /// Load / bottleneck load, in [0, 1].
+  double RelativeToBottleneck = 0.0;
+};
+
+/// Contribution of one instruction to a specific resource's load.
+struct InstrContribution {
+  InstrId Instr = InvalidInstr;
+  double Cycles = 0.0;   ///< sigma_i * rho_i,r.
+  double Fraction = 0.0; ///< Share of the resource's total load.
+};
+
+/// Full bottleneck report for one kernel.
+struct BottleneckReport {
+  /// Every resource with non-zero load, sorted by decreasing load.
+  std::vector<ResourceLoad> Loads;
+  /// Index into Loads of the bottleneck (always 0 when non-empty).
+  double PredictedCycles = 0.0;
+  double PredictedIpc = 0.0;
+  /// Instructions' contributions to the bottleneck resource, sorted by
+  /// decreasing share.
+  std::vector<InstrContribution> BottleneckContributions;
+  /// Relative slack of the second-most-loaded resource: reducing the
+  /// bottleneck's load by more than this fraction shifts the bottleneck.
+  double HeadroomToNextResource = 0.0;
+
+  bool valid() const { return !Loads.empty(); }
+};
+
+/// Analyzes \p K against \p Mapping. Returns an empty (invalid) report if
+/// the mapping does not support the kernel.
+BottleneckReport analyzeKernel(const ResourceMapping &Mapping,
+                               const Microkernel &K);
+
+/// Pretty-prints a report ("performance-debugging view"): bottleneck
+/// resource, top contributors, and the load profile.
+void printReport(std::ostream &OS, const BottleneckReport &Report,
+                 const InstructionSet &Isa, size_t MaxRows = 8);
+
+} // namespace palmed
+
+#endif // PALMED_CORE_MAPPINGANALYSIS_H

@@ -1,0 +1,179 @@
+//===- core/ResourceMapping.cpp - Conjunctive resource mapping ------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResourceMapping.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+using namespace palmed;
+
+ResourceMapping::ResourceMapping(size_t NumInstructions)
+    : Rho(NumInstructions), Mapped(NumInstructions, false) {}
+
+ResourceId ResourceMapping::addResource(std::string Name, double Throughput) {
+  assert(Throughput > 0.0 && "resource throughput must be positive");
+  Resources.push_back({std::move(Name), Throughput});
+  for (auto &Row : Rho)
+    Row.resize(Resources.size(), 0.0);
+  return Resources.size() - 1;
+}
+
+void ResourceMapping::setUsage(InstrId Id, ResourceId R,
+                               double NormalizedRho) {
+  assert(Id < Rho.size() && R < Resources.size() && "index out of range");
+  assert(NormalizedRho >= 0.0 && "negative usage");
+  Rho[Id][R] = NormalizedRho;
+  Mapped[Id] = true;
+}
+
+void ResourceMapping::markMapped(InstrId Id) {
+  assert(Id < Rho.size() && "index out of range");
+  Mapped[Id] = true;
+}
+
+size_t ResourceMapping::numMappedInstructions() const {
+  return static_cast<size_t>(std::count(Mapped.begin(), Mapped.end(), true));
+}
+
+bool ResourceMapping::supports(const Microkernel &K) const {
+  for (const auto &[Id, Mult] : K.terms())
+    if (Id >= Mapped.size() || !Mapped[Id])
+      return false;
+  return true;
+}
+
+double ResourceMapping::predictCycles(const Microkernel &K) const {
+  assert(supports(K) && "kernel contains unmapped instructions");
+  double MaxLoad = 0.0;
+  for (ResourceId R = 0; R < Resources.size(); ++R) {
+    double Load = 0.0;
+    for (const auto &[Id, Mult] : K.terms())
+      Load += Mult * Rho[Id][R];
+    MaxLoad = std::max(MaxLoad, Load);
+  }
+  return MaxLoad;
+}
+
+std::optional<double> ResourceMapping::predictIpc(const Microkernel &K) const {
+  if (!supports(K))
+    return std::nullopt;
+  double Cycles = predictCycles(K);
+  if (Cycles <= 0.0)
+    return std::nullopt;
+  return K.size() / Cycles;
+}
+
+double ResourceMapping::consumption(InstrId Id) const {
+  double Sum = 0.0;
+  for (double V : Rho[Id])
+    Sum += V;
+  return Sum;
+}
+
+void ResourceMapping::print(std::ostream &OS,
+                            const InstructionSet &Isa) const {
+  OS << "resources:";
+  for (const Resource &R : Resources)
+    OS << ' ' << R.Name << "(x" << R.Throughput << ')';
+  OS << '\n';
+  for (InstrId Id = 0; Id < Rho.size(); ++Id) {
+    if (!Mapped[Id])
+      continue;
+    OS << "  " << Isa.name(Id) << ':';
+    bool Any = false;
+    for (ResourceId R = 0; R < Resources.size(); ++R) {
+      if (Rho[Id][R] <= 0.0)
+        continue;
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), " %s=%.4g", Resources[R].Name.c_str(),
+                    Rho[Id][R]);
+      OS << Buf;
+      Any = true;
+    }
+    if (!Any)
+      OS << " (no resource usage)";
+    OS << '\n';
+  }
+}
+
+std::string ResourceMapping::toText(const InstructionSet &Isa) const {
+  std::ostringstream OS;
+  OS << "palmed-mapping v1\n";
+  OS << "resources " << Resources.size() << '\n';
+  for (const Resource &R : Resources)
+    OS << "resource " << R.Name << ' ' << R.Throughput << '\n';
+  for (InstrId Id = 0; Id < Rho.size(); ++Id) {
+    if (!Mapped[Id])
+      continue;
+    OS << "instr " << Isa.name(Id);
+    for (ResourceId R = 0; R < Resources.size(); ++R)
+      if (Rho[Id][R] > 0.0)
+        OS << ' ' << R << ':' << Rho[Id][R];
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::optional<ResourceMapping>
+ResourceMapping::fromText(const std::string &Text,
+                          const InstructionSet &Isa) {
+  std::istringstream IS(Text);
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != "palmed-mapping v1")
+    return std::nullopt;
+
+  ResourceMapping M(Isa.size());
+  size_t DeclaredResources = 0;
+  if (!(IS >> Line) || Line != "resources" || !(IS >> DeclaredResources))
+    return std::nullopt;
+  std::getline(IS, Line); // Consume rest of the count line.
+
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Kind;
+    LS >> Kind;
+    if (Kind == "resource") {
+      std::string Name;
+      double Throughput = 1.0;
+      if (!(LS >> Name >> Throughput))
+        return std::nullopt;
+      M.addResource(Name, Throughput);
+    } else if (Kind == "instr") {
+      std::string Name;
+      if (!(LS >> Name))
+        return std::nullopt;
+      InstrId Id = Isa.findByName(Name);
+      if (Id == InvalidInstr)
+        return std::nullopt;
+      M.markMapped(Id);
+      std::string Edge;
+      while (LS >> Edge) {
+        size_t Colon = Edge.find(':');
+        if (Colon == std::string::npos)
+          return std::nullopt;
+        size_t R = 0;
+        double V = 0.0;
+        if (std::sscanf(Edge.c_str(), "%zu:%lf", &R, &V) != 2)
+          return std::nullopt;
+        if (R >= M.numResources())
+          return std::nullopt;
+        M.setUsage(Id, R, V);
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (M.numResources() != DeclaredResources)
+    return std::nullopt;
+  return M;
+}

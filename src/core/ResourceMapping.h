@@ -1,0 +1,113 @@
+//===- core/ResourceMapping.h - Conjunctive resource mapping ---*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central data structure: a *conjunctive bipartite resource
+/// mapping* (Def. IV.2). Instructions use abstract resources with fixed
+/// proportions rho_i,r; every resource has normalized throughput 1; the
+/// execution time of a microkernel K is the closed-form
+///
+///   t(K) = max_r sum_i sigma_K,i * rho_i,r        (no flow problem!)
+///
+/// and its throughput (IPC) is |K| / t(K) (Def. IV.3). A non-normalized
+/// display view (resource throughput + integer-ish "uses", as in Fig. 1b)
+/// is supported for pretty-printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_CORE_RESOURCEMAPPING_H
+#define PALMED_CORE_RESOURCEMAPPING_H
+
+#include "isa/InstructionSet.h"
+#include "isa/Microkernel.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// Index of an abstract resource within a ResourceMapping.
+using ResourceId = size_t;
+
+/// Conjunctive bipartite resource mapping over a fixed instruction space.
+class ResourceMapping {
+public:
+  /// Creates a mapping for instructions [0, NumInstructions); all start
+  /// unmapped.
+  explicit ResourceMapping(size_t NumInstructions);
+
+  /// Adds an abstract resource. \p Throughput is only used by the
+  /// non-normalized display view; the stored rho values are normalized.
+  ResourceId addResource(std::string Name, double Throughput = 1.0);
+
+  size_t numResources() const { return Resources.size(); }
+  size_t numInstructions() const { return Rho.size(); }
+  const std::string &resourceName(ResourceId R) const {
+    return Resources[R].Name;
+  }
+  double resourceThroughput(ResourceId R) const {
+    return Resources[R].Throughput;
+  }
+
+  /// Sets the normalized usage rho_i,r (cycles of r consumed per instance
+  /// of i) and marks \p Id mapped.
+  void setUsage(InstrId Id, ResourceId R, double NormalizedRho);
+
+  /// Marks \p Id as mapped even if all its usages are zero (an instruction
+  /// the tool measured but found to use no modelled resource would predict
+  /// infinite throughput; keeping the flag separate makes that explicit).
+  void markMapped(InstrId Id);
+
+  double rho(InstrId Id, ResourceId R) const {
+    return Rho[Id][R];
+  }
+
+  bool isMapped(InstrId Id) const { return Mapped[Id]; }
+
+  /// Number of instructions with at least one measurement-backed mapping.
+  size_t numMappedInstructions() const;
+
+  /// True if every distinct instruction of \p K is mapped.
+  bool supports(const Microkernel &K) const;
+
+  /// Closed-form execution time per iteration; requires supports(K).
+  double predictCycles(const Microkernel &K) const;
+
+  /// Closed-form throughput |K| / t(K); nullopt if some instruction is
+  /// unmapped or the kernel stresses no modelled resource (t == 0).
+  std::optional<double> predictIpc(const Microkernel &K) const;
+
+  /// Total normalized consumption of one instance of \p Id (the cons()
+  /// measure used to pick saturating kernels, paper Sec. V-B).
+  double consumption(InstrId Id) const;
+
+  /// Pretty-prints the mapping (one line per mapped instruction).
+  void print(std::ostream &OS, const InstructionSet &Isa) const;
+
+  /// Serializes to a line-oriented text format; parseable by fromText.
+  std::string toText(const InstructionSet &Isa) const;
+
+  /// Parses toText output. Returns nullopt on malformed input or unknown
+  /// instruction names.
+  static std::optional<ResourceMapping> fromText(const std::string &Text,
+                                                 const InstructionSet &Isa);
+
+private:
+  struct Resource {
+    std::string Name;
+    double Throughput = 1.0;
+  };
+  std::vector<Resource> Resources;
+  /// Dense rho matrix, Rho[instr][resource].
+  std::vector<std::vector<double>> Rho;
+  std::vector<bool> Mapped;
+};
+
+} // namespace palmed
+
+#endif // PALMED_CORE_RESOURCEMAPPING_H

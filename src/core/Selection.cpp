@@ -1,0 +1,230 @@
+//===- core/Selection.cpp - Basic instruction selection (Algo 1) ----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Selection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace palmed;
+
+Microkernel palmed::makePairKernel(InstrId A, double IpcA, InstrId B,
+                                   double IpcB) {
+  assert(A != B && "pair kernel needs two distinct instructions");
+  Microkernel K;
+  K.add(A, IpcA);
+  K.add(B, IpcB);
+  return K;
+}
+
+bool palmed::isAdditivePair(double Combined, double IpcA, double IpcB,
+                            double Eps) {
+  double Expected = IpcA + IpcB;
+  return std::abs(Combined - Expected) <= Eps * Expected;
+}
+
+double SelectionResult::pairIpc(InstrId A, InstrId B) const {
+  auto It = PairIpc.find({std::min(A, B), std::max(A, B)});
+  return It == PairIpc.end() ? -1.0 : It->second;
+}
+
+namespace {
+
+/// Relative difference, symmetric in its arguments.
+double relDiff(double X, double Y) {
+  double Scale = std::max(std::abs(X), std::abs(Y));
+  if (Scale == 0.0)
+    return 0.0;
+  return std::abs(X - Y) / Scale;
+}
+
+/// Greedy leader clustering: two candidates are equivalent when their solo
+/// IPC and their pairwise IPC against every common peer agree within Eps.
+std::vector<std::vector<InstrId>>
+clusterEquivalent(const std::vector<InstrId> &Group,
+                  const SelectionResult &R, double Eps) {
+  std::vector<std::vector<InstrId>> Classes;
+  for (InstrId A : Group) {
+    bool Placed = false;
+    for (auto &Class : Classes) {
+      InstrId Rep = Class.front();
+      if (relDiff(R.SoloIpc.at(A), R.SoloIpc.at(Rep)) > Eps)
+        continue;
+      // Equivalent instructions use identical resources, so their own pair
+      // kernel must fully serialize: t(a^IPC(a) rep^IPC(rep)) ~= 2. This
+      // is the only pair that can distinguish two instructions whose
+      // behaviour against every *peer* coincides (e.g. two port-exclusive
+      // instructions on different ports of an otherwise symmetric core).
+      double Direct = R.pairIpc(A, Rep);
+      if (Direct < 0.0)
+        continue; // Unmeasurable: no equivalence evidence.
+      double PairT = (R.SoloIpc.at(A) + R.SoloIpc.at(Rep)) / Direct;
+      if (PairT < 2.0 * (1.0 - Eps))
+        continue;
+      bool AllMatch = true;
+      for (InstrId P : Group) {
+        if (P == A || P == Rep)
+          continue;
+        double IA = R.pairIpc(A, P);
+        double IR = R.pairIpc(Rep, P);
+        if (IA < 0.0 || IR < 0.0)
+          continue; // Unmeasurable pair: no evidence either way.
+        if (relDiff(IA, IR) > Eps) {
+          AllMatch = false;
+          break;
+        }
+      }
+      if (AllMatch) {
+        Class.push_back(A);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Classes.push_back({A});
+  }
+  return Classes;
+}
+
+} // namespace
+
+SelectionResult
+palmed::selectBasicInstructions(BenchmarkRunner &Runner,
+                                const std::vector<InstrId> &Pool,
+                                const SelectionConfig &Config) {
+  const InstructionSet &Isa = Runner.machine().isa();
+  const double Eps = Config.Epsilon;
+  SelectionResult R;
+
+  // --- Solo IPC measurement and benchmarkability filter. ---
+  for (InstrId Id : Pool) {
+    double Ipc = Runner.measureIpc(Microkernel::single(Id));
+    if (Ipc < Config.MinIpc)
+      continue; // Unbenchmarkable; dropped like the paper's IPC < 0.05.
+    R.Survivors.push_back(Id);
+    R.SoloIpc[Id] = Ipc;
+  }
+
+  // --- Partition by extension group; exclude low-IPC from candidacy. ---
+  std::map<ExtClass, std::vector<InstrId>> Groups;
+  for (InstrId Id : R.Survivors) {
+    if (R.SoloIpc[Id] <= 1.0 - Eps)
+      continue; // Low-IPC: mapped later by LPAUX, never basic.
+    Groups[Isa.info(Id).Ext].push_back(Id);
+  }
+
+  for (auto &[Ext, Group] : Groups) {
+    (void)Ext;
+    // --- Quadratic benchmarks within the group. ---
+    for (size_t I = 0; I < Group.size(); ++I) {
+      for (size_t J = I + 1; J < Group.size(); ++J) {
+        InstrId A = Group[I], B = Group[J];
+        Microkernel K = makePairKernel(A, R.SoloIpc[A], B, R.SoloIpc[B]);
+        if (!Runner.accepts(K))
+          continue;
+        R.PairIpc[{std::min(A, B), std::max(A, B)}] = Runner.measureIpc(K);
+      }
+    }
+
+    // --- Equivalence classes; keep representatives. ---
+    std::vector<std::vector<InstrId>> Classes =
+        clusterEquivalent(Group, R, Eps);
+    std::vector<InstrId> Reps;
+    for (auto &Class : Classes) {
+      Reps.push_back(Class.front());
+      R.Classes.push_back(Class);
+    }
+    R.Candidates.insert(R.Candidates.end(), Reps.begin(), Reps.end());
+
+    // --- Very basic instructions: greedy maximal disjoint clique. ---
+    // Dj[a] = peers whose pairwise IPC with a is additive.
+    std::map<InstrId, std::vector<InstrId>> Dj;
+    for (InstrId A : Reps) {
+      for (InstrId B : Reps) {
+        if (A == B)
+          continue;
+        double Pair = R.pairIpc(A, B);
+        if (Pair < 0.0)
+          continue;
+        if (isAdditivePair(Pair, R.SoloIpc[A], R.SoloIpc[B], Eps))
+          Dj[A].push_back(B);
+      }
+    }
+    std::vector<InstrId> Order = Reps;
+    std::sort(Order.begin(), Order.end(), [&](InstrId A, InstrId B) {
+      size_t DA = Dj[A].size(), DB = Dj[B].size();
+      if (DA != DB)
+        return DA > DB; // Most disjoint first.
+      return A > B;     // Paper's tie-break.
+    });
+    std::vector<InstrId> VeryBasic;
+    for (InstrId A : Order) {
+      if (static_cast<int>(VeryBasic.size()) >= Config.NumBasicPerGroup)
+        break;
+      bool DisjointFromAll = true;
+      for (InstrId Chosen : VeryBasic) {
+        if (!std::count(Dj[A].begin(), Dj[A].end(), Chosen)) {
+          DisjointFromAll = false;
+          break;
+        }
+      }
+      if (DisjointFromAll)
+        VeryBasic.push_back(A);
+    }
+
+    // --- Most greedy instructions. ---
+    // "a at least as greedy as b": a's pairwise IPC vector is pointwise at
+    // most b's — a interferes with everything at least as much as b does.
+    auto AtLeastAsGreedy = [&](InstrId A, InstrId B) {
+      for (InstrId P : Reps) {
+        if (P == A || P == B)
+          continue;
+        double IA = R.pairIpc(A, P);
+        double IB = R.pairIpc(B, P);
+        if (IA < 0.0 || IB < 0.0)
+          continue;
+        if (IA > IB + Eps * std::max(IA, IB))
+          return false;
+      }
+      return true;
+    };
+    std::vector<std::pair<int, InstrId>> GreedyScore;
+    for (InstrId A : Reps) {
+      int Score = 0;
+      for (InstrId B : Reps)
+        if (B != A && AtLeastAsGreedy(A, B))
+          ++Score;
+      GreedyScore.push_back({Score, A});
+    }
+    std::sort(GreedyScore.begin(), GreedyScore.end(),
+              [](const auto &X, const auto &Y) {
+                if (X.first != Y.first)
+                  return X.first > Y.first;
+                return X.second < Y.second;
+              });
+
+    std::vector<InstrId> GroupBasic = VeryBasic;
+    std::vector<InstrId> MostGreedy;
+    for (const auto &[Score, A] : GreedyScore) {
+      if (static_cast<int>(GroupBasic.size()) >= Config.NumBasicPerGroup)
+        break;
+      if (std::count(GroupBasic.begin(), GroupBasic.end(), A))
+        continue;
+      GroupBasic.push_back(A);
+      MostGreedy.push_back(A);
+    }
+
+    R.VeryBasic.insert(R.VeryBasic.end(), VeryBasic.begin(), VeryBasic.end());
+    R.MostGreedy.insert(R.MostGreedy.end(), MostGreedy.begin(),
+                        MostGreedy.end());
+    R.Basic.insert(R.Basic.end(), GroupBasic.begin(), GroupBasic.end());
+  }
+
+  std::sort(R.Basic.begin(), R.Basic.end());
+  std::sort(R.Candidates.begin(), R.Candidates.end());
+  return R;
+}

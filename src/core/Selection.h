@@ -1,0 +1,96 @@
+//===- core/Selection.h - Basic instruction selection (Algo 1) -*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Sec. V-A / Algorithm 1: trim the instruction set to a small set of
+/// *basic instructions* for which the core mapping is computed.
+///
+///  1. Discard unbenchmarkable instructions (IPC below MinIpc).
+///  2. Exclude *low-IPC* instructions (IPC < 1 - eps) from candidacy (they
+///     are still mapped later by LPAUX).
+///  3. Run the *quadratic benchmarks*: for every candidate pair (a, b) of
+///     the same extension group, measure the kernel a^IPC(a) b^IPC(b).
+///  4. Collapse *equivalence classes*: instructions behaving identically
+///     (same solo IPC and same pairwise IPC against every peer, within eps)
+///     keep a single representative.
+///  5. Select *very basic* instructions: a greedy maximal clique of
+///     pairwise-disjoint instructions (aabb = IPC(a) + IPC(b)).
+///  6. Complete with the *most greedy* instructions: those whose pairwise
+///     IPC vector is dominated-below most often, i.e. that interfere with
+///     the most peers.
+///
+/// As in paper Sec. VI-A, selection runs separately per vector-extension
+/// group (base / SSE / AVX) and the selected sets are merged, because the
+/// benchmark generator refuses mixed-extension kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_CORE_SELECTION_H
+#define PALMED_CORE_SELECTION_H
+
+#include "isa/Microkernel.h"
+#include "sim/BenchmarkRunner.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace palmed {
+
+/// Tuning knobs of the selection stage.
+struct SelectionConfig {
+  /// Relative tolerance used by every IPC comparison (the paper constrains
+  /// measurement error to 5%).
+  double Epsilon = 0.05;
+  /// Number of basic instructions selected per extension group (the `n`
+  /// parameter of Algorithm 1).
+  int NumBasicPerGroup = 8;
+  /// Instructions with IPC below this are discarded outright (Sec. VI-A
+  /// discards IPC < 0.05).
+  double MinIpc = 0.05;
+};
+
+/// Output of the selection stage.
+struct SelectionResult {
+  /// Benchmarkable instructions (IPC >= MinIpc); everything here is mapped
+  /// by the end of the pipeline.
+  std::vector<InstrId> Survivors;
+  /// Non-low-IPC class representatives, per Algorithm 1's filtered set IF.
+  std::vector<InstrId> Candidates;
+  /// Equivalence classes over the filtered set (first element is the
+  /// representative).
+  std::vector<std::vector<InstrId>> Classes;
+  std::vector<InstrId> VeryBasic;
+  std::vector<InstrId> MostGreedy;
+  /// Final basic instruction set IB (union over extension groups).
+  std::vector<InstrId> Basic;
+
+  /// Solo IPC of every survivor.
+  std::map<InstrId, double> SoloIpc;
+  /// Quadratic-benchmark IPCs, keyed by (min id, max id); only pairs within
+  /// one extension group are present.
+  std::map<std::pair<InstrId, InstrId>, double> PairIpc;
+
+  double soloIpc(InstrId Id) const { return SoloIpc.at(Id); }
+  /// Pair IPC if measured, else a negative sentinel.
+  double pairIpc(InstrId A, InstrId B) const;
+};
+
+/// Runs Algorithm 1 over \p Pool (typically the whole ISA).
+SelectionResult selectBasicInstructions(BenchmarkRunner &Runner,
+                                        const std::vector<InstrId> &Pool,
+                                        const SelectionConfig &Config);
+
+/// Builds the paper's "a^IPC(a) b^IPC(b)" quadratic kernel.
+Microkernel makePairKernel(InstrId A, double IpcA, InstrId B, double IpcB);
+
+/// True if \p Combined is additive, i.e. IPC(aabb) = IPC(a) + IPC(b) within
+/// the relative tolerance \p Eps — the paper's "disjoint" test.
+bool isAdditivePair(double Combined, double IpcA, double IpcB, double Eps);
+
+} // namespace palmed
+
+#endif // PALMED_CORE_SELECTION_H

@@ -1,0 +1,74 @@
+//===- eval/Workload.h - Synthetic basic-block workloads -------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block workload generation. The paper extracts weighted basic
+/// blocks from SPECint2017 (static binary analysis + perf counters) and
+/// PolyBench (QEMU translation blocks) and evaluates each tool on a
+/// microkernel with the block's instruction mix. This reproduction
+/// generates seeded synthetic block sets with the corresponding mix
+/// profiles instead (see DESIGN.md):
+///
+///  * SpecLike — scalar-integer / branch / memory heavy, few FP ops;
+///  * PolybenchLike — FP and SIMD heavy with address arithmetic and loads.
+///
+/// Blocks draw a per-block vector "flavor" (scalar / SSE / AVX) the way
+/// compiled code does, with a small fraction of mixed blocks; block weights
+/// follow a Zipf law like real execution-frequency profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_EVAL_WORKLOAD_H
+#define PALMED_EVAL_WORKLOAD_H
+
+#include "isa/Microkernel.h"
+#include "machine/MachineModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace palmed {
+
+/// One weighted basic block.
+struct BasicBlock {
+  Microkernel K;
+  /// Execution-frequency weight (the paper's per-block weight in the RMS
+  /// error metric).
+  double Weight = 1.0;
+};
+
+/// Workload instruction-mix profile.
+enum class WorkloadProfile {
+  SpecLike,
+  PolybenchLike,
+};
+
+const char *workloadProfileName(WorkloadProfile Profile);
+
+/// Generation knobs.
+struct WorkloadConfig {
+  WorkloadProfile Profile = WorkloadProfile::SpecLike;
+  size_t NumBlocks = 1000;
+  /// Distinct instructions per block (inclusive range).
+  int MinDistinct = 3;
+  int MaxDistinct = 14;
+  /// Multiplicity per drawn instruction (inclusive range).
+  int MaxMultiplicity = 4;
+  /// Zipf exponent of the block-weight distribution.
+  double ZipfExponent = 1.1;
+  /// Probability that a vector block mixes SSE and AVX (rare in compiled
+  /// code).
+  double MixedFlavorProbability = 0.05;
+  uint64_t Seed = 42;
+};
+
+/// Generates a deterministic block set over \p Machine's ISA.
+std::vector<BasicBlock> generateWorkload(const MachineModel &Machine,
+                                         const WorkloadConfig &Config);
+
+} // namespace palmed
+
+#endif // PALMED_EVAL_WORKLOAD_H

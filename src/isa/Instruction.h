@@ -1,0 +1,73 @@
+//===- isa/Instruction.h - Instruction identity and metadata ---*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction identity used throughout the library. Palmed treats
+/// instructions as opaque tokens to benchmark; the only metadata the
+/// algorithms need are the name, the vector-extension class (the paper
+/// forbids mixing SSE and AVX in one microbenchmark, Sec. VI-A) and a broad
+/// functional category (used by the synthetic workload generators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_ISA_INSTRUCTION_H
+#define PALMED_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace palmed {
+
+/// Dense instruction identifier; index into an InstructionSet.
+using InstrId = uint32_t;
+
+constexpr InstrId InvalidInstr = ~InstrId{0};
+
+/// Vector-extension class. The microbenchmark generator refuses kernels
+/// mixing Sse and Avx instructions, mirroring the paper's mitigation for
+/// cross-extension transition penalties.
+enum class ExtClass : uint8_t {
+  Base, ///< Scalar integer / control flow / memory.
+  Sse,  ///< 128-bit vector class.
+  Avx,  ///< 256-bit vector class.
+};
+
+/// Broad functional category; drives workload generation profiles
+/// (SPEC-like vs PolyBench-like instruction mixes) and synthetic ISA
+/// construction. Not consulted by the mapping algorithms themselves.
+enum class InstrCategory : uint8_t {
+  IntAlu,
+  IntMul,
+  IntDiv,
+  Shift,
+  Branch,
+  Load,
+  Store,
+  AddressGen,
+  FpAdd,
+  FpMul,
+  FpDiv,
+  VecInt,
+  VecShuffle,
+  Other,
+};
+
+/// Returns a human-readable category name.
+const char *categoryName(InstrCategory Cat);
+
+/// Returns a human-readable extension-class name.
+const char *extClassName(ExtClass Ext);
+
+/// Static description of one instruction.
+struct InstrInfo {
+  std::string Name;
+  ExtClass Ext = ExtClass::Base;
+  InstrCategory Category = InstrCategory::Other;
+};
+
+} // namespace palmed
+
+#endif // PALMED_ISA_INSTRUCTION_H

@@ -1,0 +1,75 @@
+//===- isa/InstructionSet.cpp - Instruction registry ----------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/InstructionSet.h"
+
+using namespace palmed;
+
+const char *palmed::categoryName(InstrCategory Cat) {
+  switch (Cat) {
+  case InstrCategory::IntAlu:
+    return "int-alu";
+  case InstrCategory::IntMul:
+    return "int-mul";
+  case InstrCategory::IntDiv:
+    return "int-div";
+  case InstrCategory::Shift:
+    return "shift";
+  case InstrCategory::Branch:
+    return "branch";
+  case InstrCategory::Load:
+    return "load";
+  case InstrCategory::Store:
+    return "store";
+  case InstrCategory::AddressGen:
+    return "agu";
+  case InstrCategory::FpAdd:
+    return "fp-add";
+  case InstrCategory::FpMul:
+    return "fp-mul";
+  case InstrCategory::FpDiv:
+    return "fp-div";
+  case InstrCategory::VecInt:
+    return "vec-int";
+  case InstrCategory::VecShuffle:
+    return "vec-shuffle";
+  case InstrCategory::Other:
+    return "other";
+  }
+  return "unknown";
+}
+
+const char *palmed::extClassName(ExtClass Ext) {
+  switch (Ext) {
+  case ExtClass::Base:
+    return "base";
+  case ExtClass::Sse:
+    return "sse";
+  case ExtClass::Avx:
+    return "avx";
+  }
+  return "unknown";
+}
+
+InstrId InstructionSet::add(InstrInfo Info) {
+  assert(ByName.find(Info.Name) == ByName.end() && "duplicate name");
+  InstrId Id = static_cast<InstrId>(Infos.size());
+  ByName.emplace(Info.Name, Id);
+  Infos.push_back(std::move(Info));
+  return Id;
+}
+
+InstrId InstructionSet::findByName(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? InvalidInstr : It->second;
+}
+
+std::vector<InstrId> InstructionSet::allIds() const {
+  std::vector<InstrId> Ids(size());
+  for (size_t I = 0; I != Ids.size(); ++I)
+    Ids[I] = static_cast<InstrId>(I);
+  return Ids;
+}

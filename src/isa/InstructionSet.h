@@ -1,0 +1,52 @@
+//===- isa/InstructionSet.h - Instruction registry --------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of the instructions of a target; the dense InstrId space shared
+/// by the machine model, the oracles and the mapping algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_ISA_INSTRUCTIONSET_H
+#define PALMED_ISA_INSTRUCTIONSET_H
+
+#include "isa/Instruction.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace palmed {
+
+/// Append-only instruction registry with name lookup.
+class InstructionSet {
+public:
+  /// Registers \p Info; names must be unique.
+  InstrId add(InstrInfo Info);
+
+  size_t size() const { return Infos.size(); }
+
+  const InstrInfo &info(InstrId Id) const {
+    assert(Id < Infos.size() && "instruction id out of range");
+    return Infos[Id];
+  }
+
+  const std::string &name(InstrId Id) const { return info(Id).Name; }
+
+  /// Returns the id for \p Name, or InvalidInstr if unknown.
+  InstrId findByName(const std::string &Name) const;
+
+  /// All ids, in registration order.
+  std::vector<InstrId> allIds() const;
+
+private:
+  std::vector<InstrInfo> Infos;
+  std::map<std::string, InstrId> ByName;
+};
+
+} // namespace palmed
+
+#endif // PALMED_ISA_INSTRUCTIONSET_H

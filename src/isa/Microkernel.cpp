@@ -1,0 +1,140 @@
+//===- isa/Microkernel.cpp - Dependency-free instruction multiset --------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Microkernel.h"
+
+#include "isa/InstructionSet.h"
+#include "support/Fraction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace palmed;
+
+Microkernel Microkernel::single(InstrId Id, double Mult) {
+  Microkernel K;
+  K.add(Id, Mult);
+  return K;
+}
+
+void Microkernel::add(InstrId Id, double Mult) {
+  assert(Mult > 0.0 && "multiplicity must be positive");
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), Id,
+      [](const Term &T, InstrId Key) { return T.first < Key; });
+  if (It != Terms.end() && It->first == Id) {
+    It->second += Mult;
+    return;
+  }
+  Terms.insert(It, {Id, Mult});
+}
+
+void Microkernel::add(const Microkernel &Other) {
+  for (const Term &T : Other.Terms)
+    add(T.first, T.second);
+}
+
+double Microkernel::size() const {
+  double Sum = 0.0;
+  for (const Term &T : Terms)
+    Sum += T.second;
+  return Sum;
+}
+
+double Microkernel::multiplicity(InstrId Id) const {
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), Id,
+      [](const Term &T, InstrId Key) { return T.first < Key; });
+  if (It != Terms.end() && It->first == Id)
+    return It->second;
+  return 0.0;
+}
+
+Microkernel Microkernel::scaled(double Factor) const {
+  assert(Factor > 0.0 && "scale factor must be positive");
+  Microkernel K = *this;
+  for (Term &T : K.Terms)
+    T.second *= Factor;
+  return K;
+}
+
+Microkernel Microkernel::roundedToIntegers(int64_t MaxDenominator) const {
+  // Approximate each multiplicity by a bounded-denominator rational, then
+  // scale the kernel by the least common multiple of the denominators.
+  int64_t CommonDen = 1;
+  std::vector<Fraction> Fracs;
+  Fracs.reserve(Terms.size());
+  for (const Term &T : Terms) {
+    Fraction F = approximateRatio(T.second, MaxDenominator);
+    if (F.Num == 0)
+      F = {1, MaxDenominator}; // Keep a trace amount rather than dropping.
+    Fracs.push_back(F);
+    CommonDen = lcm(CommonDen, F.Den);
+  }
+  Microkernel K;
+  for (size_t I = 0; I != Terms.size(); ++I) {
+    int64_t Count = Fracs[I].Num * (CommonDen / Fracs[I].Den);
+    K.add(Terms[I].first, static_cast<double>(Count));
+  }
+  return K;
+}
+
+bool Microkernel::isIntegral() const {
+  for (const Term &T : Terms)
+    if (std::abs(T.second - std::round(T.second)) > 1e-9)
+      return false;
+  return true;
+}
+
+std::string Microkernel::str(const InstructionSet &Isa) const {
+  std::string Out;
+  for (const Term &T : Terms) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += Isa.name(T.first);
+    if (std::abs(T.second - 1.0) > 1e-12) {
+      char Buf[32];
+      if (std::abs(T.second - std::round(T.second)) < 1e-9)
+        std::snprintf(Buf, sizeof(Buf), "^%lld",
+                      static_cast<long long>(std::llround(T.second)));
+      else
+        std::snprintf(Buf, sizeof(Buf), "^%.4g", T.second);
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+std::optional<Microkernel> Microkernel::parse(const std::string &Text,
+                                              const InstructionSet &Isa) {
+  Microkernel K;
+  std::istringstream IS(Text);
+  std::string Token;
+  while (IS >> Token) {
+    std::string Name = Token;
+    double Mult = 1.0;
+    size_t Caret = Token.find('^');
+    if (Caret != std::string::npos) {
+      Name = Token.substr(0, Caret);
+      std::string MultStr = Token.substr(Caret + 1);
+      char *End = nullptr;
+      Mult = std::strtod(MultStr.c_str(), &End);
+      if (End == MultStr.c_str() || *End != 0 || Mult <= 0.0)
+        return std::nullopt;
+    }
+    InstrId Id = Isa.findByName(Name);
+    if (Id == InvalidInstr)
+      return std::nullopt;
+    K.add(Id, Mult);
+  }
+  if (K.empty())
+    return std::nullopt;
+  return K;
+}

@@ -1,0 +1,189 @@
+//===- lp/Milp.cpp - Branch-and-bound MILP solver -------------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Milp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+using namespace palmed;
+using namespace palmed::lp;
+
+namespace {
+
+struct Node {
+  std::vector<BoundOverride> Overrides;
+  double Bound = 0.0; ///< Relaxation objective (minimization-normalized).
+  int Depth = 0;
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node> &A,
+                  const std::shared_ptr<Node> &B) const {
+    if (A->Bound != B->Bound)
+      return A->Bound > B->Bound; // Best bound first.
+    return A->Depth < B->Depth;   // Then deepest first (dive).
+  }
+};
+
+/// Picks the integer variable whose relaxation value is most fractional.
+VarId pickBranchVar(const Model &M, const std::vector<double> &Values,
+                    double Tol) {
+  VarId Best = -1;
+  double BestFrac = Tol;
+  for (size_t V = 0; V < M.numVars(); ++V) {
+    if (!M.var(static_cast<VarId>(V)).IsInteger)
+      continue;
+    double X = Values[V];
+    double Frac = std::abs(X - std::round(X));
+    if (Frac > BestFrac) {
+      BestFrac = Frac;
+      Best = static_cast<VarId>(V);
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+Solution lp::solveMilp(const Model &M, const MilpOptions &Options,
+                       MilpStats *Stats) {
+  MilpStats LocalStats;
+  MilpStats &S = Stats ? *Stats : LocalStats;
+  S = MilpStats();
+
+  const double Sign = M.goal() == Goal::Minimize ? 1.0 : -1.0;
+
+  Solution Incumbent;
+  Incumbent.Status = SolveStatus::Infeasible;
+  double IncumbentBound = Infinity; // Minimization-normalized.
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      Open;
+
+  auto Root = std::make_shared<Node>();
+  Solution RootSol = solveLp(M, Root->Overrides, Options.Lp);
+  if (RootSol.Status == SolveStatus::Infeasible ||
+      RootSol.Status == SolveStatus::IterLimit) {
+    return RootSol;
+  }
+  if (RootSol.Status == SolveStatus::Unbounded) {
+    // With integer variables we do not attempt to certify integer
+    // unboundedness; report it as-is.
+    return RootSol;
+  }
+  Root->Bound = Sign * RootSol.Objective;
+
+  // Stash relaxation solutions alongside nodes so each node solves its LP
+  // exactly once (at creation time).
+  struct OpenEntry {
+    std::shared_ptr<Node> N;
+    Solution Relax;
+  };
+  std::vector<OpenEntry> Pool;
+  Pool.push_back({Root, std::move(RootSol)});
+  Open.push(Root);
+
+  auto FindEntry = [&Pool](const std::shared_ptr<Node> &N) -> OpenEntry * {
+    for (OpenEntry &E : Pool)
+      if (E.N == N)
+        return &E;
+    return nullptr;
+  };
+
+  while (!Open.empty()) {
+    if (S.NodesExplored >= Options.MaxNodes)
+      break;
+    std::shared_ptr<Node> N = Open.top();
+    Open.pop();
+    ++S.NodesExplored;
+
+    OpenEntry *Entry = FindEntry(N);
+    assert(Entry && "node missing from pool");
+    Solution Relax = std::move(Entry->Relax);
+    // Compact the pool lazily.
+    Entry->N = nullptr;
+    std::erase_if(Pool, [](const OpenEntry &E) { return !E.N; });
+
+    if (N->Bound >= IncumbentBound - Options.AbsGap)
+      continue; // Cannot improve on the incumbent.
+
+    VarId Branch = pickBranchVar(M, Relax.Values, Options.IntTolerance);
+    if (Branch < 0) {
+      // Integral: new incumbent.
+      double Normalized = Sign * Relax.Objective;
+      if (Normalized < IncumbentBound - Options.AbsGap) {
+        IncumbentBound = Normalized;
+        Incumbent = Relax;
+        Incumbent.Status = SolveStatus::Optimal;
+        ++S.Incumbents;
+      }
+      continue;
+    }
+
+    double X = Relax.Values[static_cast<size_t>(Branch)];
+    double Floor = std::floor(X);
+    const Variable &BV = M.var(Branch);
+
+    // Current effective bounds of the branch variable at this node.
+    double CurLo = BV.LowerBound, CurHi = BV.UpperBound;
+    for (const BoundOverride &O : N->Overrides) {
+      if (O.Var == Branch) {
+        CurLo = O.LowerBound;
+        CurHi = O.UpperBound;
+      }
+    }
+
+    auto MakeChild = [&](double NewLo, double NewHi) {
+      if (NewLo > NewHi)
+        return;
+      auto Child = std::make_shared<Node>();
+      Child->Overrides = N->Overrides;
+      bool Replaced = false;
+      for (BoundOverride &O : Child->Overrides) {
+        if (O.Var == Branch) {
+          O.LowerBound = NewLo;
+          O.UpperBound = NewHi;
+          Replaced = true;
+        }
+      }
+      if (!Replaced)
+        Child->Overrides.push_back({Branch, NewLo, NewHi});
+      Child->Depth = N->Depth + 1;
+      Solution ChildSol = solveLp(M, Child->Overrides, Options.Lp);
+      if (!ChildSol.ok())
+        return;
+      Child->Bound = Sign * ChildSol.Objective;
+      if (Child->Bound >= IncumbentBound - Options.AbsGap)
+        return;
+      Pool.push_back({Child, std::move(ChildSol)});
+      Open.push(Child);
+    };
+
+    MakeChild(CurLo, Floor);        // x <= floor
+    MakeChild(Floor + 1.0, CurHi);  // x >= floor + 1
+  }
+
+  if (!Incumbent.ok()) {
+    Incumbent.Status =
+        Open.empty() ? SolveStatus::Infeasible : SolveStatus::IterLimit;
+    return Incumbent;
+  }
+  if (!Open.empty())
+    Incumbent.Status = SolveStatus::Feasible; // Search truncated.
+  // Round integer variables exactly.
+  for (size_t V = 0; V < M.numVars(); ++V)
+    if (M.var(static_cast<VarId>(V)).IsInteger)
+      Incumbent.Values[V] = std::round(Incumbent.Values[V]);
+  Incumbent.Objective = M.objective().evaluate(Incumbent.Values);
+  return Incumbent;
+}
+
+Solution lp::solveMilp(const Model &M) { return solveMilp(M, MilpOptions()); }

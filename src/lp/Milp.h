@@ -1,0 +1,51 @@
+//===- lp/Milp.h - Branch-and-bound MILP solver -----------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Best-first branch-and-bound over the simplex relaxation. Used for
+/// Palmed's LP1 shape problem (0/1 edges) and the exact-MILP mode of the
+/// bipartite weight problem (LP2 / LPAUX argmax indicators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_LP_MILP_H
+#define PALMED_LP_MILP_H
+
+#include "lp/Model.h"
+#include "lp/Simplex.h"
+
+namespace palmed {
+namespace lp {
+
+/// Options controlling the branch-and-bound search.
+struct MilpOptions {
+  /// Hard cap on explored nodes; exceeding it yields SolveStatus::Feasible
+  /// (best incumbent) or SolveStatus::IterLimit (no incumbent).
+  int MaxNodes = 200000;
+  /// Integrality tolerance.
+  double IntTolerance = 1e-6;
+  /// Absolute optimality gap at which the search stops early.
+  double AbsGap = 1e-7;
+  SimplexOptions Lp;
+};
+
+/// Statistics from a branch-and-bound run.
+struct MilpStats {
+  int NodesExplored = 0;
+  int Incumbents = 0;
+};
+
+/// Solves \p M to integer optimality (or best effort under the node limit).
+Solution solveMilp(const Model &M, const MilpOptions &Options,
+                   MilpStats *Stats = nullptr);
+
+/// Convenience overload with default options.
+Solution solveMilp(const Model &M);
+
+} // namespace lp
+} // namespace palmed
+
+#endif // PALMED_LP_MILP_H

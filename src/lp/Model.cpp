@@ -1,0 +1,87 @@
+//===- lp/Model.cpp - Linear/integer optimization model ------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace palmed;
+using namespace palmed::lp;
+
+LinearExpr &LinearExpr::add(VarId Var, double Coeff) {
+  assert(Var >= 0 && "invalid variable");
+  if (Coeff != 0.0)
+    Terms.emplace_back(Var, Coeff);
+  return *this;
+}
+
+LinearExpr &LinearExpr::operator+=(const LinearExpr &O) {
+  Terms.insert(Terms.end(), O.Terms.begin(), O.Terms.end());
+  Constant += O.Constant;
+  return *this;
+}
+
+void LinearExpr::normalize() {
+  std::sort(Terms.begin(), Terms.end());
+  size_t Out = 0;
+  for (size_t I = 0; I < Terms.size();) {
+    VarId Var = Terms[I].first;
+    double Coeff = 0.0;
+    while (I < Terms.size() && Terms[I].first == Var)
+      Coeff += Terms[I++].second;
+    if (Coeff != 0.0)
+      Terms[Out++] = {Var, Coeff};
+  }
+  Terms.resize(Out);
+}
+
+double LinearExpr::evaluate(const std::vector<double> &Values) const {
+  double Sum = Constant;
+  for (const auto &[Var, Coeff] : Terms)
+    Sum += Coeff * Values[static_cast<size_t>(Var)];
+  return Sum;
+}
+
+VarId Model::addVar(std::string Name, double LowerBound, double UpperBound,
+                    bool IsInteger) {
+  assert(std::isfinite(LowerBound) && "lower bound must be finite");
+  assert(LowerBound <= UpperBound && "empty variable domain");
+  Variable V;
+  V.Name = std::move(Name);
+  V.LowerBound = LowerBound;
+  V.UpperBound = UpperBound;
+  V.IsInteger = IsInteger;
+  Vars.push_back(std::move(V));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+void Model::addConstraint(LinearExpr Expr, Sense Dir, double Rhs,
+                          std::string Name) {
+  Constraint C;
+  Rhs -= Expr.constant();
+  Expr.addConstant(-Expr.constant());
+  Expr.normalize();
+  C.Expr = std::move(Expr);
+  C.Dir = Dir;
+  C.Rhs = Rhs;
+  C.Name = std::move(Name);
+  Constraints_.push_back(std::move(C));
+}
+
+void Model::setObjective(LinearExpr Expr, Goal Dir) {
+  Expr.normalize();
+  Objective = std::move(Expr);
+  Direction = Dir;
+}
+
+bool Model::hasIntegerVars() const {
+  for (const Variable &V : Vars)
+    if (V.IsInteger)
+      return true;
+  return false;
+}

@@ -1,0 +1,142 @@
+//===- lp/Model.h - Linear/integer optimization model -----------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small LP/MILP modelling layer. Palmed's three optimization problems
+/// (LP1 "shape", LP2 "bipartite weight problem", LPAUX per-instruction
+/// mapping — paper Algs. 3, 4, 5) are expressed as Model instances and
+/// solved by the bundled simplex (Simplex.h) and branch-and-bound (Milp.h).
+/// The paper uses an off-the-shelf solver; this reproduction ships its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_LP_MODEL_H
+#define PALMED_LP_MODEL_H
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace palmed {
+namespace lp {
+
+/// Index of a variable within its Model.
+using VarId = int;
+
+constexpr double Infinity = std::numeric_limits<double>::infinity();
+
+/// A sparse linear expression sum_k Coeff_k * Var_k + Constant.
+class LinearExpr {
+public:
+  LinearExpr() = default;
+  /*implicit*/ LinearExpr(double Constant) : Constant(Constant) {}
+
+  LinearExpr &add(VarId Var, double Coeff);
+  LinearExpr &addConstant(double C) {
+    Constant += C;
+    return *this;
+  }
+
+  LinearExpr &operator+=(const LinearExpr &O);
+
+  const std::vector<std::pair<VarId, double>> &terms() const { return Terms; }
+  double constant() const { return Constant; }
+
+  /// Merges duplicate variable terms and drops zero coefficients.
+  void normalize();
+
+  /// Evaluates against a full assignment vector.
+  double evaluate(const std::vector<double> &Values) const;
+
+private:
+  std::vector<std::pair<VarId, double>> Terms;
+  double Constant = 0.0;
+};
+
+/// Constraint comparison sense.
+enum class Sense { LE, GE, EQ };
+
+/// One linear constraint: Expr (sense) Rhs, with Expr's constant folded into
+/// the right-hand side at build time.
+struct Constraint {
+  LinearExpr Expr;
+  Sense Dir = Sense::LE;
+  double Rhs = 0.0;
+  std::string Name;
+};
+
+/// Variable metadata.
+struct Variable {
+  std::string Name;
+  double LowerBound = 0.0;
+  double UpperBound = Infinity;
+  bool IsInteger = false;
+};
+
+/// Objective direction.
+enum class Goal { Minimize, Maximize };
+
+/// An LP/MILP model: variables with bounds, linear constraints, and one
+/// linear objective.
+class Model {
+public:
+  /// Adds a variable; \p LowerBound must be finite (the solvers shift
+  /// variables by their lower bound).
+  VarId addVar(std::string Name, double LowerBound, double UpperBound,
+               bool IsInteger = false);
+
+  /// Convenience: a 0/1 integer variable.
+  VarId addBoolVar(std::string Name) {
+    return addVar(std::move(Name), 0.0, 1.0, /*IsInteger=*/true);
+  }
+
+  void addConstraint(LinearExpr Expr, Sense Dir, double Rhs,
+                     std::string Name = "");
+
+  void setObjective(LinearExpr Expr, Goal Direction);
+
+  size_t numVars() const { return Vars.size(); }
+  size_t numConstraints() const { return Constraints_.size(); }
+  const Variable &var(VarId Id) const { return Vars[static_cast<size_t>(Id)]; }
+  const std::vector<Variable> &vars() const { return Vars; }
+  const std::vector<Constraint> &constraints() const { return Constraints_; }
+  const LinearExpr &objective() const { return Objective; }
+  Goal goal() const { return Direction; }
+  bool hasIntegerVars() const;
+
+private:
+  std::vector<Variable> Vars;
+  std::vector<Constraint> Constraints_;
+  LinearExpr Objective;
+  Goal Direction = Goal::Minimize;
+};
+
+/// Solver outcome.
+enum class SolveStatus {
+  Optimal,
+  Feasible,   ///< MILP only: incumbent found but search truncated.
+  Infeasible,
+  Unbounded,
+  IterLimit,
+};
+
+/// A (possibly partial) solution to a Model.
+struct Solution {
+  SolveStatus Status = SolveStatus::Infeasible;
+  double Objective = 0.0;
+  std::vector<double> Values;
+
+  bool ok() const {
+    return Status == SolveStatus::Optimal || Status == SolveStatus::Feasible;
+  }
+  double value(VarId Id) const { return Values[static_cast<size_t>(Id)]; }
+};
+
+} // namespace lp
+} // namespace palmed
+
+#endif // PALMED_LP_MODEL_H

@@ -1,0 +1,351 @@
+//===- lp/Simplex.cpp - Dense two-phase primal simplex -------------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Implementation notes: variables are shifted by their (finite) lower bound
+// so the working variables are non-negative; finite upper bounds become
+// explicit rows. Phase 1 minimizes the sum of artificial variables, phase 2
+// the user objective. Dantzig pricing with a Bland fallback after a stall
+// guards against cycling on degenerate bases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace palmed;
+using namespace palmed::lp;
+
+namespace {
+
+/// Dense row-major tableau with an explicit reduced-cost row.
+class Tableau {
+public:
+  Tableau(size_t NumRows, size_t NumCols)
+      : NumRows(NumRows), NumCols(NumCols),
+        Data(NumRows * (NumCols + 1), 0.0), Cost(NumCols + 1, 0.0),
+        Basis(NumRows, -1), Enterable(NumCols, true) {}
+
+  double &at(size_t Row, size_t Col) { return Data[Row * (NumCols + 1) + Col]; }
+  double at(size_t Row, size_t Col) const {
+    return Data[Row * (NumCols + 1) + Col];
+  }
+  double &rhs(size_t Row) { return at(Row, NumCols); }
+  double rhs(size_t Row) const { return at(Row, NumCols); }
+
+  void pivot(size_t PivotRow, size_t PivotCol) {
+    double *RowP = &Data[PivotRow * (NumCols + 1)];
+    double Inv = 1.0 / RowP[PivotCol];
+    for (size_t C = 0; C <= NumCols; ++C)
+      RowP[C] *= Inv;
+    RowP[PivotCol] = 1.0;
+    for (size_t R = 0; R < NumRows; ++R) {
+      if (R == PivotRow)
+        continue;
+      double *Other = &Data[R * (NumCols + 1)];
+      double Factor = Other[PivotCol];
+      if (Factor == 0.0)
+        continue;
+      for (size_t C = 0; C <= NumCols; ++C)
+        Other[C] -= Factor * RowP[C];
+      Other[PivotCol] = 0.0;
+    }
+    double Factor = Cost[PivotCol];
+    if (Factor != 0.0) {
+      for (size_t C = 0; C <= NumCols; ++C)
+        Cost[C] -= Factor * RowP[C];
+      Cost[PivotCol] = 0.0;
+    }
+    Basis[PivotRow] = static_cast<int>(PivotCol);
+  }
+
+  size_t NumRows;
+  size_t NumCols;
+  std::vector<double> Data;
+  std::vector<double> Cost; ///< Reduced costs; last entry is -objective.
+  std::vector<int> Basis;
+  std::vector<bool> Enterable;
+};
+
+enum class PhaseResult { Optimal, Unbounded, IterLimit };
+
+/// Runs primal simplex iterations until optimality of the current cost row.
+PhaseResult runPhase(Tableau &T, const SimplexOptions &Options) {
+  const double Tol = Options.Tolerance;
+  int StallCount = 0;
+  bool UseBland = false;
+  double LastObjective = -T.Cost[T.NumCols];
+
+  for (int Iter = 0; Iter < Options.MaxIterations; ++Iter) {
+    // Entering column: most negative reduced cost (Dantzig) or first
+    // negative (Bland) among enterable columns.
+    size_t Entering = T.NumCols;
+    double BestCost = -Tol;
+    for (size_t C = 0; C < T.NumCols; ++C) {
+      if (!T.Enterable[C])
+        continue;
+      double RC = T.Cost[C];
+      if (RC < BestCost) {
+        BestCost = RC;
+        Entering = C;
+        if (UseBland)
+          break;
+      }
+    }
+    if (Entering == T.NumCols)
+      return PhaseResult::Optimal;
+
+    // Ratio test; ties broken by smallest basis variable index (helps
+    // termination together with Bland pricing).
+    size_t Leaving = T.NumRows;
+    double BestRatio = 0.0;
+    for (size_t R = 0; R < T.NumRows; ++R) {
+      double A = T.at(R, Entering);
+      if (A <= Tol)
+        continue;
+      double Ratio = T.rhs(R) / A;
+      if (Leaving == T.NumRows || Ratio < BestRatio - Tol ||
+          (Ratio < BestRatio + Tol && T.Basis[R] < T.Basis[Leaving])) {
+        BestRatio = Ratio;
+        Leaving = R;
+      }
+    }
+    if (Leaving == T.NumRows)
+      return PhaseResult::Unbounded;
+
+    T.pivot(Leaving, Entering);
+
+    double Objective = -T.Cost[T.NumCols];
+    if (Objective < LastObjective - Tol) {
+      LastObjective = Objective;
+      StallCount = 0;
+    } else if (++StallCount > 200) {
+      UseBland = true;
+    }
+  }
+  return PhaseResult::IterLimit;
+}
+
+} // namespace
+
+Solution lp::solveLp(const Model &M, const std::vector<BoundOverride> &Overrides,
+                     const SimplexOptions &Options) {
+  const double Tol = Options.Tolerance;
+  const size_t NumVars = M.numVars();
+
+  // Effective bounds after overrides.
+  std::vector<double> Lo(NumVars), Hi(NumVars);
+  for (size_t V = 0; V < NumVars; ++V) {
+    Lo[V] = M.var(static_cast<VarId>(V)).LowerBound;
+    Hi[V] = M.var(static_cast<VarId>(V)).UpperBound;
+  }
+  for (const BoundOverride &O : Overrides) {
+    assert(O.Var >= 0 && static_cast<size_t>(O.Var) < NumVars);
+    Lo[static_cast<size_t>(O.Var)] = O.LowerBound;
+    Hi[static_cast<size_t>(O.Var)] = O.UpperBound;
+  }
+  Solution Result;
+  for (size_t V = 0; V < NumVars; ++V) {
+    if (Lo[V] > Hi[V] + Tol) {
+      Result.Status = SolveStatus::Infeasible;
+      return Result;
+    }
+  }
+
+  // Row inventory: model constraints + one row per finite upper bound.
+  struct RowSpec {
+    const Constraint *C = nullptr; ///< Null for upper-bound rows.
+    size_t UbVar = 0;
+    Sense Dir = Sense::LE;
+    double Rhs = 0.0;
+  };
+  std::vector<RowSpec> RowSpecs;
+  for (const Constraint &C : M.constraints()) {
+    RowSpec S;
+    S.C = &C;
+    S.Dir = C.Dir;
+    double Shift = 0.0;
+    for (const auto &[Var, Coeff] : C.Expr.terms())
+      Shift += Coeff * Lo[static_cast<size_t>(Var)];
+    S.Rhs = C.Rhs - Shift;
+    RowSpecs.push_back(S);
+  }
+  for (size_t V = 0; V < NumVars; ++V) {
+    if (!std::isfinite(Hi[V]))
+      continue;
+    RowSpec S;
+    S.UbVar = V;
+    S.Dir = Sense::LE;
+    S.Rhs = Hi[V] - Lo[V];
+    RowSpecs.push_back(S);
+  }
+
+  const size_t NumRows = RowSpecs.size();
+  // Count auxiliary columns. After rhs-sign normalization:
+  //   LE -> slack (basic);  GE -> surplus + artificial;  EQ -> artificial.
+  size_t NumSlack = 0, NumArtificial = 0;
+  std::vector<Sense> EffDir(NumRows);
+  std::vector<double> EffRhs(NumRows);
+  std::vector<double> RowSign(NumRows, 1.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    Sense Dir = RowSpecs[R].Dir;
+    double Rhs = RowSpecs[R].Rhs;
+    if (Rhs < 0.0) {
+      Rhs = -Rhs;
+      RowSign[R] = -1.0;
+      if (Dir == Sense::LE)
+        Dir = Sense::GE;
+      else if (Dir == Sense::GE)
+        Dir = Sense::LE;
+    }
+    EffDir[R] = Dir;
+    EffRhs[R] = Rhs;
+    switch (Dir) {
+    case Sense::LE:
+      ++NumSlack;
+      break;
+    case Sense::GE:
+      ++NumSlack; // Surplus column.
+      ++NumArtificial;
+      break;
+    case Sense::EQ:
+      ++NumArtificial;
+      break;
+    }
+  }
+
+  const size_t SlackStart = NumVars;
+  const size_t ArtStart = SlackStart + NumSlack;
+  const size_t NumCols = ArtStart + NumArtificial;
+
+  Tableau T(NumRows, NumCols);
+  size_t NextSlack = SlackStart, NextArt = ArtStart;
+  for (size_t R = 0; R < NumRows; ++R) {
+    const RowSpec &S = RowSpecs[R];
+    if (S.C) {
+      for (const auto &[Var, Coeff] : S.C->Expr.terms())
+        T.at(R, static_cast<size_t>(Var)) += RowSign[R] * Coeff;
+    } else {
+      T.at(R, S.UbVar) = RowSign[R];
+    }
+    T.rhs(R) = EffRhs[R];
+    switch (EffDir[R]) {
+    case Sense::LE:
+      T.at(R, NextSlack) = 1.0;
+      T.Basis[R] = static_cast<int>(NextSlack);
+      ++NextSlack;
+      break;
+    case Sense::GE:
+      T.at(R, NextSlack) = -1.0;
+      ++NextSlack;
+      T.at(R, NextArt) = 1.0;
+      T.Basis[R] = static_cast<int>(NextArt);
+      ++NextArt;
+      break;
+    case Sense::EQ:
+      T.at(R, NextArt) = 1.0;
+      T.Basis[R] = static_cast<int>(NextArt);
+      ++NextArt;
+      break;
+    }
+  }
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  if (NumArtificial > 0) {
+    std::fill(T.Cost.begin(), T.Cost.end(), 0.0);
+    for (size_t C = ArtStart; C < NumCols; ++C)
+      T.Cost[C] = 1.0;
+    // Canonicalize: basic artificials must have zero reduced cost.
+    for (size_t R = 0; R < NumRows; ++R) {
+      int B = T.Basis[R];
+      if (B >= 0 && static_cast<size_t>(B) >= ArtStart)
+        for (size_t C = 0; C <= NumCols; ++C)
+          T.Cost[C] -= T.at(R, C);
+    }
+    PhaseResult PR = runPhase(T, Options);
+    if (PR == PhaseResult::IterLimit) {
+      Result.Status = SolveStatus::IterLimit;
+      return Result;
+    }
+    double Phase1Obj = -T.Cost[NumCols];
+    if (Phase1Obj > 1e-7) {
+      Result.Status = SolveStatus::Infeasible;
+      return Result;
+    }
+    // Drive residual basic artificials out of the basis where possible.
+    for (size_t R = 0; R < NumRows; ++R) {
+      int B = T.Basis[R];
+      if (B < 0 || static_cast<size_t>(B) < ArtStart)
+        continue;
+      size_t PivotCol = NumCols;
+      for (size_t C = 0; C < ArtStart; ++C) {
+        if (std::abs(T.at(R, C)) > Tol) {
+          PivotCol = C;
+          break;
+        }
+      }
+      if (PivotCol != NumCols)
+        T.pivot(R, PivotCol);
+      // Otherwise the row is redundant; the artificial stays basic at zero.
+    }
+    for (size_t C = ArtStart; C < NumCols; ++C)
+      T.Enterable[C] = false;
+  }
+
+  // ---- Phase 2: the user objective (as minimization). ----
+  std::vector<double> Costs(NumCols, 0.0);
+  double ObjSign = M.goal() == Goal::Minimize ? 1.0 : -1.0;
+  LinearExpr Obj = M.objective();
+  Obj.normalize();
+  for (const auto &[Var, Coeff] : Obj.terms())
+    Costs[static_cast<size_t>(Var)] = ObjSign * Coeff;
+  std::fill(T.Cost.begin(), T.Cost.end(), 0.0);
+  for (size_t C = 0; C < NumCols; ++C)
+    T.Cost[C] = Costs[C];
+  for (size_t R = 0; R < NumRows; ++R) {
+    int B = T.Basis[R];
+    if (B < 0)
+      continue;
+    double CB = Costs[static_cast<size_t>(B)];
+    if (CB == 0.0)
+      continue;
+    for (size_t C = 0; C <= NumCols; ++C)
+      T.Cost[C] -= CB * T.at(R, C);
+  }
+
+  PhaseResult PR = runPhase(T, Options);
+  if (PR == PhaseResult::IterLimit) {
+    Result.Status = SolveStatus::IterLimit;
+    return Result;
+  }
+  if (PR == PhaseResult::Unbounded) {
+    Result.Status = SolveStatus::Unbounded;
+    return Result;
+  }
+
+  // Extract the solution (shift lower bounds back in).
+  Result.Values.assign(NumVars, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    int B = T.Basis[R];
+    if (B >= 0 && static_cast<size_t>(B) < NumVars)
+      Result.Values[static_cast<size_t>(B)] = T.rhs(R);
+  }
+  for (size_t V = 0; V < NumVars; ++V) {
+    Result.Values[V] += Lo[V];
+    // Clamp tiny numerical overshoot back into the variable's domain.
+    Result.Values[V] = std::max(Result.Values[V], Lo[V]);
+    if (std::isfinite(Hi[V]))
+      Result.Values[V] = std::min(Result.Values[V], Hi[V]);
+  }
+  Result.Objective = M.objective().evaluate(Result.Values);
+  Result.Status = SolveStatus::Optimal;
+  return Result;
+}
+
+Solution lp::solveLp(const Model &M) {
+  return solveLp(M, {}, SimplexOptions());
+}

@@ -1,0 +1,49 @@
+//===- lp/Simplex.h - Dense two-phase primal simplex ------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense two-phase primal simplex over a Model (integrality relaxed).
+/// Sized for Palmed's LP instances: a few thousand rows/columns at most.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_LP_SIMPLEX_H
+#define PALMED_LP_SIMPLEX_H
+
+#include "lp/Model.h"
+
+namespace palmed {
+namespace lp {
+
+/// Options controlling the simplex run.
+struct SimplexOptions {
+  /// Hard cap on pivots per phase.
+  int MaxIterations = 200000;
+  /// Numerical tolerance for feasibility / reduced-cost tests.
+  double Tolerance = 1e-9;
+};
+
+/// Per-variable bound overrides used by branch-and-bound nodes; entries with
+/// Var < 0 terminate scanning early and are not allowed.
+struct BoundOverride {
+  VarId Var = -1;
+  double LowerBound = 0.0;
+  double UpperBound = Infinity;
+};
+
+/// Solves the LP relaxation of \p M. \p Overrides optionally tightens
+/// variable bounds (used by branch-and-bound); overridden bounds fully
+/// replace the model's bounds for that variable.
+Solution solveLp(const Model &M, const std::vector<BoundOverride> &Overrides,
+                 const SimplexOptions &Options);
+
+/// Convenience overload without overrides and with default options.
+Solution solveLp(const Model &M);
+
+} // namespace lp
+} // namespace palmed
+
+#endif // PALMED_LP_SIMPLEX_H

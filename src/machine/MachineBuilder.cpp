@@ -1,0 +1,35 @@
+//===- machine/MachineBuilder.cpp - Fluent machine construction ----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineBuilder.h"
+
+using namespace palmed;
+
+unsigned MachineBuilder::addPort(std::string PortName) {
+  assert(Ports.size() < MaxPorts && "too many ports");
+  Ports.push_back(std::move(PortName));
+  return static_cast<unsigned>(Ports.size() - 1);
+}
+
+InstrId MachineBuilder::addInstruction(InstrInfo Info,
+                                       std::vector<MicroOpDesc> MicroOps) {
+  assert(!MicroOps.empty() && "instruction needs at least one micro-op");
+  InstrId Id = Isa.add(std::move(Info));
+  InstrExec E;
+  E.MicroOps = std::move(MicroOps);
+  Execs.push_back(std::move(E));
+  return Id;
+}
+
+InstrId MachineBuilder::addSimpleInstruction(InstrInfo Info, PortMask Ports,
+                                             double Occupancy) {
+  return addInstruction(std::move(Info), {{Ports, Occupancy}});
+}
+
+MachineModel MachineBuilder::build() {
+  return MachineModel(std::move(Name), std::move(Ports), std::move(Isa),
+                      std::move(Execs), DecodeWidth, ExtMixPenalty);
+}

@@ -1,0 +1,68 @@
+//===- machine/MachineBuilder.h - Fluent machine construction --*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental construction of MachineModel instances; used by the shipped
+/// SKL-like / ZEN-like descriptions, the synthetic ISA generator, the
+/// property tests (random machines) and the custom_machine example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_MACHINE_MACHINEBUILDER_H
+#define PALMED_MACHINE_MACHINEBUILDER_H
+
+#include "machine/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// Builder for MachineModel.
+class MachineBuilder {
+public:
+  explicit MachineBuilder(std::string Name) : Name(std::move(Name)) {}
+
+  /// Adds an execution port; returns its index.
+  unsigned addPort(std::string PortName);
+
+  /// Sets the front-end decode width (0 = unlimited).
+  MachineBuilder &setDecodeWidth(unsigned Width) {
+    DecodeWidth = Width;
+    return *this;
+  }
+
+  /// Sets the SSE/AVX mixing penalty factor (default 0: no penalty).
+  MachineBuilder &setExtMixPenalty(double Penalty) {
+    ExtMixPenalty = Penalty;
+    return *this;
+  }
+
+  /// Registers an instruction with its µOP decomposition.
+  InstrId addInstruction(InstrInfo Info, std::vector<MicroOpDesc> MicroOps);
+
+  /// Convenience: single-µOP instruction on \p Ports with \p Occupancy.
+  InstrId addSimpleInstruction(InstrInfo Info, PortMask Ports,
+                               double Occupancy = 1.0);
+
+  unsigned numPorts() const { return static_cast<unsigned>(Ports.size()); }
+  size_t numInstructions() const { return Isa.size(); }
+
+  /// Finalizes the machine. The builder is left in a moved-from state.
+  MachineModel build();
+
+private:
+  std::string Name;
+  std::vector<std::string> Ports;
+  InstructionSet Isa;
+  std::vector<InstrExec> Execs;
+  unsigned DecodeWidth = 0;
+  double ExtMixPenalty = 0.0;
+};
+
+} // namespace palmed
+
+#endif // PALMED_MACHINE_MACHINEBUILDER_H

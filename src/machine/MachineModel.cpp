@@ -1,0 +1,66 @@
+//===- machine/MachineModel.cpp - Ground-truth disjunctive model ----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineModel.h"
+
+#include <bit>
+
+using namespace palmed;
+
+PortMask palmed::portMask(std::initializer_list<unsigned> Ports) {
+  PortMask Mask = 0;
+  for (unsigned P : Ports) {
+    assert(P < MaxPorts && "port index out of range");
+    Mask |= PortMask{1} << P;
+  }
+  return Mask;
+}
+
+unsigned palmed::portCount(PortMask Mask) {
+  return static_cast<unsigned>(std::popcount(Mask));
+}
+
+MachineModel::MachineModel(std::string Name,
+                           std::vector<std::string> PortNames,
+                           InstructionSet Isa, std::vector<InstrExec> Execs,
+                           unsigned DecodeWidth, double ExtMixPenalty)
+    : Name(std::move(Name)), PortNames(std::move(PortNames)),
+      Isa(std::move(Isa)), Execs(std::move(Execs)), DecodeWidth(DecodeWidth),
+      ExtMixPenalty(ExtMixPenalty) {
+  assert(this->Execs.size() == this->Isa.size() &&
+         "one execution description per instruction required");
+  assert(validate() && "invalid machine description");
+}
+
+bool MachineModel::kernelMixesExtensions(const Microkernel &K) const {
+  bool HasSse = false, HasAvx = false;
+  for (const auto &[Id, Mult] : K.terms()) {
+    ExtClass Ext = Isa.info(Id).Ext;
+    HasSse |= Ext == ExtClass::Sse;
+    HasAvx |= Ext == ExtClass::Avx;
+  }
+  return HasSse && HasAvx;
+}
+
+bool MachineModel::validate() const {
+  if (PortNames.empty() || PortNames.size() > MaxPorts)
+    return false;
+  PortMask AllPorts =
+      PortNames.size() == MaxPorts
+          ? ~PortMask{0}
+          : ((PortMask{1} << PortNames.size()) - 1);
+  for (const InstrExec &E : Execs) {
+    if (E.MicroOps.empty())
+      return false;
+    for (const MicroOpDesc &U : E.MicroOps) {
+      if (U.Ports == 0 || (U.Ports & ~AllPorts) != 0)
+        return false;
+      if (U.Occupancy <= 0.0)
+        return false;
+    }
+  }
+  return ExtMixPenalty >= 0.0;
+}

@@ -1,0 +1,118 @@
+//===- machine/MachineModel.h - Ground-truth disjunctive model -*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ground-truth CPU description: a *disjunctive port mapping* (paper
+/// Def. A.2) — instructions decompose into µOPs, each µOP may execute on any
+/// port of its port set — extended with the non-port bottlenecks the paper
+/// highlights (decode width, non-pipelined units via per-µOP occupancy, and
+/// the SSE/AVX mixing penalty of Sec. VI-A).
+///
+/// This plays the role of the physical SKL-SP / ZEN1 chips in the paper:
+/// Palmed never reads it directly; it only observes cycle measurements
+/// produced from it by the sim/ oracles. Baselines with "manual expertise"
+/// (uops.info, IACA stand-ins) *are* allowed to read it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_MACHINE_MACHINEMODEL_H
+#define PALMED_MACHINE_MACHINEMODEL_H
+
+#include "isa/InstructionSet.h"
+#include "isa/Microkernel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// Bit set of execution ports; bit i corresponds to port i.
+using PortMask = uint32_t;
+
+/// Number of ports representable in a PortMask.
+constexpr unsigned MaxPorts = 32;
+
+/// Returns a mask with the given port indices set.
+PortMask portMask(std::initializer_list<unsigned> Ports);
+
+/// Number of ports in \p Mask.
+unsigned portCount(PortMask Mask);
+
+/// One µOP: a set of admissible ports and the number of cycles the chosen
+/// port stays busy (1 for fully pipelined units; >1 models non-pipelined
+/// units such as dividers, paper Sec. II "non-pipelined instructions like
+/// division").
+struct MicroOpDesc {
+  PortMask Ports = 0;
+  double Occupancy = 1.0;
+};
+
+/// Execution resources of one instruction: its µOP decomposition.
+struct InstrExec {
+  std::vector<MicroOpDesc> MicroOps;
+
+  double totalMicroOps() const {
+    return static_cast<double>(MicroOps.size());
+  }
+};
+
+/// A complete machine: ports, per-instruction µOP decomposition, front-end
+/// width, and the vector-extension mixing penalty.
+class MachineModel {
+public:
+  MachineModel(std::string Name, std::vector<std::string> PortNames,
+               InstructionSet Isa, std::vector<InstrExec> Execs,
+               unsigned DecodeWidth, double ExtMixPenalty);
+
+  const std::string &name() const { return Name; }
+  unsigned numPorts() const { return static_cast<unsigned>(PortNames.size()); }
+  const std::string &portName(unsigned Port) const {
+    return PortNames[Port];
+  }
+
+  const InstructionSet &isa() const { return Isa; }
+  size_t numInstructions() const { return Isa.size(); }
+
+  const InstrExec &exec(InstrId Id) const {
+    assert(Id < Execs.size() && "instruction id out of range");
+    return Execs[Id];
+  }
+
+  /// Decode width W: at most W instructions enter the back-end per cycle.
+  /// Zero means "unlimited" (no front-end bottleneck).
+  unsigned decodeWidth() const { return DecodeWidth; }
+
+  /// Multiplier applied to the execution time of kernels mixing SSE and AVX
+  /// instructions (1.0 + penalty); models the transition stalls that made
+  /// the paper forbid such benchmarks.
+  double extMixPenalty() const { return ExtMixPenalty; }
+
+  /// True if \p K contains both an Sse and an Avx instruction.
+  bool kernelMixesExtensions(const Microkernel &K) const;
+
+  /// Slowdown factor for \p K (1.0, or 1 + extMixPenalty() when mixing).
+  double mixFactor(const Microkernel &K) const {
+    return kernelMixesExtensions(K) ? 1.0 + ExtMixPenalty : 1.0;
+  }
+
+  /// Checks structural invariants (non-empty decompositions, masks within
+  /// numPorts, positive occupancies). Asserts in debug builds; returns
+  /// false on violation in release builds.
+  bool validate() const;
+
+private:
+  std::string Name;
+  std::vector<std::string> PortNames;
+  InstructionSet Isa;
+  std::vector<InstrExec> Execs;
+  unsigned DecodeWidth;
+  double ExtMixPenalty;
+};
+
+} // namespace palmed
+
+#endif // PALMED_MACHINE_MACHINEMODEL_H

@@ -1,0 +1,219 @@
+//===- machine/StandardMachines.cpp - Shipped machine models --------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/StandardMachines.h"
+
+#include "machine/MachineBuilder.h"
+#include "machine/SyntheticIsa.h"
+
+using namespace palmed;
+
+MachineModel palmed::makeFig1Machine() {
+  MachineBuilder B("fig1");
+  B.addPort("p0");
+  B.addPort("p1");
+  B.addPort("p6");
+  // Paper Fig. 1: instructions restricted to ports p0, p1, p6. Port indices
+  // here: p0 = 0, p1 = 1, p6 = 2.
+  B.addSimpleInstruction({"DIVPS", ExtClass::Sse, InstrCategory::FpDiv},
+                         portMask({0}));
+  B.addInstruction({"VCVTT", ExtClass::Sse, InstrCategory::Other},
+                   {{portMask({0, 1}), 1.0}, {portMask({0, 1}), 1.0}});
+  B.addSimpleInstruction({"ADDSS", ExtClass::Sse, InstrCategory::FpAdd},
+                         portMask({0, 1}));
+  B.addSimpleInstruction({"BSR", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({1}));
+  B.addSimpleInstruction({"JNLE", ExtClass::Base, InstrCategory::Branch},
+                         portMask({0, 2}));
+  B.addSimpleInstruction({"JMP", ExtClass::Base, InstrCategory::Branch},
+                         portMask({2}));
+  return B.build();
+}
+
+MachineModel palmed::makeSklLike(int Scale) {
+  assert(Scale >= 1 && "scale must be positive");
+  const int S = Scale;
+  MachineBuilder B("skl-like");
+  for (const char *Name :
+       {"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"})
+    B.addPort(Name);
+  // The paper reports a maximal measured IPC of 4 on SKL-SP (front-end).
+  B.setDecodeWidth(4);
+  // SSE/AVX transition penalty (paper Sec. VI-A forbids mixed benchmarks).
+  B.setExtMixPenalty(0.3);
+
+  const PortMask Alu = portMask({0, 1, 5, 6});
+  const PortMask Shift = portMask({0, 6});
+  const PortMask Mul = portMask({1});
+  const PortMask Lea = portMask({1, 5});
+  const PortMask BranchOnly = portMask({6});
+  const PortMask BranchWide = portMask({0, 6});
+  const PortMask LoadAgu = portMask({2, 3});
+  const PortMask StoreAgu = portMask({2, 3, 7});
+  const PortMask StoreData = portMask({4});
+  const PortMask FpVec = portMask({0, 1});
+  const PortMask VecAll = portMask({0, 1, 5});
+  const PortMask ShuffleOnly = portMask({5});
+  const PortMask Div = portMask({0});
+
+  const MicroOpDesc LoadOp{LoadAgu, 1.0};
+
+  std::vector<CategoryRecipe> Recipes = {
+      // Scalar integer.
+      {"ADD", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 10 * S,
+       4 * S},
+      {"SUB", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 8 * S,
+       2 * S},
+      {"AND", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 6 * S, 0},
+      {"ORR", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 6 * S, 0},
+      {"XOR", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 4 * S, 0},
+      {"CMP", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 6 * S, 0},
+      {"MOVR", InstrCategory::IntAlu, ExtClass::Base, {{Alu, 1.0}}, 4 * S, 0},
+      {"SHL", InstrCategory::Shift, ExtClass::Base, {{Shift, 1.0}}, 6 * S, 0},
+      {"ROL", InstrCategory::Shift, ExtClass::Base, {{Shift, 1.0}}, 4 * S, 0},
+      {"IMUL", InstrCategory::IntMul, ExtClass::Base, {{Mul, 1.0}}, 5 * S, 0},
+      {"BSR", InstrCategory::IntAlu, ExtClass::Base, {{Mul, 1.0}}, 4 * S, 0},
+      // p0-exclusive pipelined ops (real SKL has these, e.g. AES); they
+      // let the core mapping isolate p0, which the divider mapping needs.
+      {"AES", InstrCategory::Other, ExtClass::Base, {{Div, 1.0}}, 3 * S, 0},
+      // Non-pipelined dividers (low IPC; exercise Palmed's low-IPC path).
+      {"DIV8", InstrCategory::IntDiv, ExtClass::Base, {{Div, 3.0}}, 2 * S, 0},
+      {"DIV32", InstrCategory::IntDiv, ExtClass::Base, {{Div, 6.0}}, 2 * S,
+       0},
+      {"DIV64", InstrCategory::IntDiv, ExtClass::Base, {{Div, 9.0}}, 1 * S,
+       0},
+      {"LEA", InstrCategory::AddressGen, ExtClass::Base, {{Lea, 1.0}}, 6 * S,
+       0},
+      // Control flow.
+      {"JMP", InstrCategory::Branch, ExtClass::Base, {{BranchOnly, 1.0}},
+       2 * S, 0},
+      {"JCC", InstrCategory::Branch, ExtClass::Base, {{BranchWide, 1.0}},
+       6 * S, 0},
+      // Memory.
+      {"LOAD", InstrCategory::Load, ExtClass::Base, {{LoadAgu, 1.0}}, 8 * S,
+       0},
+      {"STORE", InstrCategory::Store, ExtClass::Base,
+       {{StoreAgu, 1.0}, {StoreData, 1.0}}, 6 * S, 0},
+      // SSE.
+      {"ADDSS", InstrCategory::FpAdd, ExtClass::Sse, {{FpVec, 1.0}}, 6 * S,
+       3 * S},
+      {"MULSS", InstrCategory::FpMul, ExtClass::Sse, {{FpVec, 1.0}}, 6 * S,
+       2 * S},
+      {"DIVSS", InstrCategory::FpDiv, ExtClass::Sse, {{Div, 4.0}}, 2 * S, 0},
+      {"PADD", InstrCategory::VecInt, ExtClass::Sse, {{VecAll, 1.0}}, 8 * S,
+       3 * S},
+      {"PSHUF", InstrCategory::VecShuffle, ExtClass::Sse,
+       {{ShuffleOnly, 1.0}}, 4 * S, 0},
+      {"CVT", InstrCategory::Other, ExtClass::Sse,
+       {{FpVec, 1.0}, {FpVec, 1.0}}, 3 * S, 0},
+      // AVX.
+      {"VADDPS", InstrCategory::FpAdd, ExtClass::Avx, {{FpVec, 1.0}}, 6 * S,
+       3 * S},
+      {"VMULPS", InstrCategory::FpMul, ExtClass::Avx, {{FpVec, 1.0}}, 6 * S,
+       2 * S},
+      {"VDIVPS", InstrCategory::FpDiv, ExtClass::Avx, {{Div, 5.0}}, 2 * S, 0},
+      {"VPADD", InstrCategory::VecInt, ExtClass::Avx, {{VecAll, 1.0}}, 6 * S,
+       2 * S},
+      {"VPERM", InstrCategory::VecShuffle, ExtClass::Avx,
+       {{ShuffleOnly, 1.0}}, 3 * S, 0},
+      {"VFMA", InstrCategory::FpMul, ExtClass::Avx, {{FpVec, 1.0}}, 4 * S,
+       2 * S},
+  };
+
+  populateSyntheticIsa(B, Recipes, LoadOp);
+  return B.build();
+}
+
+MachineModel palmed::makeZenLike(int Scale) {
+  assert(Scale >= 1 && "scale must be positive");
+  const int S = Scale;
+  MachineBuilder B("zen-like");
+  // Split pipelines: i0..i3 integer ALUs, ag0/ag1 AGUs, sd store data,
+  // f0..f3 floating-point pipes.
+  for (const char *Name : {"i0", "i1", "i2", "i3", "ag0", "ag1", "sd", "f0",
+                           "f1", "f2", "f3"})
+    B.addPort(Name);
+  // The paper reports a maximal measured IPC of 5 on ZEN1 (front-end).
+  B.setDecodeWidth(5);
+
+  const PortMask IntAlu = portMask({0, 1, 2, 3});
+  const PortMask Shift = portMask({0, 1});
+  const PortMask Mul = portMask({3});
+  const PortMask Lea = portMask({1, 2});
+  const PortMask BranchOnly = portMask({0});
+  const PortMask BranchWide = portMask({0, 3});
+  const PortMask LoadAgu = portMask({4, 5});
+  const PortMask StoreData = portMask({6});
+  const PortMask IntDiv = portMask({3});
+  const PortMask FpAdd = portMask({9, 10});
+  const PortMask FpMul = portMask({7, 8});
+  const PortMask FpDiv = portMask({10});
+  const PortMask VecInt = portMask({7, 8, 9});
+  const PortMask Shuffle = portMask({8});
+
+  const MicroOpDesc LoadOp{LoadAgu, 1.0};
+  const MicroOpDesc Fp128Add{FpAdd, 1.0};
+  const MicroOpDesc Fp128Mul{FpMul, 1.0};
+  const MicroOpDesc Vec128{VecInt, 1.0};
+
+  std::vector<CategoryRecipe> Recipes = {
+      {"ADD", InstrCategory::IntAlu, ExtClass::Base, {{IntAlu, 1.0}}, 10 * S,
+       3 * S},
+      {"SUB", InstrCategory::IntAlu, ExtClass::Base, {{IntAlu, 1.0}}, 8 * S,
+       2 * S},
+      {"AND", InstrCategory::IntAlu, ExtClass::Base, {{IntAlu, 1.0}}, 6 * S,
+       0},
+      {"ORR", InstrCategory::IntAlu, ExtClass::Base, {{IntAlu, 1.0}}, 4 * S,
+       0},
+      {"CMP", InstrCategory::IntAlu, ExtClass::Base, {{IntAlu, 1.0}}, 6 * S,
+       0},
+      {"MOVR", InstrCategory::IntAlu, ExtClass::Base, {{IntAlu, 1.0}}, 4 * S,
+       0},
+      {"SHL", InstrCategory::Shift, ExtClass::Base, {{Shift, 1.0}}, 5 * S, 0},
+      {"IMUL", InstrCategory::IntMul, ExtClass::Base, {{Mul, 1.0}}, 5 * S, 0},
+      {"DIV32", InstrCategory::IntDiv, ExtClass::Base, {{IntDiv, 6.0}}, 2 * S,
+       0},
+      {"CRC", InstrCategory::Other, ExtClass::Base, {{IntDiv, 1.0}}, 2 * S,
+       0},
+      {"DIV64", InstrCategory::IntDiv, ExtClass::Base, {{IntDiv, 9.0}}, 1 * S,
+       0},
+      {"LEA", InstrCategory::AddressGen, ExtClass::Base, {{Lea, 1.0}}, 4 * S,
+       0},
+      {"JMP", InstrCategory::Branch, ExtClass::Base, {{BranchOnly, 1.0}},
+       2 * S, 0},
+      {"JCC", InstrCategory::Branch, ExtClass::Base, {{BranchWide, 1.0}},
+       5 * S, 0},
+      {"LOAD", InstrCategory::Load, ExtClass::Base, {{LoadAgu, 1.0}}, 8 * S,
+       0},
+      {"STORE", InstrCategory::Store, ExtClass::Base,
+       {{LoadAgu, 1.0}, {StoreData, 1.0}}, 6 * S, 0},
+      // SSE (single 128-bit µOP).
+      {"ADDSS", InstrCategory::FpAdd, ExtClass::Sse, {Fp128Add}, 6 * S,
+       3 * S},
+      {"MULSS", InstrCategory::FpMul, ExtClass::Sse, {Fp128Mul}, 6 * S,
+       2 * S},
+      {"DIVSS", InstrCategory::FpDiv, ExtClass::Sse, {{FpDiv, 5.0}}, 2 * S,
+       0},
+      {"PADD", InstrCategory::VecInt, ExtClass::Sse, {Vec128}, 6 * S, 2 * S},
+      {"PSHUF", InstrCategory::VecShuffle, ExtClass::Sse, {{Shuffle, 1.0}},
+       4 * S, 0},
+      // f3-exclusive pipelined op, isolating the divider pipe.
+      {"FCVT", InstrCategory::Other, ExtClass::Sse, {{FpDiv, 1.0}}, 3 * S,
+       0},
+      // AVX: 256-bit operations split into two 128-bit µOPs on Zen1.
+      {"VADDPS", InstrCategory::FpAdd, ExtClass::Avx, {Fp128Add, Fp128Add},
+       5 * S, 2 * S},
+      {"VMULPS", InstrCategory::FpMul, ExtClass::Avx, {Fp128Mul, Fp128Mul},
+       5 * S, 2 * S},
+      {"VPADD", InstrCategory::VecInt, ExtClass::Avx, {Vec128, Vec128},
+       4 * S, 0},
+      {"VDIVPS", InstrCategory::FpDiv, ExtClass::Avx,
+       {{FpDiv, 5.0}, {FpDiv, 5.0}}, 1 * S, 0},
+  };
+
+  populateSyntheticIsa(B, Recipes, LoadOp);
+  return B.build();
+}

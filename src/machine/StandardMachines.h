@@ -1,0 +1,44 @@
+//===- machine/StandardMachines.h - Shipped machine models -----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shipped simulated machines standing in for the paper's evaluation
+/// hardware:
+///
+///  * makeFig1Machine — the six-instruction p0/p1/p6 Skylake subset used as
+///    the running example (paper Fig. 1 / Fig. 2).
+///  * makeSklLike     — an 8-port Skylake-flavoured machine: unified
+///    scheduler, decode width 4 (the paper's "maximal IPC of 4 on SKL-SP"),
+///    non-pipelined dividers on p0, and an SSE/AVX mixing penalty.
+///  * makeZenLike     — a Zen1-flavoured machine with *split* integer and
+///    floating-point pipelines and decode width 5; AVX instructions split
+///    into two 128-bit µOPs as on real Zen1. The split pipeline is the
+///    structure the paper blames for Palmed's higher error on ZEN1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_MACHINE_STANDARDMACHINES_H
+#define PALMED_MACHINE_STANDARDMACHINES_H
+
+#include "machine/MachineModel.h"
+
+namespace palmed {
+
+/// Paper Fig. 1 running example: ports p0, p1, p6 and instructions
+/// DIVPS, VCVTT, ADDSS, BSR, JNLE, JMP.
+MachineModel makeFig1Machine();
+
+/// Skylake-like machine. \p Scale >= 1 multiplies the number of synthetic
+/// instruction variants per recipe (Scale 1 yields roughly 300
+/// instructions).
+MachineModel makeSklLike(int Scale = 1);
+
+/// Zen1-like machine with split int/FP pipelines (see file comment).
+MachineModel makeZenLike(int Scale = 1);
+
+} // namespace palmed
+
+#endif // PALMED_MACHINE_STANDARDMACHINES_H

@@ -1,0 +1,70 @@
+//===- machine/SyntheticIsa.cpp - Synthetic instruction sets -------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/SyntheticIsa.h"
+
+#include <string>
+
+using namespace palmed;
+
+void palmed::populateSyntheticIsa(MachineBuilder &B,
+                                  const std::vector<CategoryRecipe> &Recipes,
+                                  const MicroOpDesc &LoadMicroOp) {
+  for (const CategoryRecipe &Recipe : Recipes) {
+    for (int V = 0; V < Recipe.NumVariants; ++V) {
+      InstrInfo Info;
+      Info.Name = Recipe.BaseName + "_" + std::to_string(V);
+      Info.Ext = Recipe.Ext;
+      Info.Category = Recipe.Category;
+      B.addInstruction(std::move(Info), Recipe.MicroOps);
+    }
+    for (int V = 0; V < Recipe.NumMemVariants; ++V) {
+      InstrInfo Info;
+      Info.Name = Recipe.BaseName + "_M" + std::to_string(V);
+      Info.Ext = Recipe.Ext;
+      Info.Category = Recipe.Category;
+      std::vector<MicroOpDesc> MicroOps = Recipe.MicroOps;
+      MicroOps.push_back(LoadMicroOp);
+      B.addInstruction(std::move(Info), std::move(MicroOps));
+    }
+  }
+}
+
+MachineModel palmed::makeRandomMachine(Rng &R, unsigned NumPorts,
+                                       unsigned NumInstructions,
+                                       bool AllowOccupancy) {
+  assert(NumPorts >= 1 && NumPorts <= MaxPorts && "bad port count");
+  MachineBuilder B("random");
+  for (unsigned P = 0; P < NumPorts; ++P)
+    B.addPort("p" + std::to_string(P));
+
+  // Random decode width: off in half the cases, else 3..6.
+  if (R.chance(0.5))
+    B.setDecodeWidth(static_cast<unsigned>(R.uniformIntIn(3, 6)));
+
+  PortMask AllPorts = NumPorts == MaxPorts
+                          ? ~PortMask{0}
+                          : ((PortMask{1} << NumPorts) - 1);
+  for (unsigned I = 0; I < NumInstructions; ++I) {
+    unsigned NumMicroOps = static_cast<unsigned>(R.uniformIntIn(1, 3));
+    std::vector<MicroOpDesc> MicroOps;
+    for (unsigned U = 0; U < NumMicroOps; ++U) {
+      MicroOpDesc D;
+      do {
+        D.Ports = static_cast<PortMask>(R.next()) & AllPorts;
+      } while (D.Ports == 0);
+      if (AllowOccupancy && R.chance(0.15))
+        D.Occupancy = static_cast<double>(R.uniformIntIn(2, 6));
+      MicroOps.push_back(D);
+    }
+    InstrInfo Info;
+    Info.Name = "I" + std::to_string(I);
+    Info.Ext = ExtClass::Base;
+    Info.Category = InstrCategory::Other;
+    B.addInstruction(std::move(Info), std::move(MicroOps));
+  }
+  return B.build();
+}

@@ -1,0 +1,57 @@
+//===- machine/SyntheticIsa.h - Synthetic instruction sets -----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic ISA population. The paper benchmarks thousands of x86
+/// instructions enumerated via Intel XED; this reproduction generates a
+/// synthetic ISA over the simulated ports instead (see DESIGN.md,
+/// substitution table). Variants within a recipe share the exact same µOP
+/// decomposition, reproducing the large equivalence classes Palmed's
+/// selection stage collapses (754 instructions -> 9 classes in the paper's
+/// p0/p1/p6 example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_MACHINE_SYNTHETICISA_H
+#define PALMED_MACHINE_SYNTHETICISA_H
+
+#include "machine/MachineBuilder.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// A family of instructions sharing one µOP decomposition.
+struct CategoryRecipe {
+  std::string BaseName;
+  InstrCategory Category = InstrCategory::Other;
+  ExtClass Ext = ExtClass::Base;
+  std::vector<MicroOpDesc> MicroOps;
+  /// Number of register-only variants emitted (BaseName_0, BaseName_1, ...).
+  int NumVariants = 1;
+  /// Number of additional variants with a fused load µOP (BaseName_M0, ...).
+  int NumMemVariants = 0;
+};
+
+/// Instantiates every recipe's variants into \p B. \p LoadMicroOp is the
+/// µOP appended to memory variants (the machine's load AGU/port set).
+void populateSyntheticIsa(MachineBuilder &B,
+                          const std::vector<CategoryRecipe> &Recipes,
+                          const MicroOpDesc &LoadMicroOp);
+
+/// Builds a random machine for property tests: \p NumPorts ports and
+/// \p NumInstructions instructions with 1-3 µOPs over random non-empty port
+/// sets; occasionally a non-pipelined µOP. Decode width is random in
+/// {0 (off), 3..6}.
+MachineModel makeRandomMachine(Rng &R, unsigned NumPorts,
+                               unsigned NumInstructions,
+                               bool AllowOccupancy = true);
+
+} // namespace palmed
+
+#endif // PALMED_MACHINE_SYNTHETICISA_H

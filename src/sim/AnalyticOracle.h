@@ -1,0 +1,46 @@
+//===- sim/AnalyticOracle.h - Optimal steady-state scheduler ---*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact steady-state throughput of a microkernel on the ground-truth
+/// disjunctive machine, assuming an optimal µOP-to-port assignment — the
+/// paper's standing assumption ("we assume the CPU scheduler is able to
+/// optimally schedule these simple kernels", Sec. III-A). Computed as a
+/// small LP: fractionally route each µOP's demand to its admissible ports,
+/// minimizing the makespan, then apply the front-end bound |K|/W and the
+/// extension-mixing penalty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SIM_ANALYTICORACLE_H
+#define PALMED_SIM_ANALYTICORACLE_H
+
+#include "machine/MachineModel.h"
+#include "sim/ThroughputOracle.h"
+
+namespace palmed {
+
+/// LP-based optimal-schedule oracle.
+class AnalyticOracle : public ThroughputOracle {
+public:
+  /// \p Machine must outlive the oracle.
+  explicit AnalyticOracle(const MachineModel &Machine) : Machine(Machine) {}
+
+  double measureIpc(const Microkernel &K) override;
+
+  std::string name() const override { return "analytic"; }
+
+  /// Port-contention-only makespan of one iteration (no front-end, no
+  /// mixing penalty); exposed for the dual-equivalence tests.
+  double portCycles(const Microkernel &K) const;
+
+private:
+  const MachineModel &Machine;
+};
+
+} // namespace palmed
+
+#endif // PALMED_SIM_ANALYTICORACLE_H

@@ -1,0 +1,66 @@
+//===- sim/BenchmarkRunner.cpp - Measurement front door --------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BenchmarkRunner.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace palmed;
+
+BenchmarkRunner::BenchmarkRunner(const MachineModel &Machine,
+                                 ThroughputOracle &Backend,
+                                 BenchmarkConfig Config)
+    : Machine(Machine), Backend(Backend), Config(Config) {}
+
+bool BenchmarkRunner::accepts(const Microkernel &K) const {
+  return !Config.ForbidMixedExtensions || !Machine.kernelMixesExtensions(K);
+}
+
+namespace {
+
+/// Order-independent hash of a rounded kernel, used to seed per-kernel
+/// measurement noise deterministically.
+uint64_t kernelHash(const Microkernel &K) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001b3ULL;
+  };
+  for (const auto &[Id, Mult] : K.terms()) {
+    Mix(Id);
+    Mix(static_cast<uint64_t>(std::llround(Mult * 4096.0)));
+  }
+  return H;
+}
+
+} // namespace
+
+double BenchmarkRunner::measureIpc(const Microkernel &K) {
+  assert(!K.empty() && "cannot benchmark an empty kernel");
+  assert(accepts(K) &&
+         "benchmark mixes vector extensions; generator refuses it");
+
+  Microkernel Rounded =
+      K.isIntegral() ? K : K.roundedToIntegers(Config.MaxDenominator);
+
+  auto It = Cache.find(Rounded);
+  if (It != Cache.end())
+    return It->second;
+
+  double Ipc = Backend.measureIpc(Rounded);
+  if (Config.NoiseStdDev > 0.0) {
+    Rng Noise(kernelHash(Rounded) ^ Config.NoiseSeed);
+    double Factor = 1.0 + Config.NoiseStdDev * Noise.normal();
+    // Clamp to a sane band so pathological draws cannot flip signs.
+    Factor = std::min(std::max(Factor, 0.5), 1.5);
+    Ipc *= Factor;
+  }
+  Cache.emplace(std::move(Rounded), Ipc);
+  return Ipc;
+}

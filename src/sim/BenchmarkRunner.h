@@ -1,0 +1,75 @@
+//===- sim/BenchmarkRunner.h - Measurement front door -----------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement front door used by every mapping algorithm: wraps a
+/// backend oracle with (a) multiplicity rounding within the paper's 5%
+/// benchmark-coefficient tolerance (Sec. VI-A), (b) deterministic
+/// multiplicative measurement noise, (c) a result cache, and (d) the
+/// benchmark counter reported in Table II. Optionally rejects kernels
+/// mixing SSE and AVX, mirroring the paper's benchmark generator
+/// restriction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SIM_BENCHMARKRUNNER_H
+#define PALMED_SIM_BENCHMARKRUNNER_H
+
+#include "machine/MachineModel.h"
+#include "sim/ThroughputOracle.h"
+
+#include <map>
+#include <memory>
+
+namespace palmed {
+
+/// Runner configuration.
+struct BenchmarkConfig {
+  /// Relative standard deviation of the multiplicative measurement noise
+  /// (0 = exact measurements).
+  double NoiseStdDev = 0.0;
+  /// Seed for the per-kernel deterministic noise.
+  uint64_t NoiseSeed = 0x9a1fed;
+  /// Maximum denominator when rounding fractional multiplicities; bounds
+  /// the per-term relative perturbation to roughly 1/MaxDenominator.
+  int64_t MaxDenominator = 20;
+  /// Reject kernels mixing SSE and AVX instructions (paper Sec. VI-A).
+  bool ForbidMixedExtensions = true;
+};
+
+/// Caching, noise-injecting measurement wrapper.
+class BenchmarkRunner : public ThroughputOracle {
+public:
+  /// \p Machine and \p Backend must outlive the runner.
+  BenchmarkRunner(const MachineModel &Machine, ThroughputOracle &Backend,
+                  BenchmarkConfig Config = BenchmarkConfig());
+
+  /// Measures (or returns the cached measurement of) \p K. The kernel is
+  /// first rounded to integral multiplicities. Asserts if the kernel mixes
+  /// extensions while ForbidMixedExtensions is set.
+  double measureIpc(const Microkernel &K) override;
+
+  /// True if the runner would accept \p K (extension-mixing policy).
+  bool accepts(const Microkernel &K) const;
+
+  std::string name() const override { return "runner:" + Backend.name(); }
+
+  /// Number of distinct microbenchmarks executed so far (Table II's
+  /// "Gen. microbenchmarks").
+  size_t numDistinctBenchmarks() const { return Cache.size(); }
+
+  const MachineModel &machine() const { return Machine; }
+
+private:
+  const MachineModel &Machine;
+  ThroughputOracle &Backend;
+  BenchmarkConfig Config;
+  std::map<Microkernel, double> Cache;
+};
+
+} // namespace palmed
+
+#endif // PALMED_SIM_BENCHMARKRUNNER_H

@@ -1,0 +1,43 @@
+//===- sim/ThroughputOracle.h - Kernel throughput interface ----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single interface Palmed has to "hardware": measure the steady-state
+/// throughput (IPC) of a dependency-free microkernel. On the paper's real
+/// machines this is a PAPI cycle counter around an unrolled loop; here it
+/// is implemented by the analytic optimal scheduler and by the cycle-level
+/// event simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SIM_THROUGHPUTORACLE_H
+#define PALMED_SIM_THROUGHPUTORACLE_H
+
+#include "isa/Microkernel.h"
+
+#include <string>
+
+namespace palmed {
+
+/// Abstract throughput measurement backend.
+class ThroughputOracle {
+public:
+  virtual ~ThroughputOracle();
+
+  /// Steady-state instructions-per-cycle of \p K (paper Def. IV.3).
+  virtual double measureIpc(const Microkernel &K) = 0;
+
+  /// Cycles per loop iteration t(K) = |K| / IPC(K).
+  double measureCycles(const Microkernel &K) {
+    return K.size() / measureIpc(K);
+  }
+
+  virtual std::string name() const = 0;
+};
+
+} // namespace palmed
+
+#endif // PALMED_SIM_THROUGHPUTORACLE_H

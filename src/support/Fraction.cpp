@@ -1,0 +1,80 @@
+//===- support/Fraction.cpp - Bounded rational approximation -------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fraction.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace palmed;
+
+int64_t palmed::gcd(int64_t A, int64_t B) {
+  assert(A >= 0 && B >= 0 && "gcd expects non-negative inputs");
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t palmed::lcm(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd(A, B);
+  int64_t L = (A / G) * B;
+  assert(L > 0 && "lcm overflow");
+  return L;
+}
+
+Fraction palmed::approximateRatio(double X, int64_t MaxDenominator) {
+  assert(X >= 0.0 && std::isfinite(X) && "invalid input");
+  assert(MaxDenominator >= 1 && "denominator bound must be positive");
+
+  double Integer = std::floor(X);
+  double Frac = X - Integer;
+  int64_t Whole = static_cast<int64_t>(Integer);
+
+  // Stern-Brocot walk between Lo = 0/1 and Hi = 1/1 for the fractional part.
+  int64_t LoN = 0, LoD = 1, HiN = 1, HiD = 1;
+  int64_t BestN = 0, BestD = 1;
+  double BestErr = Frac;
+  if (std::abs(Frac - 1.0) < BestErr) {
+    BestN = 1;
+    BestD = 1;
+    BestErr = std::abs(Frac - 1.0);
+  }
+  while (LoD + HiD <= MaxDenominator) {
+    int64_t MidN = LoN + HiN;
+    int64_t MidD = LoD + HiD;
+    double Mid = static_cast<double>(MidN) / MidD;
+    double Err = std::abs(Frac - Mid);
+    if (Err < BestErr) {
+      BestErr = Err;
+      BestN = MidN;
+      BestD = MidD;
+    }
+    if (Frac > Mid) {
+      LoN = MidN;
+      LoD = MidD;
+    } else if (Frac < Mid) {
+      HiN = MidN;
+      HiD = MidD;
+    } else {
+      break;
+    }
+  }
+
+  Fraction Result;
+  Result.Num = Whole * BestD + BestN;
+  Result.Den = BestD;
+  int64_t G = gcd(Result.Num, Result.Den);
+  if (G > 1) {
+    Result.Num /= G;
+    Result.Den /= G;
+  }
+  return Result;
+}

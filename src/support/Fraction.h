@@ -1,0 +1,45 @@
+//===- support/Fraction.h - Bounded rational approximation -----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rational approximation with bounded denominator, used to round microkernel
+/// multiplicities within the 5% measurement tolerance of paper Sec. VI-A
+/// (e.g. a benchmark "a^0.06 b^1" becomes "a^1 b^20" after scaling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SUPPORT_FRACTION_H
+#define PALMED_SUPPORT_FRACTION_H
+
+#include <cstdint>
+
+namespace palmed {
+
+/// A non-negative rational number Num/Den with Den >= 1.
+struct Fraction {
+  int64_t Num = 0;
+  int64_t Den = 1;
+
+  double toDouble() const { return static_cast<double>(Num) / Den; }
+  bool operator==(const Fraction &O) const {
+    return Num * O.Den == O.Num * Den;
+  }
+};
+
+/// Best rational approximation of \p X with denominator at most
+/// \p MaxDenominator, via the Stern-Brocot tree. \p X must be non-negative
+/// and finite.
+Fraction approximateRatio(double X, int64_t MaxDenominator);
+
+/// Greatest common divisor (non-negative inputs).
+int64_t gcd(int64_t A, int64_t B);
+
+/// Least common multiple; asserts on overflow-prone inputs used here.
+int64_t lcm(int64_t A, int64_t B);
+
+} // namespace palmed
+
+#endif // PALMED_SUPPORT_FRACTION_H

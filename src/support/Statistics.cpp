@@ -1,0 +1,204 @@
+//===- support/Statistics.cpp - Accuracy and summary statistics ----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+using namespace palmed;
+
+double palmed::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return std::accumulate(Values.begin(), Values.end(), 0.0) /
+         static_cast<double>(Values.size());
+}
+
+double palmed::weightedRmsRelativeError(const std::vector<double> &Predicted,
+                                        const std::vector<double> &Native,
+                                        const std::vector<double> &Weights) {
+  assert(Predicted.size() == Native.size() && "size mismatch");
+  assert((Weights.empty() || Weights.size() == Native.size()) &&
+         "weight size mismatch");
+  double WeightSum = 0.0;
+  double ErrSum = 0.0;
+  for (size_t I = 0, E = Native.size(); I != E; ++I) {
+    if (Native[I] == 0.0)
+      continue;
+    double W = Weights.empty() ? 1.0 : Weights[I];
+    double Rel = (Predicted[I] - Native[I]) / Native[I];
+    WeightSum += W;
+    ErrSum += W * Rel * Rel;
+  }
+  if (WeightSum == 0.0)
+    return 0.0;
+  return std::sqrt(ErrSum / WeightSum);
+}
+
+double palmed::kendallTauNaive(const std::vector<double> &A,
+                               const std::vector<double> &B) {
+  assert(A.size() == B.size() && "size mismatch");
+  size_t N = A.size();
+  if (N < 2)
+    return 0.0;
+  int64_t Concordant = 0, Discordant = 0;
+  int64_t TiesA = 0, TiesB = 0;
+  for (size_t I = 0; I + 1 < N; ++I) {
+    for (size_t J = I + 1; J < N; ++J) {
+      double DA = A[I] - A[J];
+      double DB = B[I] - B[J];
+      if (DA == 0.0 && DB == 0.0) {
+        ++TiesA;
+        ++TiesB;
+        continue;
+      }
+      if (DA == 0.0) {
+        ++TiesA;
+        continue;
+      }
+      if (DB == 0.0) {
+        ++TiesB;
+        continue;
+      }
+      if ((DA > 0) == (DB > 0))
+        ++Concordant;
+      else
+        ++Discordant;
+    }
+  }
+  int64_t Total = static_cast<int64_t>(N) * static_cast<int64_t>(N - 1) / 2;
+  double Denom = std::sqrt(static_cast<double>(Total - TiesA)) *
+                 std::sqrt(static_cast<double>(Total - TiesB));
+  if (Denom == 0.0)
+    return 0.0;
+  return static_cast<double>(Concordant - Discordant) / Denom;
+}
+
+namespace {
+
+/// Counts inversions of \p Values in-place via merge sort.
+int64_t countInversions(std::vector<double> &Values, size_t Lo, size_t Hi,
+                        std::vector<double> &Scratch) {
+  if (Hi - Lo < 2)
+    return 0;
+  size_t Mid = Lo + (Hi - Lo) / 2;
+  int64_t Count = countInversions(Values, Lo, Mid, Scratch) +
+                  countInversions(Values, Mid, Hi, Scratch);
+  size_t I = Lo, J = Mid, K = Lo;
+  while (I != Mid && J != Hi) {
+    if (Values[J] < Values[I]) {
+      Count += static_cast<int64_t>(Mid - I);
+      Scratch[K++] = Values[J++];
+    } else {
+      Scratch[K++] = Values[I++];
+    }
+  }
+  while (I != Mid)
+    Scratch[K++] = Values[I++];
+  while (J != Hi)
+    Scratch[K++] = Values[J++];
+  std::copy(Scratch.begin() + Lo, Scratch.begin() + Hi, Values.begin() + Lo);
+  return Count;
+}
+
+/// Sum over groups of equal values of g*(g-1)/2, for tie correction.
+int64_t countTiePairs(std::vector<double> Sorted) {
+  std::sort(Sorted.begin(), Sorted.end());
+  int64_t Pairs = 0;
+  size_t I = 0;
+  while (I < Sorted.size()) {
+    size_t J = I;
+    while (J < Sorted.size() && Sorted[J] == Sorted[I])
+      ++J;
+    int64_t G = static_cast<int64_t>(J - I);
+    Pairs += G * (G - 1) / 2;
+    I = J;
+  }
+  return Pairs;
+}
+
+} // namespace
+
+double palmed::kendallTau(const std::vector<double> &A,
+                          const std::vector<double> &B) {
+  assert(A.size() == B.size() && "size mismatch");
+  size_t N = A.size();
+  if (N < 2)
+    return 0.0;
+
+  // Sort indices by A, breaking ties by B, then count the "swaps" needed to
+  // sort the B sequence: the classic Knight O(n log n) algorithm.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::sort(Order.begin(), Order.end(), [&](size_t X, size_t Y) {
+    if (A[X] != A[Y])
+      return A[X] < A[Y];
+    return B[X] < B[Y];
+  });
+
+  std::vector<double> BSeq(N);
+  for (size_t I = 0; I != N; ++I)
+    BSeq[I] = B[Order[I]];
+
+  // Joint ties: pairs equal in both A and B.
+  int64_t TiesBoth = 0;
+  {
+    size_t I = 0;
+    while (I < N) {
+      size_t J = I;
+      while (J < N && A[Order[J]] == A[Order[I]] &&
+             B[Order[J]] == B[Order[I]])
+        ++J;
+      int64_t G = static_cast<int64_t>(J - I);
+      TiesBoth += G * (G - 1) / 2;
+      I = J;
+    }
+  }
+
+  int64_t TiesA = countTiePairs(A);
+  int64_t TiesB = countTiePairs(B);
+
+  std::vector<double> Scratch(N);
+  int64_t Swaps = countInversions(BSeq, 0, N, Scratch);
+
+  int64_t Total = static_cast<int64_t>(N) * static_cast<int64_t>(N - 1) / 2;
+  // Discordant pairs are exactly the inversions; concordant pairs are the
+  // rest minus all tied pairs (inclusion-exclusion on A-ties and B-ties).
+  int64_t Discordant = Swaps;
+  int64_t Concordant = Total - TiesA - TiesB + TiesBoth - Discordant;
+
+  double Denom = std::sqrt(static_cast<double>(Total - TiesA)) *
+                 std::sqrt(static_cast<double>(Total - TiesB));
+  if (Denom == 0.0)
+    return 0.0;
+  return static_cast<double>(Concordant - Discordant) / Denom;
+}
+
+void RunningStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }

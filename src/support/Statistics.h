@@ -1,0 +1,70 @@
+//===- support/Statistics.h - Accuracy and summary statistics --*- C++ -*-===//
+//
+// Part of the PALMED reproduction. Statistical helpers used by the
+// evaluation harness (paper Sec. VI) and by tests.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics: weighted root-mean-square relative error (the paper's
+/// Err metric), Kendall's tau rank-correlation coefficient (both the naive
+/// quadratic form and an O(n log n) merge-sort form), and small helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SUPPORT_STATISTICS_H
+#define PALMED_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace palmed {
+
+/// Arithmetic mean of \p Values. Returns 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Weighted root-mean-square of the relative error between \p Predicted and
+/// \p Native, following the paper's Fig. 4b definition:
+///
+///   Err = sqrt( sum_i (w_i / sum_j w_j) * ((pred_i - native_i)/native_i)^2 )
+///
+/// Entries whose native value is zero are skipped (they carry no defined
+/// relative error). If \p Weights is empty, uniform weights are used.
+double weightedRmsRelativeError(const std::vector<double> &Predicted,
+                                const std::vector<double> &Native,
+                                const std::vector<double> &Weights = {});
+
+/// Kendall's tau-a rank correlation between \p A and \p B, computed naively
+/// in O(n^2). Pairs tied in either sequence contribute zero. Used as a
+/// reference implementation in tests.
+double kendallTauNaive(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+/// Kendall's tau-b rank correlation in O(n log n) via merge-sort inversion
+/// counting, with the standard tie correction. For tie-free inputs tau-a and
+/// tau-b coincide.
+double kendallTau(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Running mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double X);
+  size_t count() const { return N; }
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+} // namespace palmed
+
+#endif // PALMED_SUPPORT_STATISTICS_H

@@ -1,0 +1,99 @@
+//===- support/Table.cpp - Plain-text and CSV table printing -------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace palmed;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() <= Header.size() && "row wider than header");
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Header.size(); ++C) {
+      const std::string &Cell = C < Row.size() ? Row[C] : std::string();
+      OS << Cell;
+      if (C + 1 != Header.size())
+        OS << std::string(Widths[C] - Cell.size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  size_t TotalWidth = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    TotalWidth += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+
+  PrintRow(Header);
+  OS << std::string(TotalWidth, '-') << '\n';
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      OS << std::string(TotalWidth, '-') << '\n';
+      continue;
+    }
+    PrintRow(Row);
+  }
+}
+
+void TextTable::printCsv(std::ostream &OS) const {
+  auto Escape = [](const std::string &Cell) {
+    bool NeedsQuote = Cell.find_first_of(",\"\n") != std::string::npos;
+    if (!NeedsQuote)
+      return Cell;
+    std::string Out = "\"";
+    for (char Ch : Cell) {
+      if (Ch == '"')
+        Out += '"';
+      Out += Ch;
+    }
+    Out += '"';
+    return Out;
+  };
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Header.size(); ++C) {
+      if (C)
+        OS << ',';
+      if (C < Row.size())
+        OS << Escape(Row[C]);
+    }
+    OS << '\n';
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    if (!Row.empty())
+      PrintRow(Row);
+}
+
+std::string TextTable::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TextTable::fmt(int64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Value));
+  return Buf;
+}

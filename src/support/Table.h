@@ -1,0 +1,56 @@
+//===- support/Table.h - Plain-text and CSV table printing -----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-width text table and CSV emitter used by the benchmark
+/// harness to regenerate the paper's tables (Fig. 4b, Table I, Table II).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SUPPORT_TABLE_H
+#define PALMED_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Appends a data row; it may be shorter than the header (missing cells
+  /// render empty) but must not be longer.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders with two-space column gaps and a separator under the header.
+  void print(std::ostream &OS) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes escaped).
+  void printCsv(std::ostream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Formats a double with \p Precision digits after the decimal point.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats an integer count.
+  static std::string fmt(int64_t Value);
+
+private:
+  std::vector<std::string> Header;
+  /// A row; an empty vector encodes a separator.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace palmed
+
+#endif // PALMED_SUPPORT_TABLE_H

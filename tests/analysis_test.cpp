@@ -1,0 +1,106 @@
+//===- tests/analysis_test.cpp - Bottleneck analysis tests ----------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DualConstruction.h"
+#include "core/MappingAnalysis.h"
+#include "machine/StandardMachines.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace palmed;
+
+namespace {
+
+/// Fig. 1 dual as the analysis substrate: weights are known exactly.
+struct Fixture {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Dual = buildDualMapping(M);
+
+  InstrId id(const char *Name) const {
+    InstrId I = M.isa().findByName(Name);
+    EXPECT_NE(I, InvalidInstr);
+    return I;
+  }
+};
+
+} // namespace
+
+TEST(MappingAnalysis, IdentifiesBottleneckResource) {
+  Fixture F;
+  // ADDSS^2 BSR: the paper's Fig. 2a — r01 binds at 1.5 cycles.
+  Microkernel K;
+  K.add(F.id("ADDSS"), 2.0);
+  K.add(F.id("BSR"), 1.0);
+  BottleneckReport R = analyzeKernel(F.Dual, K);
+  ASSERT_TRUE(R.valid());
+  EXPECT_NEAR(R.PredictedCycles, 1.5, 1e-9);
+  EXPECT_NEAR(R.PredictedIpc, 2.0, 1e-9);
+  EXPECT_EQ(R.Loads.front().Name, "r01");
+}
+
+TEST(MappingAnalysis, ContributionsSumToBottleneckLoad) {
+  Fixture F;
+  Microkernel K;
+  K.add(F.id("ADDSS"), 2.0);
+  K.add(F.id("BSR"), 2.0);
+  K.add(F.id("JMP"), 1.0);
+  BottleneckReport R = analyzeKernel(F.Dual, K);
+  ASSERT_TRUE(R.valid());
+  double Sum = 0.0;
+  for (const InstrContribution &C : R.BottleneckContributions)
+    Sum += C.Cycles;
+  EXPECT_NEAR(Sum, R.PredictedCycles, 1e-9);
+  double FracSum = 0.0;
+  for (const InstrContribution &C : R.BottleneckContributions)
+    FracSum += C.Fraction;
+  EXPECT_NEAR(FracSum, 1.0, 1e-9);
+}
+
+TEST(MappingAnalysis, LoadsSortedAndNormalized) {
+  Fixture F;
+  Microkernel K;
+  K.add(F.id("DIVPS"), 1.0);
+  K.add(F.id("JMP"), 1.0);
+  BottleneckReport R = analyzeKernel(F.Dual, K);
+  ASSERT_TRUE(R.valid());
+  for (size_t I = 1; I < R.Loads.size(); ++I)
+    EXPECT_LE(R.Loads[I].Load, R.Loads[I - 1].Load);
+  EXPECT_DOUBLE_EQ(R.Loads.front().RelativeToBottleneck, 1.0);
+}
+
+TEST(MappingAnalysis, HeadroomMatchesSecondResource) {
+  Fixture F;
+  Microkernel K;
+  K.add(F.id("ADDSS"), 2.0);
+  K.add(F.id("BSR"), 1.0);
+  BottleneckReport R = analyzeKernel(F.Dual, K);
+  ASSERT_TRUE(R.valid());
+  ASSERT_GE(R.Loads.size(), 2u);
+  EXPECT_NEAR(R.HeadroomToNextResource,
+              1.0 - R.Loads[1].Load / R.Loads[0].Load, 1e-12);
+}
+
+TEST(MappingAnalysis, UnsupportedKernelIsInvalid) {
+  Fixture F;
+  ResourceMapping Empty(F.M.numInstructions());
+  Microkernel K = Microkernel::single(F.id("BSR"), 1.0);
+  EXPECT_FALSE(analyzeKernel(Empty, K).valid());
+}
+
+TEST(MappingAnalysis, PrintsReadableReport) {
+  Fixture F;
+  Microkernel K;
+  K.add(F.id("ADDSS"), 2.0);
+  K.add(F.id("BSR"), 1.0);
+  std::ostringstream OS;
+  printReport(OS, analyzeKernel(F.Dual, K), F.M.isa());
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("bottleneck: r01"), std::string::npos);
+  EXPECT_NE(Out.find("ADDSS"), std::string::npos);
+  EXPECT_NE(Out.find("IPC 2.000"), std::string::npos);
+}

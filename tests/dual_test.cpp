@@ -1,0 +1,218 @@
+//===- tests/dual_test.cpp - Dual-equivalence theorem tests ---------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Validates the paper's central theoretical claim (Appendix A, Thm. A.2):
+// the conjunctive dual of a disjunctive port mapping predicts, in closed
+// form, exactly the optimal-schedule execution time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DualConstruction.h"
+#include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
+#include "sim/AnalyticOracle.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace palmed;
+
+namespace {
+
+InstrId idOf(const MachineModel &M, const std::string &Name) {
+  InstrId Id = M.isa().findByName(Name);
+  EXPECT_NE(Id, InvalidInstr) << Name;
+  return Id;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------- Closure
+
+TEST(ResourceClosure, Fig1MachineHasPaperResources) {
+  MachineModel M = makeFig1Machine();
+  // Port sets: {p0}, {p0,p1}, {p1}, {p0,p6}, {p6}; closure adds {p0,p1,p6}.
+  std::vector<PortMask> Closure = computeResourceClosure(M, 64);
+  EXPECT_EQ(Closure.size(), 6u);
+  PortMask All = portMask({0, 1, 2});
+  EXPECT_NE(std::count(Closure.begin(), Closure.end(), All), 0);
+  // r16 = {p1,p6} must NOT appear: no µOP set generates it (the paper notes
+  // it is not needed).
+  PortMask R16 = portMask({1, 2});
+  EXPECT_EQ(std::count(Closure.begin(), Closure.end(), R16), 0);
+}
+
+TEST(ResourceClosure, DisjointSetsStayUnmerged) {
+  MachineBuilder B("disjoint");
+  B.addPort("a");
+  B.addPort("b");
+  B.addSimpleInstruction({"X", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({0}));
+  B.addSimpleInstruction({"Y", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({1}));
+  MachineModel M = B.build();
+  EXPECT_EQ(computeResourceClosure(M, 64).size(), 2u);
+}
+
+// ------------------------------------------------------- Fig. 1b reproduction
+
+TEST(DualMapping, Fig1NormalizedWeights) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Dual = buildDualMapping(M);
+
+  auto ResourceByName = [&](const std::string &Name) -> ResourceId {
+    for (ResourceId R = 0; R < Dual.numResources(); ++R)
+      if (Dual.resourceName(R) == Name)
+        return R;
+    ADD_FAILURE() << "missing resource " << Name;
+    return 0;
+  };
+  // Port indices: p0=0, p1=1, p6=2 -> names r0, r01, r016 ("2" is p6).
+  ResourceId R0 = ResourceByName("r0");
+  ResourceId R01 = ResourceByName("r01");
+  ResourceId R012 = ResourceByName("r012");
+
+  InstrId Addss = idOf(M, "ADDSS");
+  InstrId Bsr = idOf(M, "BSR");
+  InstrId Vcvtt = idOf(M, "VCVTT");
+
+  // Paper Fig. 1c: rho(ADDSS, r01) = 1/2, rho(ADDSS, r016) = 1/3.
+  EXPECT_NEAR(Dual.rho(Addss, R01), 0.5, 1e-12);
+  EXPECT_NEAR(Dual.rho(Addss, R012), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Dual.rho(Addss, R0), 0.0);
+  // BSR: rho(r1) = 1, rho(r01) = 1/2, rho(r016) = 1/3.
+  EXPECT_NEAR(Dual.rho(Bsr, R01), 0.5, 1e-12);
+  // VCVTT uses r01 twice: normalized 2/2 = 1.
+  EXPECT_NEAR(Dual.rho(Vcvtt, R01), 1.0, 1e-12);
+}
+
+TEST(DualMapping, Fig1ThroughputExamples) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Dual = buildDualMapping(M);
+  Microkernel K1;
+  K1.add(idOf(M, "ADDSS"), 2.0);
+  K1.add(idOf(M, "BSR"), 1.0);
+  EXPECT_NEAR(Dual.predictCycles(K1), 1.5, 1e-12);
+  EXPECT_NEAR(*Dual.predictIpc(K1), 2.0, 1e-12);
+
+  Microkernel K2;
+  K2.add(idOf(M, "ADDSS"), 1.0);
+  K2.add(idOf(M, "BSR"), 2.0);
+  EXPECT_NEAR(*Dual.predictIpc(K2), 1.5, 1e-12);
+}
+
+// ------------------------------------------- Equivalence theorem (Thm. A.2)
+
+/// Property: dual closed-form time == flow-LP optimal time, on random
+/// machines and random kernels (without front-end, which the flow LP part
+/// does not include).
+class DualEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DualEquivalence, ClosedFormEqualsFlowOptimum) {
+  Rng R(GetParam());
+  MachineModel M =
+      makeRandomMachine(R, 2 + R.uniformInt(5), 5 + R.uniformInt(10));
+  AnalyticOracle Oracle(M);
+  DualOptions Options;
+  Options.IncludeFrontEnd = false;
+  ResourceMapping Dual = buildDualMapping(M, Options);
+
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    Microkernel K;
+    size_t Terms = 1 + R.uniformInt(4);
+    for (size_t T = 0; T < Terms; ++T)
+      K.add(static_cast<InstrId>(R.uniformInt(M.numInstructions())),
+            0.5 + R.uniformReal() * 3.0);
+    double FlowT = Oracle.portCycles(K);
+    double DualT = Dual.predictCycles(K);
+    EXPECT_NEAR(FlowT, DualT, 1e-6 * std::max(1.0, FlowT))
+        << "machine seed " << GetParam() << " trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualEquivalence,
+                         ::testing::Range(uint64_t{1}, uint64_t{50}));
+
+/// With the front-end resource enabled, the dual must equal the full
+/// analytic oracle (which also applies the decode-width bound).
+class DualFrontEnd : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DualFrontEnd, MatchesOracleWithDecodeBound) {
+  Rng R(GetParam());
+  MachineModel M =
+      makeRandomMachine(R, 2 + R.uniformInt(5), 5 + R.uniformInt(10));
+  AnalyticOracle Oracle(M);
+  ResourceMapping Dual = buildDualMapping(M);
+
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Microkernel K;
+    size_t Terms = 1 + R.uniformInt(4);
+    for (size_t T = 0; T < Terms; ++T)
+      K.add(static_cast<InstrId>(R.uniformInt(M.numInstructions())),
+            0.5 + R.uniformReal() * 3.0);
+    double OracleIpc = Oracle.measureIpc(K);
+    ASSERT_TRUE(Dual.predictIpc(K).has_value());
+    EXPECT_NEAR(OracleIpc, *Dual.predictIpc(K), 1e-6 * OracleIpc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualFrontEnd,
+                         ::testing::Range(uint64_t{100}, uint64_t{130}));
+
+// ------------------------------------------------------- optimalPortCycles
+
+TEST(OptimalPortCycles, SingleMask) {
+  EXPECT_NEAR(optimalPortCycles({{portMask({0, 1}), 3.0}}), 1.5, 1e-12);
+}
+
+TEST(OptimalPortCycles, MergesDuplicates) {
+  EXPECT_NEAR(
+      optimalPortCycles({{portMask({0}), 1.0}, {portMask({0}), 2.0}}), 3.0,
+      1e-12);
+}
+
+TEST(OptimalPortCycles, DisjointTakesMax) {
+  double T = optimalPortCycles({{portMask({0}), 2.0}, {portMask({1}), 5.0}});
+  EXPECT_NEAR(T, 5.0, 1e-12);
+}
+
+TEST(OptimalPortCycles, UnionBindsWhenShared) {
+  // 2 on {0}, 2 on {0,1}: the union {0,1} carries 4 demand over 2 ports.
+  double T =
+      optimalPortCycles({{portMask({0}), 2.0}, {portMask({0, 1}), 2.0}});
+  EXPECT_NEAR(T, 2.0, 1e-12);
+}
+
+// --------------------------------------------------------- Mapping round-trip
+
+TEST(ResourceMapping, TextRoundTrip) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Dual = buildDualMapping(M);
+  std::string Text = Dual.toText(M.isa());
+  auto Parsed = ResourceMapping::fromText(Text, M.isa());
+  ASSERT_TRUE(Parsed.has_value());
+  ASSERT_EQ(Parsed->numResources(), Dual.numResources());
+  Microkernel K;
+  K.add(idOf(M, "ADDSS"), 2.0);
+  K.add(idOf(M, "BSR"), 1.0);
+  EXPECT_NEAR(Parsed->predictCycles(K), Dual.predictCycles(K), 1e-9);
+}
+
+TEST(ResourceMapping, FromTextRejectsGarbage) {
+  MachineModel M = makeFig1Machine();
+  EXPECT_FALSE(ResourceMapping::fromText("not a mapping", M.isa()));
+  EXPECT_FALSE(ResourceMapping::fromText(
+      "palmed-mapping v1\nresources 1\nbogus line\n", M.isa()));
+}
+
+TEST(ResourceMapping, UnsupportedKernelDeclined) {
+  ResourceMapping Map(3);
+  Map.addResource("R0");
+  Map.setUsage(0, 0, 0.5);
+  Microkernel K;
+  K.add(0, 1.0);
+  K.add(2, 1.0); // Instruction 2 unmapped.
+  EXPECT_FALSE(Map.supports(K));
+  EXPECT_FALSE(Map.predictIpc(K).has_value());
+}

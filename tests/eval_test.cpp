@@ -1,0 +1,199 @@
+//===- tests/eval_test.cpp - Workload and harness tests -------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/GroundTruthPredictors.h"
+#include "eval/Harness.h"
+#include "eval/Workload.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+using namespace palmed;
+
+TEST(Workload, DeterministicGivenSeed) {
+  MachineModel M = makeSklLike();
+  WorkloadConfig Cfg;
+  Cfg.NumBlocks = 50;
+  auto A = generateWorkload(M, Cfg);
+  auto B = generateWorkload(M, Cfg);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_TRUE(A[I].K == B[I].K);
+    EXPECT_DOUBLE_EQ(A[I].Weight, B[I].Weight);
+  }
+  Cfg.Seed = 43;
+  auto C = generateWorkload(M, Cfg);
+  size_t Same = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Same += A[I].K == C[I].K;
+  EXPECT_LT(Same, A.size() / 2);
+}
+
+TEST(Workload, RespectsSizeBounds) {
+  MachineModel M = makeSklLike();
+  WorkloadConfig Cfg;
+  Cfg.NumBlocks = 200;
+  Cfg.MinDistinct = 2;
+  Cfg.MaxDistinct = 6;
+  for (const BasicBlock &B : generateWorkload(M, Cfg)) {
+    EXPECT_GE(B.K.numDistinct(), 1u);
+    EXPECT_LE(B.K.numDistinct(), 6u);
+    EXPECT_GT(B.Weight, 0.0);
+  }
+}
+
+TEST(Workload, ProfilesDifferInMix) {
+  MachineModel M = makeSklLike();
+  auto CountFp = [&](WorkloadProfile P) {
+    WorkloadConfig Cfg;
+    Cfg.Profile = P;
+    Cfg.NumBlocks = 300;
+    double Fp = 0, Total = 0;
+    for (const BasicBlock &B : generateWorkload(M, Cfg)) {
+      for (const auto &[Id, Mult] : B.K.terms()) {
+        InstrCategory C = M.isa().info(Id).Category;
+        bool IsFp = C == InstrCategory::FpAdd || C == InstrCategory::FpMul ||
+                    C == InstrCategory::VecInt ||
+                    C == InstrCategory::VecShuffle;
+        Fp += IsFp ? Mult : 0;
+        Total += Mult;
+      }
+    }
+    return Fp / Total;
+  };
+  double SpecFp = CountFp(WorkloadProfile::SpecLike);
+  double PolyFp = CountFp(WorkloadProfile::PolybenchLike);
+  EXPECT_GT(PolyFp, 2.5 * SpecFp)
+      << "Polybench-like must be much more FP-heavy";
+}
+
+TEST(Workload, MixedExtensionBlocksAreRare) {
+  MachineModel M = makeSklLike();
+  WorkloadConfig Cfg;
+  Cfg.Profile = WorkloadProfile::PolybenchLike;
+  Cfg.NumBlocks = 400;
+  size_t Mixed = 0;
+  for (const BasicBlock &B : generateWorkload(M, Cfg))
+    Mixed += M.kernelMixesExtensions(B.K);
+  EXPECT_LT(Mixed, 400u / 4);
+}
+
+TEST(Harness, PerfectPredictorScoresPerfectly) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  auto Iaca = makeIacaLikePredictor(M);
+
+  WorkloadConfig Cfg;
+  Cfg.NumBlocks = 100;
+  auto Blocks = generateWorkload(M, Cfg);
+  // Drop mixed blocks so the IACA stand-in is exact.
+  std::erase_if(Blocks, [&](const BasicBlock &B) {
+    return M.kernelMixesExtensions(B.K);
+  });
+
+  EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
+  ToolAccuracy A = Out.accuracy("iaca");
+  EXPECT_DOUBLE_EQ(A.CoveragePct, 100.0);
+  EXPECT_LT(A.ErrPct, 0.01);
+  EXPECT_GT(A.KendallTau, 0.99);
+}
+
+TEST(Harness, CoverageReflectsDeclines) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  auto Iaca = makeIacaLikePredictor(M);
+  auto Mca = makeLlvmMcaLikePredictor(M); // Declines "Other" category.
+
+  // Build blocks guaranteeing some contain CVT (category Other).
+  std::vector<BasicBlock> Blocks;
+  InstrId Cvt = M.isa().findByName("CVT_0");
+  InstrId Add = M.isa().findByName("ADD_0");
+  for (int I = 0; I < 10; ++I) {
+    BasicBlock B;
+    B.K.add(Add, 1.0 + I);
+    if (I < 4)
+      B.K.add(Cvt, 1.0);
+    Blocks.push_back(B);
+  }
+  EvalOutcome Out =
+      runEvaluation(O, Blocks, {Iaca.get(), Mca.get()}, "iaca");
+  EXPECT_DOUBLE_EQ(Out.accuracy("iaca").CoveragePct, 100.0);
+  EXPECT_NEAR(Out.accuracy("llvm-mca").CoveragePct, 60.0, 1e-9);
+}
+
+TEST(Harness, ErrAndTauComputedOverCoveredOnly) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  auto Mca = makeLlvmMcaLikePredictor(M);
+  InstrId Cvt = M.isa().findByName("CVT_0");
+  InstrId Add = M.isa().findByName("ADD_0");
+  std::vector<BasicBlock> Blocks;
+  for (int I = 1; I <= 6; ++I) {
+    BasicBlock B;
+    B.K.add(Add, static_cast<double>(I));
+    Blocks.push_back(B);
+  }
+  {
+    BasicBlock B;
+    B.K.add(Cvt, 1.0); // Declined by mca.
+    Blocks.push_back(B);
+  }
+  EvalOutcome Out = runEvaluation(O, Blocks, {Mca.get()}, "llvm-mca");
+  ToolAccuracy A = Out.accuracy("llvm-mca");
+  EXPECT_EQ(A.NumCovered, 6u);
+  EXPECT_GE(A.KendallTau, -1.0);
+  EXPECT_LE(A.KendallTau, 1.0);
+}
+
+TEST(Harness, HeatmapMassOnDiagonalForExactTool) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  auto Iaca = makeIacaLikePredictor(M);
+  WorkloadConfig Cfg;
+  Cfg.NumBlocks = 80;
+  auto Blocks = generateWorkload(M, Cfg);
+  std::erase_if(Blocks, [&](const BasicBlock &B) {
+    return M.kernelMixesExtensions(B.K);
+  });
+  EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
+
+  auto Grid = Out.heatmap("iaca", 8, 10, 5.0, 2.0);
+  // All mass lands in the ratio==1 row (row index 5 of 10 for [0,2)).
+  double OnDiag = 0.0, Total = 0.0;
+  for (size_t Y = 0; Y < Grid.size(); ++Y)
+    for (double V : Grid[Y]) {
+      Total += V;
+      if (Y == 5)
+        OnDiag += V;
+    }
+  ASSERT_GT(Total, 0.0);
+  EXPECT_GT(OnDiag / Total, 0.999);
+}
+
+TEST(Harness, HeatmapPrintsAscii) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  auto Iaca = makeIacaLikePredictor(M);
+  WorkloadConfig Cfg;
+  Cfg.NumBlocks = 30;
+  auto Blocks = generateWorkload(M, Cfg);
+  EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
+  std::ostringstream OS;
+  Out.printHeatmap(OS, "iaca", 20, 10, 5.0, 2.0);
+  EXPECT_NE(OS.str().find('>'), std::string::npos); // Ratio-1 marker row.
+  EXPECT_GT(OS.str().size(), 200u);
+}
+
+TEST(Workload, ProfileNames) {
+  EXPECT_STREQ(workloadProfileName(WorkloadProfile::SpecLike),
+               "SPEC2017-like");
+  EXPECT_STREQ(workloadProfileName(WorkloadProfile::PolybenchLike),
+               "Polybench-like");
+}

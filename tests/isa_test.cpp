@@ -1,0 +1,169 @@
+//===- tests/isa_test.cpp - Instruction set and microkernel tests ---------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/InstructionSet.h"
+#include "isa/Microkernel.h"
+
+#include <gtest/gtest.h>
+
+using namespace palmed;
+
+namespace {
+
+InstructionSet makeIsa() {
+  InstructionSet Isa;
+  Isa.add({"ADD", ExtClass::Base, InstrCategory::IntAlu});
+  Isa.add({"MUL", ExtClass::Base, InstrCategory::IntMul});
+  Isa.add({"ADDSS", ExtClass::Sse, InstrCategory::FpAdd});
+  return Isa;
+}
+
+} // namespace
+
+TEST(InstructionSet, AddAndLookup) {
+  InstructionSet Isa = makeIsa();
+  EXPECT_EQ(Isa.size(), 3u);
+  EXPECT_EQ(Isa.findByName("MUL"), 1u);
+  EXPECT_EQ(Isa.findByName("NOPE"), InvalidInstr);
+  EXPECT_EQ(Isa.name(2), "ADDSS");
+  EXPECT_EQ(Isa.info(2).Ext, ExtClass::Sse);
+}
+
+TEST(InstructionSet, AllIdsInOrder) {
+  InstructionSet Isa = makeIsa();
+  std::vector<InstrId> Ids = Isa.allIds();
+  ASSERT_EQ(Ids.size(), 3u);
+  EXPECT_EQ(Ids[0], 0u);
+  EXPECT_EQ(Ids[2], 2u);
+}
+
+TEST(InstructionSet, CategoryNames) {
+  EXPECT_STREQ(categoryName(InstrCategory::IntAlu), "int-alu");
+  EXPECT_STREQ(categoryName(InstrCategory::FpDiv), "fp-div");
+  EXPECT_STREQ(extClassName(ExtClass::Avx), "avx");
+}
+
+TEST(Microkernel, AddMergesTerms) {
+  Microkernel K;
+  K.add(3, 1.0);
+  K.add(1, 2.0);
+  K.add(3, 0.5);
+  ASSERT_EQ(K.numDistinct(), 2u);
+  EXPECT_DOUBLE_EQ(K.multiplicity(3), 1.5);
+  EXPECT_DOUBLE_EQ(K.multiplicity(1), 2.0);
+  EXPECT_DOUBLE_EQ(K.multiplicity(7), 0.0);
+  EXPECT_DOUBLE_EQ(K.size(), 3.5);
+  // Terms stay sorted by instruction id.
+  EXPECT_EQ(K.terms()[0].first, 1u);
+  EXPECT_EQ(K.terms()[1].first, 3u);
+}
+
+TEST(Microkernel, OrderIndependentEquality) {
+  Microkernel A, B;
+  A.add(1, 1.0);
+  A.add(2, 2.0);
+  B.add(2, 2.0);
+  B.add(1, 1.0);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(Microkernel, MergeKernels) {
+  Microkernel A = Microkernel::single(0, 1.0);
+  Microkernel B = Microkernel::single(1, 2.0);
+  A.add(B);
+  EXPECT_DOUBLE_EQ(A.size(), 3.0);
+  EXPECT_TRUE(A.contains(1));
+}
+
+TEST(Microkernel, Scaled) {
+  Microkernel K;
+  K.add(0, 1.0);
+  K.add(1, 2.0);
+  Microkernel S = K.scaled(4.0);
+  EXPECT_DOUBLE_EQ(S.multiplicity(0), 4.0);
+  EXPECT_DOUBLE_EQ(S.multiplicity(1), 8.0);
+  EXPECT_DOUBLE_EQ(K.multiplicity(0), 1.0); // Original untouched.
+}
+
+TEST(Microkernel, IntegralityCheck) {
+  Microkernel K;
+  K.add(0, 2.0);
+  EXPECT_TRUE(K.isIntegral());
+  K.add(1, 0.5);
+  EXPECT_FALSE(K.isIntegral());
+}
+
+TEST(Microkernel, RoundingPreservesRatios) {
+  Microkernel K;
+  K.add(0, 1.5);
+  K.add(1, 1.0);
+  Microkernel R = K.roundedToIntegers(20);
+  EXPECT_TRUE(R.isIntegral());
+  // Ratio 1.5 must be preserved exactly (3 : 2).
+  EXPECT_DOUBLE_EQ(R.multiplicity(0) / R.multiplicity(1), 1.5);
+}
+
+TEST(Microkernel, RoundingPaperExample) {
+  // Sec. VI-A: "a benchmark aabb with a=0.06 and b=1 will be rounded to
+  // a^1 b^20" style integer scaling within 5%.
+  Microkernel K;
+  K.add(0, 0.06);
+  K.add(1, 1.0);
+  Microkernel R = K.roundedToIntegers(20);
+  EXPECT_TRUE(R.isIntegral());
+  double Ratio = R.multiplicity(1) / R.multiplicity(0);
+  EXPECT_NEAR(Ratio, 1.0 / 0.06, 1.0 / 0.06 * 0.06);
+}
+
+TEST(Microkernel, RoundingKeepsTinyTerms) {
+  Microkernel K;
+  K.add(0, 0.001); // Below the denominator resolution.
+  K.add(1, 1.0);
+  Microkernel R = K.roundedToIntegers(10);
+  EXPECT_GT(R.multiplicity(0), 0.0); // Never silently dropped.
+}
+
+TEST(Microkernel, StrFormatting) {
+  InstructionSet Isa = makeIsa();
+  Microkernel K;
+  K.add(0, 2.0);
+  K.add(1, 1.0);
+  EXPECT_EQ(K.str(Isa), "ADD^2 MUL");
+}
+
+TEST(Microkernel, ParseRoundTrip) {
+  InstructionSet Isa = makeIsa();
+  Microkernel K;
+  K.add(0, 2.0);
+  K.add(2, 1.0);
+  auto Parsed = Microkernel::parse(K.str(Isa), Isa);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_TRUE(*Parsed == K);
+}
+
+TEST(Microkernel, ParseFractionalAndImplicitMultiplicity) {
+  InstructionSet Isa = makeIsa();
+  auto K = Microkernel::parse("ADD^0.5 MUL", Isa);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_DOUBLE_EQ(K->multiplicity(0), 0.5);
+  EXPECT_DOUBLE_EQ(K->multiplicity(1), 1.0);
+}
+
+TEST(Microkernel, ParseMergesRepeatedNames) {
+  InstructionSet Isa = makeIsa();
+  auto K = Microkernel::parse("ADD ADD^2", Isa);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_DOUBLE_EQ(K->multiplicity(0), 3.0);
+}
+
+TEST(Microkernel, ParseRejectsGarbage) {
+  InstructionSet Isa = makeIsa();
+  EXPECT_FALSE(Microkernel::parse("", Isa).has_value());
+  EXPECT_FALSE(Microkernel::parse("NOPE", Isa).has_value());
+  EXPECT_FALSE(Microkernel::parse("ADD^", Isa).has_value());
+  EXPECT_FALSE(Microkernel::parse("ADD^-2", Isa).has_value());
+  EXPECT_FALSE(Microkernel::parse("ADD^x", Isa).has_value());
+}

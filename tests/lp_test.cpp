@@ -1,0 +1,346 @@
+//===- tests/lp_test.cpp - LP/MILP solver tests ---------------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Milp.h"
+#include "lp/Simplex.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace palmed;
+using namespace palmed::lp;
+
+namespace {
+
+LinearExpr expr(std::initializer_list<std::pair<VarId, double>> Terms) {
+  LinearExpr E;
+  for (const auto &[V, C] : Terms)
+    E.add(V, C);
+  return E;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ Simplex
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Optimum (2, 6) = 36.
+  Model M;
+  VarId X = M.addVar("x", 0, Infinity);
+  VarId Y = M.addVar("y", 0, Infinity);
+  M.addConstraint(expr({{X, 1}}), Sense::LE, 4);
+  M.addConstraint(expr({{Y, 2}}), Sense::LE, 12);
+  M.addConstraint(expr({{X, 3}, {Y, 2}}), Sense::LE, 18);
+  M.setObjective(expr({{X, 3}, {Y, 5}}), Goal::Maximize);
+
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 36.0, 1e-7);
+  EXPECT_NEAR(S.value(X), 2.0, 1e-7);
+  EXPECT_NEAR(S.value(Y), 6.0, 1e-7);
+}
+
+TEST(Simplex, MinimizationWithGe) {
+  // min x + 2y s.t. x + y >= 3, y >= 1. Optimum (2, 1) = 4.
+  Model M;
+  VarId X = M.addVar("x", 0, Infinity);
+  VarId Y = M.addVar("y", 0, Infinity);
+  M.addConstraint(expr({{X, 1}, {Y, 1}}), Sense::GE, 3);
+  M.addConstraint(expr({{Y, 1}}), Sense::GE, 1);
+  M.setObjective(expr({{X, 1}, {Y, 2}}), Goal::Minimize);
+
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + 2y = 4, x >= 1. Optimum (1, 1.5) = 2.5.
+  Model M;
+  VarId X = M.addVar("x", 1.0, Infinity);
+  VarId Y = M.addVar("y", 0, Infinity);
+  M.addConstraint(expr({{X, 1}, {Y, 2}}), Sense::EQ, 4);
+  M.setObjective(expr({{X, 1}, {Y, 1}}), Goal::Minimize);
+
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 2.5, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model M;
+  VarId X = M.addVar("x", 0, Infinity);
+  M.addConstraint(expr({{X, 1}}), Sense::LE, 1);
+  M.addConstraint(expr({{X, 1}}), Sense::GE, 2);
+  M.setObjective(expr({{X, 1}}), Goal::Minimize);
+  EXPECT_EQ(solveLp(M).Status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model M;
+  VarId X = M.addVar("x", 0, Infinity);
+  M.setObjective(expr({{X, 1}}), Goal::Maximize);
+  EXPECT_EQ(solveLp(M).Status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // max x + y with x in [0, 2], y in [1, 3]: optimum 5.
+  Model M;
+  VarId X = M.addVar("x", 0, 2);
+  VarId Y = M.addVar("y", 1, 3);
+  M.setObjective(expr({{X, 1}, {Y, 1}}), Goal::Maximize);
+
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 with x,y in [0,5]: maximize x gives x = 4 (y = 5).
+  Model M;
+  VarId X = M.addVar("x", 0, 5);
+  VarId Y = M.addVar("y", 0, 5);
+  M.addConstraint(expr({{X, 1}, {Y, -1}}), Sense::LE, -1);
+  M.setObjective(expr({{X, 1}}), Goal::Maximize);
+
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.value(X), 4.0, 1e-7);
+}
+
+TEST(Simplex, BoundOverridesTighten) {
+  Model M;
+  VarId X = M.addVar("x", 0, 10);
+  M.setObjective(expr({{X, 1}}), Goal::Maximize);
+  Solution S = solveLp(M, {{X, 0.0, 3.0}}, SimplexOptions());
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degeneracy: many redundant constraints through the origin.
+  Model M;
+  VarId X = M.addVar("x", 0, Infinity);
+  VarId Y = M.addVar("y", 0, Infinity);
+  for (int I = 1; I <= 8; ++I)
+    M.addConstraint(expr({{X, static_cast<double>(I)}, {Y, 1.0}}), Sense::LE,
+                    0.0);
+  M.setObjective(expr({{X, 1}, {Y, 1}}), Goal::Maximize);
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 0.0, 1e-7);
+}
+
+/// Property: on random transportation-style LPs, the simplex optimum equals
+/// the combinatorial bottleneck bound (which is what the analytic oracle
+/// relies on).
+class SimplexTransportProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexTransportProperty, MatchesBottleneckBound) {
+  Rng R(GetParam());
+  unsigned NumPorts = 2 + static_cast<unsigned>(R.uniformInt(4));
+  unsigned NumOps = 1 + static_cast<unsigned>(R.uniformInt(6));
+
+  struct Op {
+    uint32_t Mask;
+    double Demand;
+  };
+  std::vector<Op> Ops;
+  for (unsigned U = 0; U < NumOps; ++U) {
+    uint32_t Mask = 0;
+    while (Mask == 0)
+      Mask = static_cast<uint32_t>(R.next()) & ((1u << NumPorts) - 1);
+    Ops.push_back({Mask, 0.5 + R.uniformReal() * 4.0});
+  }
+
+  // LP: min t subject to routing demands; port load <= t.
+  Model M;
+  VarId T = M.addVar("t", 0, Infinity);
+  std::vector<LinearExpr> Load(NumPorts);
+  for (const Op &O : Ops) {
+    LinearExpr Routed;
+    for (unsigned P = 0; P < NumPorts; ++P) {
+      if (!(O.Mask & (1u << P)))
+        continue;
+      VarId X = M.addVar("x", 0, Infinity);
+      Routed.add(X, 1.0);
+      Load[P].add(X, 1.0);
+    }
+    M.addConstraint(std::move(Routed), Sense::EQ, O.Demand);
+  }
+  for (unsigned P = 0; P < NumPorts; ++P) {
+    LinearExpr C = Load[P];
+    C.add(T, -1.0);
+    M.addConstraint(std::move(C), Sense::LE, 0.0);
+  }
+  M.setObjective(expr({{T, 1.0}}), Goal::Minimize);
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+
+  // Bottleneck bound: max over port subsets J of demand-inside / |J|.
+  double Bound = 0.0;
+  for (uint32_t J = 1; J < (1u << NumPorts); ++J) {
+    double Inside = 0.0;
+    for (const Op &O : Ops)
+      if ((O.Mask & ~J) == 0)
+        Inside += O.Demand;
+    Bound = std::max(Bound, Inside / __builtin_popcount(J));
+  }
+  EXPECT_NEAR(S.Objective, Bound, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexTransportProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+// --------------------------------------------------------------------- MILP
+
+TEST(Milp, SimpleKnapsack) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binary). Optimum a=b=1: 16.
+  Model M;
+  VarId A = M.addBoolVar("a");
+  VarId B = M.addBoolVar("b");
+  VarId C = M.addBoolVar("c");
+  M.addConstraint(expr({{A, 1}, {B, 1}, {C, 1}}), Sense::LE, 2);
+  M.setObjective(expr({{A, 10}, {B, 6}, {C, 4}}), Goal::Maximize);
+
+  Solution S = solveMilp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 16.0, 1e-6);
+  EXPECT_NEAR(S.value(A), 1.0, 1e-9);
+  EXPECT_NEAR(S.value(B), 1.0, 1e-9);
+  EXPECT_NEAR(S.value(C), 0.0, 1e-9);
+}
+
+TEST(Milp, IntegerRounding) {
+  // max x s.t. 2x <= 7, x integer: x = 3 (LP relaxation 3.5).
+  Model M;
+  VarId X = M.addVar("x", 0, Infinity, /*IsInteger=*/true);
+  M.addConstraint(expr({{X, 2}}), Sense::LE, 7);
+  M.setObjective(expr({{X, 1}}), Goal::Maximize);
+
+  Solution S = solveMilp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 3.0, 1e-9);
+}
+
+TEST(Milp, InfeasibleIntegral) {
+  // 0.4 <= x <= 0.6 integral has no solution.
+  Model M;
+  VarId X = M.addVar("x", 0, 1, /*IsInteger=*/true);
+  M.addConstraint(expr({{X, 1}}), Sense::GE, 0.4);
+  M.addConstraint(expr({{X, 1}}), Sense::LE, 0.6);
+  M.setObjective(expr({{X, 1}}), Goal::Maximize);
+  EXPECT_EQ(solveMilp(M).Status, SolveStatus::Infeasible);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // max 2x + y, x binary, y <= 1.5 continuous, x + y <= 2.
+  Model M;
+  VarId X = M.addBoolVar("x");
+  VarId Y = M.addVar("y", 0, 1.5);
+  M.addConstraint(expr({{X, 1}, {Y, 1}}), Sense::LE, 2);
+  M.setObjective(expr({{X, 2}, {Y, 1}}), Goal::Maximize);
+
+  Solution S = solveMilp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 3.0, 1e-6); // x = 1, y = 1.
+}
+
+/// Property: branch-and-bound agrees with brute force on random small 0/1
+/// problems.
+class MilpProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MilpProperty, MatchesBruteForce) {
+  Rng R(GetParam());
+  const int N = 3 + static_cast<int>(R.uniformInt(5));
+  const int Rows = 2 + static_cast<int>(R.uniformInt(3));
+
+  std::vector<double> Costs(N);
+  for (double &C : Costs)
+    C = std::floor(R.uniformRealIn(-5.0, 10.0));
+  std::vector<std::vector<double>> A(Rows, std::vector<double>(N));
+  std::vector<double> Rhs(Rows);
+  for (int Row = 0; Row < Rows; ++Row) {
+    for (int I = 0; I < N; ++I)
+      A[Row][I] = std::floor(R.uniformRealIn(0.0, 4.0));
+    Rhs[Row] = std::floor(R.uniformRealIn(1.0, 8.0));
+  }
+
+  Model M;
+  std::vector<VarId> Vars;
+  for (int I = 0; I < N; ++I)
+    Vars.push_back(M.addBoolVar("b"));
+  for (int Row = 0; Row < Rows; ++Row) {
+    LinearExpr E;
+    for (int I = 0; I < N; ++I)
+      E.add(Vars[I], A[Row][I]);
+    M.addConstraint(std::move(E), Sense::LE, Rhs[Row]);
+  }
+  LinearExpr Obj;
+  for (int I = 0; I < N; ++I)
+    Obj.add(Vars[I], Costs[I]);
+  M.setObjective(std::move(Obj), Goal::Maximize);
+
+  Solution S = solveMilp(M);
+  ASSERT_TRUE(S.ok());
+
+  double Best = -1e18;
+  for (uint32_t Bits = 0; Bits < (1u << N); ++Bits) {
+    bool Ok = true;
+    for (int Row = 0; Row < Rows && Ok; ++Row) {
+      double Sum = 0.0;
+      for (int I = 0; I < N; ++I)
+        if (Bits & (1u << I))
+          Sum += A[Row][I];
+      Ok = Sum <= Rhs[Row] + 1e-9;
+    }
+    if (!Ok)
+      continue;
+    double Value = 0.0;
+    for (int I = 0; I < N; ++I)
+      if (Bits & (1u << I))
+        Value += Costs[I];
+    Best = std::max(Best, Value);
+  }
+  EXPECT_NEAR(S.Objective, Best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{30}));
+
+// -------------------------------------------------------------------- Model
+
+TEST(Model, NormalizeMergesTerms) {
+  LinearExpr E;
+  E.add(0, 1.0).add(1, 2.0).add(0, 3.0).add(1, -2.0);
+  E.normalize();
+  ASSERT_EQ(E.terms().size(), 1u);
+  EXPECT_EQ(E.terms()[0].first, 0);
+  EXPECT_DOUBLE_EQ(E.terms()[0].second, 4.0);
+}
+
+TEST(Model, ConstantFoldedIntoRhs) {
+  Model M;
+  VarId X = M.addVar("x", 0, 10);
+  LinearExpr E;
+  E.add(X, 1.0).addConstant(5.0);
+  M.addConstraint(std::move(E), Sense::LE, 8.0);
+  // x + 5 <= 8 -> x <= 3.
+  M.setObjective(expr({{X, 1}}), Goal::Maximize);
+  Solution S = solveLp(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 3.0, 1e-7);
+}
+
+TEST(Model, HasIntegerVars) {
+  Model M;
+  M.addVar("x", 0, 1);
+  EXPECT_FALSE(M.hasIntegerVars());
+  M.addBoolVar("b");
+  EXPECT_TRUE(M.hasIntegerVars());
+}

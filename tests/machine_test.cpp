@@ -1,0 +1,139 @@
+//===- tests/machine_test.cpp - Machine model tests -----------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineBuilder.h"
+#include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace palmed;
+
+TEST(PortMask, Basics) {
+  EXPECT_EQ(portMask({0, 2}), 0b101u);
+  EXPECT_EQ(portCount(0b101u), 2u);
+  EXPECT_EQ(portCount(0), 0u);
+}
+
+TEST(MachineBuilder, BuildsValidMachine) {
+  MachineBuilder B("test");
+  unsigned P0 = B.addPort("p0");
+  unsigned P1 = B.addPort("p1");
+  EXPECT_EQ(P0, 0u);
+  EXPECT_EQ(P1, 1u);
+  B.setDecodeWidth(2);
+  InstrId Add = B.addSimpleInstruction(
+      {"ADD", ExtClass::Base, InstrCategory::IntAlu}, portMask({0, 1}));
+  MachineModel M = B.build();
+  EXPECT_EQ(M.numPorts(), 2u);
+  EXPECT_EQ(M.numInstructions(), 1u);
+  EXPECT_EQ(M.decodeWidth(), 2u);
+  EXPECT_TRUE(M.validate());
+  EXPECT_EQ(M.exec(Add).MicroOps.size(), 1u);
+}
+
+TEST(MachineModel, MixDetection) {
+  MachineModel M = makeSklLike();
+  InstrId Sse = M.isa().findByName("ADDSS_0");
+  InstrId Avx = M.isa().findByName("VADDPS_0");
+  InstrId Base = M.isa().findByName("ADD_0");
+  ASSERT_NE(Sse, InvalidInstr);
+  ASSERT_NE(Avx, InvalidInstr);
+  ASSERT_NE(Base, InvalidInstr);
+
+  Microkernel Mixed;
+  Mixed.add(Sse, 1.0);
+  Mixed.add(Avx, 1.0);
+  EXPECT_TRUE(M.kernelMixesExtensions(Mixed));
+  EXPECT_GT(M.mixFactor(Mixed), 1.0);
+
+  Microkernel Fine;
+  Fine.add(Sse, 1.0);
+  Fine.add(Base, 1.0);
+  EXPECT_FALSE(M.kernelMixesExtensions(Fine));
+  EXPECT_DOUBLE_EQ(M.mixFactor(Fine), 1.0);
+}
+
+TEST(StandardMachines, Fig1Structure) {
+  MachineModel M = makeFig1Machine();
+  EXPECT_EQ(M.numPorts(), 3u);
+  EXPECT_EQ(M.numInstructions(), 6u);
+  EXPECT_EQ(M.decodeWidth(), 0u);
+  // VCVTT decomposes into two µOPs.
+  InstrId Vcvtt = M.isa().findByName("VCVTT");
+  EXPECT_EQ(M.exec(Vcvtt).MicroOps.size(), 2u);
+}
+
+TEST(StandardMachines, SklLikeShape) {
+  MachineModel M = makeSklLike();
+  EXPECT_EQ(M.numPorts(), 8u);
+  EXPECT_EQ(M.decodeWidth(), 4u);
+  EXPECT_GT(M.extMixPenalty(), 0.0);
+  EXPECT_GT(M.numInstructions(), 150u);
+  EXPECT_TRUE(M.validate());
+  // Dividers are present and non-pipelined.
+  InstrId Div = M.isa().findByName("DIV32_0");
+  ASSERT_NE(Div, InvalidInstr);
+  EXPECT_GT(M.exec(Div).MicroOps[0].Occupancy, 1.0);
+  // Stores decompose into address + data µOPs.
+  InstrId St = M.isa().findByName("STORE_0");
+  ASSERT_NE(St, InvalidInstr);
+  EXPECT_EQ(M.exec(St).MicroOps.size(), 2u);
+}
+
+TEST(StandardMachines, SklScaleGrowsIsa) {
+  MachineModel S1 = makeSklLike(1);
+  MachineModel S2 = makeSklLike(2);
+  EXPECT_GT(S2.numInstructions(), 1.8 * S1.numInstructions());
+}
+
+TEST(StandardMachines, ZenLikeSplitPipelines) {
+  MachineModel M = makeZenLike();
+  EXPECT_EQ(M.decodeWidth(), 5u);
+  EXPECT_TRUE(M.validate());
+  // Integer and FP port sets must be disjoint (the split-pipeline
+  // structure the paper blames for Palmed's higher ZEN1 error).
+  InstrId Add = M.isa().findByName("ADD_0");
+  InstrId Fp = M.isa().findByName("ADDSS_0");
+  ASSERT_NE(Add, InvalidInstr);
+  ASSERT_NE(Fp, InvalidInstr);
+  PortMask IntPorts = M.exec(Add).MicroOps[0].Ports;
+  PortMask FpPorts = M.exec(Fp).MicroOps[0].Ports;
+  EXPECT_EQ(IntPorts & FpPorts, 0u);
+  // AVX splits into two µOPs on Zen1.
+  InstrId Vadd = M.isa().findByName("VADDPS_0");
+  ASSERT_NE(Vadd, InvalidInstr);
+  EXPECT_EQ(M.exec(Vadd).MicroOps.size(), 2u);
+}
+
+TEST(StandardMachines, VariantsShareDecomposition) {
+  MachineModel M = makeSklLike();
+  InstrId A0 = M.isa().findByName("ADD_0");
+  InstrId A1 = M.isa().findByName("ADD_1");
+  ASSERT_NE(A0, InvalidInstr);
+  ASSERT_NE(A1, InvalidInstr);
+  ASSERT_EQ(M.exec(A0).MicroOps.size(), M.exec(A1).MicroOps.size());
+  EXPECT_EQ(M.exec(A0).MicroOps[0].Ports, M.exec(A1).MicroOps[0].Ports);
+}
+
+TEST(StandardMachines, MemVariantsAddLoadMicroOp) {
+  MachineModel M = makeSklLike();
+  InstrId Reg = M.isa().findByName("ADD_0");
+  InstrId Mem = M.isa().findByName("ADD_M0");
+  ASSERT_NE(Mem, InvalidInstr);
+  EXPECT_EQ(M.exec(Mem).MicroOps.size(), M.exec(Reg).MicroOps.size() + 1);
+}
+
+TEST(SyntheticIsa, RandomMachineIsValid) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Rng R(Seed);
+    MachineModel M = makeRandomMachine(R, 2 + R.uniformInt(6),
+                                       3 + R.uniformInt(12));
+    EXPECT_TRUE(M.validate()) << "seed " << Seed;
+    EXPECT_GE(M.numInstructions(), 3u);
+  }
+}

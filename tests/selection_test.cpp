@@ -1,0 +1,181 @@
+//===- tests/selection_test.cpp - Algorithm 1 tests -----------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Selection.h"
+#include "machine/MachineBuilder.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace palmed;
+
+namespace {
+
+struct Fixture {
+  MachineModel M;
+  AnalyticOracle O;
+  BenchmarkRunner Runner;
+
+  explicit Fixture(MachineModel Machine)
+      : M(std::move(Machine)), O(M), Runner(M, O) {}
+};
+
+bool contains(const std::vector<InstrId> &V, InstrId Id) {
+  return std::count(V.begin(), V.end(), Id) != 0;
+}
+
+} // namespace
+
+TEST(Selection, HelpersAdditivity) {
+  EXPECT_TRUE(isAdditivePair(3.0, 1.0, 2.0, 0.05));
+  EXPECT_TRUE(isAdditivePair(2.9, 1.0, 2.0, 0.05));
+  EXPECT_FALSE(isAdditivePair(2.0, 1.0, 2.0, 0.05));
+}
+
+TEST(Selection, PairKernelUsesIpcMultiplicities) {
+  Microkernel K = makePairKernel(3, 2.0, 7, 1.0);
+  EXPECT_DOUBLE_EQ(K.multiplicity(3), 2.0);
+  EXPECT_DOUBLE_EQ(K.multiplicity(7), 1.0);
+}
+
+TEST(Selection, Fig1SelectsEveryClass) {
+  Fixture F(makeFig1Machine());
+  SelectionConfig Cfg;
+  SelectionResult R = F.Runner.machine().numInstructions() == 6
+                          ? selectBasicInstructions(
+                                F.Runner, F.M.isa().allIds(), Cfg)
+                          : SelectionResult{};
+  // All six instructions are benchmarkable and behaviourally distinct.
+  EXPECT_EQ(R.Survivors.size(), 6u);
+  EXPECT_EQ(R.Basic.size(), 6u);
+  // Very basic must include the port-exclusive base instructions BSR and
+  // JMP (pairwise disjoint).
+  InstrId Bsr = F.M.isa().findByName("BSR");
+  InstrId Jmp = F.M.isa().findByName("JMP");
+  EXPECT_TRUE(contains(R.VeryBasic, Bsr));
+  EXPECT_TRUE(contains(R.VeryBasic, Jmp));
+}
+
+TEST(Selection, SoloIpcsOnFig1) {
+  Fixture F(makeFig1Machine());
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), {});
+  EXPECT_NEAR(R.soloIpc(F.M.isa().findByName("ADDSS")), 2.0, 1e-9);
+  EXPECT_NEAR(R.soloIpc(F.M.isa().findByName("JMP")), 1.0, 1e-9);
+}
+
+TEST(Selection, EquivalenceClassesCollapseTwins) {
+  // Two instructions with identical decompositions must land in one class.
+  MachineBuilder B("twins");
+  B.addPort("p0");
+  B.addPort("p1");
+  B.addSimpleInstruction({"A1", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({0, 1}));
+  B.addSimpleInstruction({"A2", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({0, 1}));
+  B.addSimpleInstruction({"B1", ExtClass::Base, InstrCategory::IntMul},
+                         portMask({0}));
+  Fixture F(B.build());
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), {});
+  // Classes: {A1, A2} and {B1}.
+  ASSERT_EQ(R.Classes.size(), 2u);
+  size_t TwinClass = R.Classes[0].size() == 2 ? 0 : 1;
+  EXPECT_EQ(R.Classes[TwinClass].size(), 2u);
+  EXPECT_EQ(R.Classes[1 - TwinClass].size(), 1u);
+  // Only one representative of the twins is a candidate.
+  EXPECT_EQ(R.Candidates.size(), 2u);
+}
+
+TEST(Selection, LowIpcExcludedFromBasicButSurvives) {
+  MachineBuilder B("div");
+  B.addPort("p0");
+  B.addPort("p1");
+  B.addSimpleInstruction({"DIV", ExtClass::Base, InstrCategory::IntDiv},
+                         portMask({0}), 4.0); // IPC 0.25.
+  B.addSimpleInstruction({"ADD", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({0, 1}));
+  Fixture F(B.build());
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), {});
+  InstrId Div = F.M.isa().findByName("DIV");
+  EXPECT_TRUE(contains(R.Survivors, Div));
+  EXPECT_FALSE(contains(R.Basic, Div));
+  EXPECT_FALSE(contains(R.Candidates, Div));
+}
+
+TEST(Selection, UnbenchmarkableDiscarded) {
+  MachineBuilder B("slow");
+  B.addPort("p0");
+  B.addSimpleInstruction({"WBINVD", ExtClass::Base, InstrCategory::Other},
+                         portMask({0}), 40.0); // IPC 0.025 < 0.05.
+  B.addSimpleInstruction({"ADD", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({0}));
+  Fixture F(B.build());
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), {});
+  EXPECT_EQ(R.Survivors.size(), 1u);
+}
+
+TEST(Selection, RespectsPerGroupBudget) {
+  Fixture F(makeSklLike());
+  SelectionConfig Cfg;
+  Cfg.NumBasicPerGroup = 4;
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), Cfg);
+  // Three extension groups, at most 4 each.
+  EXPECT_LE(R.Basic.size(), 12u);
+  EXPECT_GE(R.Basic.size(), 4u);
+  // No mixed pair was ever measured.
+  const InstructionSet &Isa = F.M.isa();
+  for (const auto &[Pair, Ipc] : R.PairIpc) {
+    (void)Ipc;
+    ExtClass EA = Isa.info(Pair.first).Ext;
+    ExtClass EB = Isa.info(Pair.second).Ext;
+    EXPECT_EQ(EA, EB) << "cross-group quadratic benchmark";
+  }
+}
+
+TEST(Selection, SklCollapsesVariantClasses) {
+  Fixture F(makeSklLike());
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), {});
+  // The synthetic ISA has many identical variants (ADD_0, ADD_1, ...);
+  // classes must be far fewer than candidates' source population.
+  size_t TotalClassed = 0;
+  for (const auto &C : R.Classes)
+    TotalClassed += C.size();
+  EXPECT_LT(R.Classes.size(), TotalClassed / 4)
+      << "equivalence classes failed to collapse variants";
+}
+
+TEST(Selection, DisjointnessDrivesVeryBasic) {
+  // IMUL (p1 only), LOAD (p2/p3), JMP (p6) are pairwise disjoint on the
+  // SKL-like machine and should be strong very-basic candidates.
+  Fixture F(makeSklLike());
+  SelectionConfig Cfg;
+  Cfg.NumBasicPerGroup = 6;
+  SelectionResult R =
+      selectBasicInstructions(F.Runner, F.M.isa().allIds(), Cfg);
+  EXPECT_GE(R.VeryBasic.size(), 2u);
+  // Every pair of base-group very-basic instructions must be additive.
+  const InstructionSet &Isa = F.M.isa();
+  for (InstrId A : R.VeryBasic) {
+    for (InstrId B : R.VeryBasic) {
+      if (A >= B || Isa.info(A).Ext != Isa.info(B).Ext)
+        continue;
+      double Pair = R.pairIpc(A, B);
+      if (Pair < 0.0)
+        continue;
+      EXPECT_TRUE(
+          isAdditivePair(Pair, R.soloIpc(A), R.soloIpc(B), 0.05))
+          << Isa.name(A) << " vs " << Isa.name(B);
+    }
+  }
+}

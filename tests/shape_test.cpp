@@ -1,0 +1,305 @@
+//===- tests/shape_test.cpp - LP1 shape solver tests ----------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ShapeSolver.h"
+#include "machine/MachineModel.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace palmed;
+
+namespace {
+
+ShapeConstraint sharedAll(std::initializer_list<unsigned> Members) {
+  ShapeConstraint C;
+  for (unsigned I : Members)
+    C.Required |= InstrIndexMask{1} << I;
+  return C;
+}
+
+ShapeConstraint privateWithin(unsigned Owner,
+                              std::initializer_list<unsigned> Others) {
+  ShapeConstraint C;
+  C.Required = InstrIndexMask{1} << Owner;
+  C.Owner = static_cast<int>(Owner);
+  for (unsigned I : Others)
+    if (I != Owner)
+      C.Forbidden |= InstrIndexMask{1} << I;
+  return C;
+}
+
+/// Builds a symmetric share matrix from (i, j, kind) triples; unlisted
+/// pairs default to Partial (permissive).
+ShareMatrix
+shareMatrix(size_t N,
+            std::initializer_list<std::tuple<unsigned, unsigned, ShareKind>>
+                Entries) {
+  ShareMatrix M(N, std::vector<ShareKind>(N, ShareKind::Partial));
+  for (size_t I = 0; I < N; ++I)
+    M[I][I] = ShareKind::Full;
+  for (const auto &[A, B, Kind] : Entries) {
+    M[A][B] = Kind;
+    M[B][A] = Kind;
+  }
+  return M;
+}
+
+bool hasResource(const MappingShape &S, InstrIndexMask Members) {
+  return std::count(S.Resources.begin(), S.Resources.end(), Members) != 0;
+}
+
+bool satisfies(const MappingShape &S, const ShapeConstraint &C) {
+  for (InstrIndexMask R : S.Resources)
+    if ((C.Required & ~R) == 0 && (R & C.Forbidden) == 0)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ShapeConstraints, DeriveSharedWhenNothingSaturates) {
+  // Kernel a^2 b^1 with IPC 2 -> t = 1.5; solo IPCs 2 and 1 mean each
+  // instruction alone needs 1 cycle: nobody saturates -> SharedAll.
+  std::map<InstrId, size_t> IndexOf = {{10, 0}, {20, 1}};
+  std::vector<double> Solo = {2.0, 1.0};
+  Microkernel K;
+  K.add(10, 2.0);
+  K.add(20, 1.0);
+  auto Cs = deriveKernelConstraints({K, 2.0}, IndexOf, Solo, 0.05);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].Required, 0b11u);
+  EXPECT_EQ(Cs[0].Forbidden, 0u);
+}
+
+TEST(ShapeConstraints, DerivePrivateWhenSaturating) {
+  // Kernel a^4 b^1 with IPC 5/4 -> t = 4; a alone takes 4/1 = 4: a
+  // saturates -> a needs a resource private from b.
+  std::map<InstrId, size_t> IndexOf = {{10, 0}, {20, 1}};
+  std::vector<double> Solo = {1.0, 1.0};
+  Microkernel K;
+  K.add(10, 4.0);
+  K.add(20, 1.0);
+  auto Cs = deriveKernelConstraints({K, 5.0 / 4.0}, IndexOf, Solo, 0.05);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].Required, 0b01u);
+  EXPECT_EQ(Cs[0].Forbidden, 0b10u);
+}
+
+TEST(ShapeConstraints, AdditivePairSaturatesBoth) {
+  std::map<InstrId, size_t> IndexOf = {{1, 0}, {2, 1}};
+  std::vector<double> Solo = {1.0, 2.0};
+  Microkernel K;
+  K.add(1, 1.0);
+  K.add(2, 2.0);
+  auto Cs = deriveKernelConstraints({K, 3.0}, IndexOf, Solo, 0.05);
+  EXPECT_EQ(Cs.size(), 2u); // Both instructions saturate.
+}
+
+TEST(ShapeConstraints, SimplifyDropsImplied) {
+  std::vector<ShapeConstraint> Cs = {
+      sharedAll({0, 1}),
+      sharedAll({0, 1, 2}), // Implies the first.
+      privateWithin(0, {1}),
+      privateWithin(0, {1, 2}), // Implies the third.
+  };
+  auto Out = simplifyConstraints(Cs);
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(ShapeSolver, SingleSharedResource) {
+  MappingShape S = solveShapeExact({sharedAll({0, 1, 2})});
+  EXPECT_EQ(S.numResources(), 1u);
+  EXPECT_TRUE(hasResource(S, 0b111));
+}
+
+TEST(ShapeSolver, PrivateForcesSplit) {
+  std::vector<ShapeConstraint> Cs = {
+      sharedAll({0, 1}),
+      privateWithin(0, {1}),
+      privateWithin(1, {0}),
+  };
+  MappingShape S = solveShapeExact(Cs);
+  EXPECT_EQ(S.numResources(), 3u);
+  for (const ShapeConstraint &C : Cs)
+    EXPECT_TRUE(satisfies(S, C));
+}
+
+TEST(ShapeSolver, MergesCompatibleConstraints) {
+  // Shared {0,1} and shared {1,2} can share one resource {0,1,2}.
+  MappingShape S = solveShapeExact({sharedAll({0, 1}), sharedAll({1, 2})});
+  EXPECT_EQ(S.numResources(), 1u);
+  EXPECT_TRUE(hasResource(S, 0b111));
+}
+
+TEST(ShapeSolver, ForbiddenBlocksMerge) {
+  // Shared {0,1} and shared {1,2}, but 0 and 2 may not share with each
+  // other... expressed via a private constraint keeping them apart.
+  std::vector<ShapeConstraint> Cs = {
+      sharedAll({0, 1}),
+      sharedAll({1, 2}),
+      privateWithin(0, {2}),
+  };
+  MappingShape S = solveShapeExact(Cs);
+  // {0,1} cannot merge with {1,2} if the private({0}, not 2) merges with
+  // the first; optimal is 2 resources: {0,1} (satisfies private too? no —
+  // private forbids 2 only, so resource {0,1} satisfies both shared {0,1}
+  // and private(0, !2)) and {1,2}.
+  EXPECT_EQ(S.numResources(), 2u);
+  for (const ShapeConstraint &C : Cs)
+    EXPECT_TRUE(satisfies(S, C));
+}
+
+TEST(ShapeSolver, Fig1PaperStructure) {
+  // The hand-derived constraint system of the paper's Fig. 1 example
+  // (indices: 0=DIVPS 1=BSR 2=JMP 3=ADDSS 4=JNLE), from Sec. III-D's
+  // quadratic + amplified benchmarks. With the pairwise share
+  // classification the minimal shape has exactly the six resources of
+  // Fig. 1b.
+  std::vector<ShapeConstraint> Cs = {
+      // Disjoint pairs: private resources.
+      privateWithin(0, {1}), privateWithin(1, {0}), // DIVPS/BSR
+      privateWithin(0, {2}), privateWithin(2, {0}), // DIVPS/JMP
+      privateWithin(1, {2}), privateWithin(2, {1}), // BSR/JMP
+      privateWithin(1, {4}), privateWithin(4, {1}), // BSR/JNLE
+      privateWithin(2, {3}), privateWithin(3, {2}), // JMP/ADDSS
+      // Overlapping pairs: shared resources.
+      sharedAll({0, 3}), sharedAll({0, 4}), sharedAll({1, 3}),
+      sharedAll({2, 4}), sharedAll({3, 4}),
+      // Amplified aMb observations.
+      privateWithin(0, {3}), privateWithin(0, {4}),
+      privateWithin(1, {3}),
+      privateWithin(3, {4}), privateWithin(4, {3}),
+      privateWithin(2, {4}),
+      // Greedier instructions' global sharing.
+      sharedAll({3, 0, 1}),    // ADDSS with its overlap set.
+      sharedAll({4, 0, 2}),    // JNLE with its overlap set.
+  };
+  // Pairwise classification from the machine's true behaviour.
+  ShareMatrix Shares = shareMatrix(
+      5, {{0, 1, ShareKind::Additive},
+          {0, 2, ShareKind::Additive},
+          {1, 2, ShareKind::Additive},
+          {1, 4, ShareKind::Additive},
+          {2, 3, ShareKind::Additive},
+          {0, 3, ShareKind::Partial},
+          {0, 4, ShareKind::Partial},
+          {1, 3, ShareKind::Partial},
+          {2, 4, ShareKind::Partial},
+          {3, 4, ShareKind::Partial}});
+  MappingShape S = solveShapeExact(Cs, Shares);
+  EXPECT_EQ(S.numResources(), 6u);
+  // The port-exclusive instructions keep dedicated resources:
+  // r0 = {DIVPS}, r1 = {BSR}, r6 = {JMP}.
+  EXPECT_TRUE(hasResource(S, 0b00001));
+  EXPECT_TRUE(hasResource(S, 0b00010));
+  EXPECT_TRUE(hasResource(S, 0b00100));
+  // Every constraint holds (after owner expansion, as the solver sees it).
+  for (const ShapeConstraint &C : expandOwnerForbidden(Cs, Shares))
+    EXPECT_TRUE(satisfies(S, C));
+}
+
+TEST(ShapeSolver, OwnerRulesBlockDegenerateMerges) {
+  // Without share information the solver may merge an owner's private
+  // resource into a shared one (fewer resources, but no consistent
+  // weights); the share matrix must prevent it.
+  std::vector<ShapeConstraint> Cs = {
+      privateWithin(0, {1}), // 0 saturates without 1.
+      sharedAll({0, 2}),     // 0 and 2 share.
+      sharedAll({1, 2}),     // 1 and 2 share.
+  };
+  // 0 and 2 are additive: 2 may not sit on the resource 0 saturates.
+  ShareMatrix Shares =
+      shareMatrix(3, {{0, 2, ShareKind::Additive}});
+  MappingShape Strict = solveShapeExact(Cs, Shares);
+  // The private resource of 0 must exclude both 1 (explicit) and 2
+  // (additive partner): it is the singleton {0}.
+  EXPECT_TRUE(hasResource(Strict, 0b001));
+  for (const ShapeConstraint &C : expandOwnerForbidden(Cs, Shares))
+    EXPECT_TRUE(satisfies(Strict, C));
+}
+
+TEST(ShapeSolver, FullSharePermitsJointSaturation) {
+  // Two owners whose pair fully serializes may saturate one resource.
+  std::vector<ShapeConstraint> Cs = {
+      privateWithin(0, {2}),
+      privateWithin(1, {2}),
+  };
+  ShareMatrix Full = shareMatrix(3, {{0, 1, ShareKind::Full}});
+  ShareMatrix Partial = shareMatrix(3, {{0, 1, ShareKind::Partial}});
+  EXPECT_EQ(solveShapeExact(Cs, Full).numResources(), 1u);
+  EXPECT_EQ(solveShapeExact(Cs, Partial).numResources(), 2u);
+}
+
+TEST(ShapeSolver, ClassifyShare) {
+  EXPECT_EQ(classifyShare(1.0, 1.0, 1.0, 0.05), ShareKind::Additive);
+  EXPECT_EQ(classifyShare(2.0, 1.0, 1.0, 0.05), ShareKind::Full);
+  EXPECT_EQ(classifyShare(1.5, 1.0, 1.0, 0.05), ShareKind::Partial);
+  // Asymmetric solo times: kernel dominated by the slower side.
+  EXPECT_EQ(classifyShare(4.05, 4.0, 1.0, 0.05), ShareKind::Additive);
+  EXPECT_EQ(classifyShare(5.0, 4.0, 1.0, 0.05), ShareKind::Full);
+}
+
+TEST(ShapeSolver, MilpAgreesOnFig1) {
+  std::vector<ShapeConstraint> Cs = {
+      privateWithin(0, {1}), privateWithin(1, {0}),
+      privateWithin(0, {2}), privateWithin(2, {0}),
+      privateWithin(1, {2}), privateWithin(2, {1}),
+      sharedAll({0, 3}), sharedAll({1, 3}),
+      sharedAll({0, 4}), sharedAll({2, 4}),
+      privateWithin(3, {4}), privateWithin(4, {3}),
+  };
+  MappingShape Exact = solveShapeExact(Cs);
+  MappingShape Milp = solveShapeMilp(Cs, 5, Exact.numResources() + 2);
+  EXPECT_EQ(Exact.numResources(), Milp.numResources());
+  for (const ShapeConstraint &C : Cs) {
+    EXPECT_TRUE(satisfies(Exact, C));
+    EXPECT_TRUE(satisfies(Milp, C));
+  }
+}
+
+/// Property: exact solver and MILP find the same minimum on random
+/// satisfiable systems, and both satisfy every constraint.
+class ShapeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShapeProperty, ExactMatchesMilp) {
+  Rng R(GetParam());
+  const unsigned N = 3 + static_cast<unsigned>(R.uniformInt(3)); // 3-5.
+  std::vector<ShapeConstraint> Cs;
+  const unsigned NumCs = 3 + static_cast<unsigned>(R.uniformInt(6));
+  for (unsigned C = 0; C < NumCs; ++C) {
+    ShapeConstraint S;
+    if (R.chance(0.5)) {
+      // SharedAll over 2-3 members.
+      unsigned Count = 2 + static_cast<unsigned>(R.uniformInt(2));
+      while (portCount(S.Required) < Count)
+        S.Required |= InstrIndexMask{1} << R.uniformInt(N);
+    } else {
+      unsigned Owner = static_cast<unsigned>(R.uniformInt(N));
+      S.Required = InstrIndexMask{1} << Owner;
+      unsigned Others = 1 + static_cast<unsigned>(R.uniformInt(2));
+      for (unsigned O = 0; O < Others; ++O) {
+        unsigned X = static_cast<unsigned>(R.uniformInt(N));
+        if (X != Owner)
+          S.Forbidden |= InstrIndexMask{1} << X;
+      }
+    }
+    Cs.push_back(S);
+  }
+  MappingShape Exact = solveShapeExact(Cs);
+  MappingShape Milp = solveShapeMilp(Cs, N, Exact.numResources() + 1);
+  EXPECT_EQ(Exact.numResources(), Milp.numResources()) << "seed "
+                                                       << GetParam();
+  for (const ShapeConstraint &C : Cs) {
+    EXPECT_TRUE(satisfies(Exact, C));
+    EXPECT_TRUE(satisfies(Milp, C));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));

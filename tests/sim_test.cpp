@@ -1,0 +1,216 @@
+//===- tests/sim_test.cpp - Oracle and simulator tests --------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
+#include "sim/AnalyticOracle.h"
+#include "sim/BenchmarkRunner.h"
+#include "sim/EventSimulator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace palmed;
+
+namespace {
+
+InstrId idOf(const MachineModel &M, const std::string &Name) {
+  InstrId Id = M.isa().findByName(Name);
+  EXPECT_NE(Id, InvalidInstr) << Name;
+  return Id;
+}
+
+} // namespace
+
+// ---------------------------------------------------- AnalyticOracle (Fig 2)
+
+TEST(AnalyticOracle, PaperFig2aAddssSquaredBsr) {
+  // ADDSS^2 BSR: ports p0+p1 saturated, 3 instructions / 1.5 cycles = IPC 2.
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle O(M);
+  Microkernel K;
+  K.add(idOf(M, "ADDSS"), 2.0);
+  K.add(idOf(M, "BSR"), 1.0);
+  EXPECT_NEAR(O.measureCycles(K), 1.5, 1e-9);
+  EXPECT_NEAR(O.measureIpc(K), 2.0, 1e-9);
+}
+
+TEST(AnalyticOracle, PaperFig2bAddssBsrSquared) {
+  // ADDSS BSR^2: p1 is the bottleneck, IPC 1.5.
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle O(M);
+  Microkernel K;
+  K.add(idOf(M, "ADDSS"), 1.0);
+  K.add(idOf(M, "BSR"), 2.0);
+  EXPECT_NEAR(O.measureCycles(K), 2.0, 1e-9);
+  EXPECT_NEAR(O.measureIpc(K), 1.5, 1e-9);
+}
+
+TEST(AnalyticOracle, SoloThroughputsOfFig1) {
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle O(M);
+  auto Ipc = [&](const char *Name) {
+    return O.measureIpc(Microkernel::single(idOf(M, Name)));
+  };
+  EXPECT_NEAR(Ipc("DIVPS"), 1.0, 1e-9);
+  EXPECT_NEAR(Ipc("VCVTT"), 1.0, 1e-9); // Two µOPs over two ports.
+  EXPECT_NEAR(Ipc("ADDSS"), 2.0, 1e-9);
+  EXPECT_NEAR(Ipc("BSR"), 1.0, 1e-9);
+  EXPECT_NEAR(Ipc("JNLE"), 2.0, 1e-9);
+  EXPECT_NEAR(Ipc("JMP"), 1.0, 1e-9);
+}
+
+TEST(AnalyticOracle, OccupancyLimitsThroughput) {
+  // A divider with occupancy 4 on one port: IPC 0.25.
+  MachineBuilder B("div");
+  B.addPort("p0");
+  InstrId Div = B.addSimpleInstruction(
+      {"DIV", ExtClass::Base, InstrCategory::IntDiv}, portMask({0}), 4.0);
+  MachineModel M = B.build();
+  AnalyticOracle O(M);
+  EXPECT_NEAR(O.measureIpc(Microkernel::single(Div)), 0.25, 1e-9);
+}
+
+TEST(AnalyticOracle, FrontEndCapsIpc) {
+  MachineBuilder B("fe");
+  for (int P = 0; P < 6; ++P)
+    B.addPort("p" + std::to_string(P));
+  B.setDecodeWidth(4);
+  InstrId Add = B.addSimpleInstruction(
+      {"ADD", ExtClass::Base, InstrCategory::IntAlu},
+      portMask({0, 1, 2, 3, 4, 5}));
+  MachineModel M = B.build();
+  AnalyticOracle O(M);
+  // Six ports available but the decoder feeds only four per cycle.
+  EXPECT_NEAR(O.measureIpc(Microkernel::single(Add)), 4.0, 1e-9);
+}
+
+TEST(AnalyticOracle, MixPenaltyApplies) {
+  MachineBuilder B("mix");
+  B.addPort("p0");
+  B.addPort("p1");
+  B.setExtMixPenalty(0.5);
+  InstrId S = B.addSimpleInstruction(
+      {"SSEOP", ExtClass::Sse, InstrCategory::FpAdd}, portMask({0}));
+  InstrId A = B.addSimpleInstruction(
+      {"AVXOP", ExtClass::Avx, InstrCategory::FpAdd}, portMask({1}));
+  MachineModel M = B.build();
+  AnalyticOracle O(M);
+  Microkernel K;
+  K.add(S, 1.0);
+  K.add(A, 1.0);
+  // Without penalty IPC would be 2; the 1.5x slowdown gives 4/3.
+  EXPECT_NEAR(O.measureIpc(K), 2.0 / 1.5, 1e-9);
+}
+
+TEST(AnalyticOracle, ScaleInvariance) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  Microkernel K;
+  K.add(0, 1.0);
+  K.add(5, 2.0);
+  double I1 = O.measureIpc(K);
+  double I2 = O.measureIpc(K.scaled(7.0));
+  EXPECT_NEAR(I1, I2, 1e-9);
+}
+
+// ------------------------------------------------------------ EventSimulator
+
+TEST(EventSimulator, MatchesAnalyticOnFig1Kernels) {
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle Exact(M);
+  EventSimulator Sim(M);
+  Microkernel K;
+  K.add(idOf(M, "ADDSS"), 2.0);
+  K.add(idOf(M, "BSR"), 1.0);
+  EXPECT_NEAR(Sim.measureIpc(K), Exact.measureIpc(K), 0.05 * 2.0);
+}
+
+/// Property: the greedy cycle-level simulator lands within a few percent of
+/// the LP-optimal steady state on random machines and kernels — validating
+/// the paper's optimal-scheduler assumption for dependency-free kernels.
+class SimulatorOptimality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorOptimality, CloseToAnalytic) {
+  Rng R(GetParam());
+  MachineModel M = makeRandomMachine(R, 2 + R.uniformInt(4),
+                                     4 + R.uniformInt(8),
+                                     /*AllowOccupancy=*/false);
+  AnalyticOracle Exact(M);
+  EventSimConfig Cfg;
+  Cfg.Iterations = 400;
+  Cfg.WarmupIterations = 50;
+  EventSimulator Sim(M, Cfg);
+
+  Microkernel K;
+  size_t Terms = 1 + R.uniformInt(3);
+  for (size_t T = 0; T < Terms; ++T)
+    K.add(static_cast<InstrId>(R.uniformInt(M.numInstructions())),
+          static_cast<double>(1 + R.uniformInt(3)));
+
+  double Ref = Exact.measureIpc(K);
+  double Measured = Sim.measureIpc(K);
+  // Greedy scheduling may be mildly suboptimal but must be close, and can
+  // never beat the optimum by more than discretization noise.
+  EXPECT_LE(Measured, Ref * 1.02);
+  EXPECT_GE(Measured, Ref * 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOptimality,
+                         ::testing::Range(uint64_t{1}, uint64_t{30}));
+
+// ------------------------------------------------------------ BenchmarkRunner
+
+TEST(BenchmarkRunner, CachesAndCounts) {
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle O(M);
+  BenchmarkRunner Runner(M, O);
+  Microkernel K = Microkernel::single(idOf(M, "ADDSS"));
+  double A = Runner.measureIpc(K);
+  double B = Runner.measureIpc(K);
+  EXPECT_DOUBLE_EQ(A, B);
+  EXPECT_EQ(Runner.numDistinctBenchmarks(), 1u);
+  Runner.measureIpc(Microkernel::single(idOf(M, "BSR")));
+  EXPECT_EQ(Runner.numDistinctBenchmarks(), 2u);
+}
+
+TEST(BenchmarkRunner, NoiseIsDeterministicAndBounded) {
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle O(M);
+  BenchmarkConfig Cfg;
+  Cfg.NoiseStdDev = 0.02;
+  BenchmarkRunner R1(M, O, Cfg), R2(M, O, Cfg);
+  Microkernel K = Microkernel::single(idOf(M, "ADDSS"));
+  double A = R1.measureIpc(K);
+  double B = R2.measureIpc(K);
+  EXPECT_DOUBLE_EQ(A, B); // Same seed, same kernel: same noise.
+  EXPECT_NEAR(A, 2.0, 2.0 * 0.15);
+}
+
+TEST(BenchmarkRunner, RejectsMixedExtensions) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  BenchmarkRunner Runner(M, O);
+  Microkernel K;
+  K.add(idOf(M, "ADDSS_0"), 1.0);  // SSE.
+  K.add(idOf(M, "VADDPS_0"), 1.0); // AVX.
+  EXPECT_FALSE(Runner.accepts(K));
+  Microkernel Base;
+  Base.add(idOf(M, "ADD_0"), 1.0);
+  Base.add(idOf(M, "ADDSS_0"), 1.0);
+  EXPECT_TRUE(Runner.accepts(Base)); // Base + SSE is fine.
+}
+
+TEST(BenchmarkRunner, RoundsFractionalKernels) {
+  MachineModel M = makeFig1Machine();
+  AnalyticOracle O(M);
+  BenchmarkRunner Runner(M, O);
+  Microkernel K;
+  K.add(idOf(M, "ADDSS"), 1.5);
+  K.add(idOf(M, "BSR"), 1.0);
+  // IPC is scale invariant, so rounding (x2) must not change the result.
+  EXPECT_NEAR(Runner.measureIpc(K), O.measureIpc(K), 1e-9);
+}

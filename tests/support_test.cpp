@@ -1,0 +1,231 @@
+//===- tests/support_test.cpp - Support library tests ---------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fraction.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace palmed;
+
+// ---------------------------------------------------------------- Statistics
+
+TEST(Statistics, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Statistics, RmsErrorExactPrediction) {
+  EXPECT_DOUBLE_EQ(weightedRmsRelativeError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(Statistics, RmsErrorKnownValue) {
+  // Single sample, 10% over-prediction.
+  EXPECT_NEAR(weightedRmsRelativeError({1.1}, {1.0}), 0.1, 1e-12);
+}
+
+TEST(Statistics, RmsErrorUsesWeights) {
+  // The heavy sample dominates: err = sqrt(0.9*0.01 + 0.1*0.04).
+  double E = weightedRmsRelativeError({1.1, 1.2}, {1.0, 1.0}, {9.0, 1.0});
+  EXPECT_NEAR(E, std::sqrt(0.9 * 0.01 + 0.1 * 0.04), 1e-12);
+}
+
+TEST(Statistics, RmsErrorSkipsZeroNative) {
+  EXPECT_NEAR(weightedRmsRelativeError({5.0, 1.1}, {0.0, 1.0}), 0.1, 1e-12);
+}
+
+TEST(Statistics, KendallPerfectCorrelation) {
+  std::vector<double> A = {1, 2, 3, 4, 5};
+  std::vector<double> B = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(kendallTau(A, B), 1.0);
+  EXPECT_DOUBLE_EQ(kendallTauNaive(A, B), 1.0);
+}
+
+TEST(Statistics, KendallAntiCorrelation) {
+  std::vector<double> A = {1, 2, 3, 4};
+  std::vector<double> B = {4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendallTau(A, B), -1.0);
+}
+
+TEST(Statistics, KendallTiny) {
+  EXPECT_DOUBLE_EQ(kendallTau({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(kendallTau({1.0}, {2.0}), 0.0);
+}
+
+/// Property: the O(n log n) implementation agrees with the naive one on
+/// random data with ties.
+class KendallProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KendallProperty, MatchesNaive) {
+  Rng R(GetParam());
+  size_t N = 5 + R.uniformInt(60);
+  std::vector<double> A(N), B(N);
+  for (size_t I = 0; I < N; ++I) {
+    // Small integer values provoke plenty of ties.
+    A[I] = static_cast<double>(R.uniformInt(8));
+    B[I] = static_cast<double>(R.uniformInt(8));
+  }
+  EXPECT_NEAR(kendallTau(A, B), kendallTauNaive(A, B), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+TEST(Statistics, RunningStats) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.uniformInt(10);
+    EXPECT_LT(V, 10u);
+  }
+}
+
+TEST(Rng, UniformRealCoversUnitInterval) {
+  Rng R(5);
+  double Min = 1.0, Max = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.uniformReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+    Min = std::min(Min, V);
+    Max = std::max(Max, V);
+  }
+  EXPECT_LT(Min, 0.01);
+  EXPECT_GT(Max, 0.99);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng R(11);
+  RunningStats S;
+  for (int I = 0; I < 20000; ++I)
+    S.add(R.normal());
+  EXPECT_NEAR(S.mean(), 0.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng R(13);
+  int Counts[3] = {0, 0, 0};
+  for (int I = 0; I < 30000; ++I)
+    ++Counts[R.pickWeighted({1.0, 2.0, 7.0})];
+  EXPECT_NEAR(Counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(Counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(Counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(Rng, ZipfFavoursLowRanks) {
+  Rng R(17);
+  int First = 0, Last = 0;
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t K = R.zipf(100, 1.2);
+    EXPECT_GE(K, 1u);
+    EXPECT_LE(K, 100u);
+    First += K == 1;
+    Last += K == 100;
+  }
+  EXPECT_GT(First, Last * 10);
+}
+
+// ------------------------------------------------------------------ Fraction
+
+TEST(Fraction, Gcd) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(7, 0), 7);
+  EXPECT_EQ(gcd(1, 1), 1);
+}
+
+TEST(Fraction, Lcm) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(1, 9), 9);
+  EXPECT_EQ(lcm(0, 9), 0);
+}
+
+TEST(Fraction, ApproximateExactValues) {
+  Fraction F = approximateRatio(0.5, 10);
+  EXPECT_EQ(F.Num, 1);
+  EXPECT_EQ(F.Den, 2);
+  F = approximateRatio(3.0, 10);
+  EXPECT_EQ(F.Num, 3);
+  EXPECT_EQ(F.Den, 1);
+}
+
+TEST(Fraction, ApproximateThird) {
+  Fraction F = approximateRatio(1.0 / 3.0, 10);
+  EXPECT_EQ(F.Num, 1);
+  EXPECT_EQ(F.Den, 3);
+}
+
+TEST(Fraction, BoundedDenominator) {
+  Fraction F = approximateRatio(M_PI, 7);
+  EXPECT_LE(F.Den, 7);
+  EXPECT_NEAR(F.toDouble(), M_PI, 0.01); // 22/7.
+}
+
+TEST(Fraction, PaperStyleRounding) {
+  // Sec. VI-A: a = 0.06 rounds to a small fraction within ~5%.
+  Fraction F = approximateRatio(0.06, 20);
+  EXPECT_NEAR(F.toDouble(), 0.06, 0.06 * 0.06);
+}
+
+// --------------------------------------------------------------------- Table
+
+TEST(Table, AlignsColumns) {
+  TextTable T({"tool", "err"});
+  T.addRow({"palmed", "7.8"});
+  T.addRow({"uops.info", "40.3"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("tool"), std::string::npos);
+  EXPECT_NE(Out.find("palmed"), std::string::npos);
+  EXPECT_NE(Out.find("40.3"), std::string::npos);
+}
+
+TEST(Table, CsvEscapes) {
+  TextTable T({"a", "b"});
+  T.addRow({"x,y", "plain"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_NE(OS.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(int64_t{42}), "42");
+}

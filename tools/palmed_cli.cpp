@@ -1,0 +1,223 @@
+//===- tools/palmed_cli.cpp - Command-line front end ----------------------===//
+//
+// Part of the PALMED reproduction.
+//
+// A small CLI exposing the library's workflow:
+//
+//   palmed_cli map     --machine skl|zen|fig1 [--noise S] [--out FILE]
+//   palmed_cli predict --machine skl --mapping FILE "ADD_0^2 LOAD_0"
+//   palmed_cli analyze --machine skl --mapping FILE "ADD_0^2 LOAD_0"
+//   palmed_cli dual    --machine skl
+//
+// `map` infers a resource mapping from (simulated) measurements and writes
+// the portable text format; `predict` and `analyze` consume it; `dual`
+// prints the ground-truth conjunctive dual for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DualConstruction.h"
+#include "core/MappingAnalysis.h"
+#include "core/PalmedDriver.h"
+#include "machine/StandardMachines.h"
+#include "sim/AnalyticOracle.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace palmed;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  palmed_cli map     --machine skl|zen|fig1 [--noise S] [--out F]\n"
+      "  palmed_cli predict --machine M --mapping F \"KERNEL\"\n"
+      "  palmed_cli analyze --machine M --mapping F \"KERNEL\"\n"
+      "  palmed_cli dual    --machine M\n"
+      "KERNEL is e.g. \"ADD_0^2 LOAD_0\" (instruction names with optional\n"
+      "^multiplicity). Machines: skl (Skylake-like), zen (Zen1-like),\n"
+      "fig1 (the paper's running example).\n");
+}
+
+std::optional<MachineModel> makeMachine(const std::string &Name) {
+  if (Name == "skl")
+    return makeSklLike();
+  if (Name == "zen")
+    return makeZenLike();
+  if (Name == "fig1")
+    return makeFig1Machine();
+  std::fprintf(stderr, "error: unknown machine '%s'\n", Name.c_str());
+  return std::nullopt;
+}
+
+struct Options {
+  std::string Command;
+  std::string Machine = "skl";
+  std::string MappingFile;
+  std::string OutFile;
+  std::string Kernel;
+  double Noise = 0.0;
+};
+
+std::optional<Options> parseArgs(int Argc, char **Argv) {
+  if (Argc < 2)
+    return std::nullopt;
+  Options O;
+  O.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--machine") {
+      if (const char *V = Next())
+        O.Machine = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--mapping") {
+      if (const char *V = Next())
+        O.MappingFile = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--out") {
+      if (const char *V = Next())
+        O.OutFile = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--noise") {
+      if (const char *V = Next())
+        O.Noise = std::strtod(V, nullptr);
+      else
+        return std::nullopt;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      O.Kernel = Arg;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return O;
+}
+
+std::optional<ResourceMapping> loadMapping(const std::string &File,
+                                           const InstructionSet &Isa) {
+  std::ifstream IS(File);
+  if (!IS) {
+    std::fprintf(stderr, "error: cannot open mapping file '%s'\n",
+                 File.c_str());
+    return std::nullopt;
+  }
+  std::stringstream Buffer;
+  Buffer << IS.rdbuf();
+  auto M = ResourceMapping::fromText(Buffer.str(), Isa);
+  if (!M)
+    std::fprintf(stderr, "error: malformed mapping file '%s'\n",
+                 File.c_str());
+  return M;
+}
+
+int cmdMap(const Options &O) {
+  auto Machine = makeMachine(O.Machine);
+  if (!Machine)
+    return 1;
+  AnalyticOracle Oracle(*Machine);
+  BenchmarkConfig BCfg;
+  BCfg.NoiseStdDev = O.Noise;
+  BenchmarkRunner Runner(*Machine, Oracle, BCfg);
+
+  std::fprintf(stderr, "inferring mapping for '%s'...\n",
+               Machine->name().c_str());
+  PalmedResult R = runPalmed(Runner);
+  std::fprintf(stderr,
+               "%zu resources, %zu instructions mapped, %zu benchmarks, "
+               "%.1fs total\n",
+               R.Stats.NumResources, R.Stats.NumMapped,
+               R.Stats.NumBenchmarks,
+               R.Stats.SelectionSeconds + R.Stats.CoreMappingSeconds +
+                   R.Stats.CompleteMappingSeconds);
+
+  std::string Text = R.Mapping.toText(Machine->isa());
+  if (O.OutFile.empty()) {
+    std::cout << Text;
+    return 0;
+  }
+  std::ofstream OS(O.OutFile);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", O.OutFile.c_str());
+    return 1;
+  }
+  OS << Text;
+  std::fprintf(stderr, "mapping written to %s\n", O.OutFile.c_str());
+  return 0;
+}
+
+int cmdPredictOrAnalyze(const Options &O, bool Analyze) {
+  auto Machine = makeMachine(O.Machine);
+  if (!Machine)
+    return 1;
+  if (O.MappingFile.empty() || O.Kernel.empty()) {
+    usage();
+    return 1;
+  }
+  auto Mapping = loadMapping(O.MappingFile, Machine->isa());
+  if (!Mapping)
+    return 1;
+  auto K = Microkernel::parse(O.Kernel, Machine->isa());
+  if (!K) {
+    std::fprintf(stderr, "error: cannot parse kernel '%s'\n",
+                 O.Kernel.c_str());
+    return 1;
+  }
+  auto Ipc = Mapping->predictIpc(*K);
+  if (!Ipc) {
+    std::fprintf(stderr,
+                 "kernel contains instructions the mapping does not cover\n");
+    return 1;
+  }
+  AnalyticOracle Oracle(*Machine);
+  std::printf("kernel        : %s\n", K->str(Machine->isa()).c_str());
+  std::printf("predicted IPC : %.3f  (t = %.3f cycles/iter)\n", *Ipc,
+              K->size() / *Ipc);
+  std::printf("simulated IPC : %.3f\n", Oracle.measureIpc(*K));
+  if (Analyze) {
+    std::printf("\n");
+    printReport(std::cout, analyzeKernel(*Mapping, *K), Machine->isa());
+  }
+  return 0;
+}
+
+int cmdDual(const Options &O) {
+  auto Machine = makeMachine(O.Machine);
+  if (!Machine)
+    return 1;
+  ResourceMapping Dual = buildDualMapping(*Machine);
+  std::cout << Dual.toText(Machine->isa());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  auto O = parseArgs(Argc, Argv);
+  if (!O) {
+    usage();
+    return 1;
+  }
+  if (O->Command == "map")
+    return cmdMap(*O);
+  if (O->Command == "predict")
+    return cmdPredictOrAnalyze(*O, /*Analyze=*/false);
+  if (O->Command == "analyze")
+    return cmdPredictOrAnalyze(*O, /*Analyze=*/true);
+  if (O->Command == "dual")
+    return cmdDual(*O);
+  usage();
+  return 1;
+}
