@@ -1,0 +1,132 @@
+//===- bench/BenchReport.h - Machine-readable bench results ----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared JSON reporting for the bench/ programs. Each bench fills a
+/// BenchReport with the numbers it already prints as tables and calls
+/// write() from main. The output path comes from the PALMED_BENCH_REPORT
+/// environment variable — set by the `bench_all` build target, which then
+/// merges the per-bench files into BENCH_seed.json at the repo root (see
+/// cmake/MergeBenchReports.cmake). When the variable is unset the benches
+/// stay plain console tools and write() is a successful no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_BENCH_BENCHREPORT_H
+#define PALMED_BENCH_BENCHREPORT_H
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace palmed {
+namespace bench {
+
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName)
+      : Name(std::move(BenchName)),
+        Start(std::chrono::steady_clock::now()) {}
+
+  /// Records one named measurement. Dotted keys are the convention for
+  /// structured names, e.g. "skl.spec2017.palmed.err_pct".
+  void addMetric(const std::string &Key, double Value,
+                 std::string Unit = "") {
+    Metrics.push_back({Key, Value, std::move(Unit)});
+  }
+
+  /// Records a free-form string fact (machine name, mode, ...).
+  void addInfo(const std::string &Key, const std::string &Value) {
+    Info.emplace_back(Key, Value);
+  }
+
+  /// Serializes the report to $PALMED_BENCH_REPORT if set. Returns an
+  /// exit code so benches can end with `return Report.write();`.
+  int write() const {
+    const char *Path = std::getenv("PALMED_BENCH_REPORT");
+    if (!Path || !*Path)
+      return 0;
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::cerr << "error: cannot open bench report file '" << Path << "'\n";
+      return 1;
+    }
+    double WallS = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    OS << "{\n      \"bench\": \"" << escaped(Name) << "\",\n"
+       << "      \"wall_s\": " << number(WallS);
+    for (const auto &[Key, Value] : Info)
+      OS << ",\n      \"" << escaped(Key) << "\": \"" << escaped(Value)
+         << "\"";
+    OS << ",\n      \"metrics\": [";
+    for (size_t I = 0; I < Metrics.size(); ++I) {
+      OS << (I ? "," : "") << "\n        {\"name\": \""
+         << escaped(Metrics[I].Key)
+         << "\", \"value\": " << number(Metrics[I].Value);
+      if (!Metrics[I].Unit.empty())
+        OS << ", \"unit\": \"" << escaped(Metrics[I].Unit) << "\"";
+      OS << "}";
+    }
+    OS << (Metrics.empty() ? "]\n" : "\n      ]\n") << "    }\n";
+    OS.flush();
+    if (!OS.good()) {
+      std::cerr << "error: failed writing bench report '" << Path << "'\n";
+      return 1;
+    }
+    return 0;
+  }
+
+private:
+  struct Metric {
+    std::string Key;
+    double Value;
+    std::string Unit;
+  };
+
+  static std::string escaped(const std::string &S) {
+    std::string Out;
+    Out.reserve(S.size());
+    for (char C : S) {
+      if (C == '"' || C == '\\') {
+        Out += '\\';
+        Out += C;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else
+        Out += C;
+    }
+    return Out;
+  }
+
+  /// JSON has no NaN/Inf literals; map them to null.
+  static std::string number(double V) {
+    if (!std::isfinite(V))
+      return "null";
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+    return Buf;
+  }
+
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+  std::vector<std::pair<std::string, std::string>> Info;
+  std::vector<Metric> Metrics;
+};
+
+} // namespace bench
+} // namespace palmed
+
+#endif // PALMED_BENCH_BENCHREPORT_H

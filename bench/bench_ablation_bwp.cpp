@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/BwpSolver.h"
 #include "core/PalmedDriver.h"
 #include "core/Selection.h"
@@ -25,6 +26,7 @@
 using namespace palmed;
 
 int main() {
+  bench::BenchReport Report("ablation_bwp");
   std::cout << "ABLATION: BWP solution mode on the Fig. 1 core problem\n\n";
   MachineModel M = makeFig1Machine();
   AnalyticOracle O(M);
@@ -71,10 +73,14 @@ int main() {
                          std::chrono::steady_clock::now() - Start)
                          .count();
     Results.push_back(W);
-    T.addRow({Mode == BwpMode::Pinned ? "pinned-LP" : "exact-MILP",
-              TextTable::fmt(static_cast<int64_t>(Kernels.size())),
+    const char *ModeName = Mode == BwpMode::Pinned ? "pinned-LP" : "exact-MILP";
+    T.addRow({ModeName, TextTable::fmt(static_cast<int64_t>(Kernels.size())),
               TextTable::fmt(W.TotalSlack, 4), TextTable::fmt(Seconds, 3)});
+    std::string Key = Mode == BwpMode::Pinned ? "pinned." : "exact_milp.";
+    Report.addMetric(Key + "total_slack", W.TotalSlack);
+    Report.addMetric(Key + "time_s", Seconds, "s");
   }
+  Report.addMetric("kernels", static_cast<double>(Kernels.size()));
   T.print(std::cout);
 
   // Largest weight disagreement between the two optima.
@@ -86,5 +92,6 @@ int main() {
   std::cout << "\nmax |rho(pinned) - rho(exact)| = "
             << TextTable::fmt(MaxDelta, 4)
             << "  (differences within one optimum's face are expected)\n";
-  return 0;
+  Report.addMetric("max_rho_delta", MaxDelta);
+  return Report.write();
 }

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/PalmedDriver.h"
 #include "machine/StandardMachines.h"
 #include "sim/AnalyticOracle.h"
@@ -19,10 +20,12 @@
 #include "support/Table.h"
 
 #include <iostream>
+#include <string>
 
 using namespace palmed;
 
 int main() {
+  bench::BenchReport Report("ablation_nbasic");
   std::cout << "ABLATION: basic instructions per group (n) vs quality/time "
                "(SKL-SP-like)\n\n";
   MachineModel M = makeSklLike();
@@ -55,17 +58,26 @@ int main() {
       Pred.push_back(*P);
       Native.push_back(O.measureIpc(K));
     }
-    T.addRow(
-        {TextTable::fmt(static_cast<int64_t>(N)),
-         TextTable::fmt(static_cast<int64_t>(R.Stats.NumBasic)),
-         TextTable::fmt(static_cast<int64_t>(R.Stats.NumResources)),
-         TextTable::fmt(static_cast<int64_t>(R.Stats.NumBenchmarks)),
-         TextTable::fmt(R.Stats.CoreMappingSeconds +
-                            R.Stats.CompleteMappingSeconds,
-                        2),
-         TextTable::fmt(100.0 * weightedRmsRelativeError(Pred, Native), 1),
-         TextTable::fmt(kendallTau(Pred, Native), 2)});
+    double MapSeconds =
+        R.Stats.CoreMappingSeconds + R.Stats.CompleteMappingSeconds;
+    double ErrPct = 100.0 * weightedRmsRelativeError(Pred, Native);
+    double Tau = kendallTau(Pred, Native);
+    T.addRow({TextTable::fmt(static_cast<int64_t>(N)),
+              TextTable::fmt(static_cast<int64_t>(R.Stats.NumBasic)),
+              TextTable::fmt(static_cast<int64_t>(R.Stats.NumResources)),
+              TextTable::fmt(static_cast<int64_t>(R.Stats.NumBenchmarks)),
+              TextTable::fmt(MapSeconds, 2), TextTable::fmt(ErrPct, 1),
+              TextTable::fmt(Tau, 2)});
+    std::string Key = "n" + std::to_string(N) + ".";
+    Report.addMetric(Key + "basic", static_cast<double>(R.Stats.NumBasic));
+    Report.addMetric(Key + "resources",
+                     static_cast<double>(R.Stats.NumResources));
+    Report.addMetric(Key + "benchmarks",
+                     static_cast<double>(R.Stats.NumBenchmarks));
+    Report.addMetric(Key + "map_time_s", MapSeconds, "s");
+    Report.addMetric(Key + "err_pct", ErrPct, "%");
+    Report.addMetric(Key + "kendall_tau", Tau);
   }
   T.print(std::cout);
-  return 0;
+  return Report.write();
 }

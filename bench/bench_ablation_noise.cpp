@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/PalmedDriver.h"
 #include "machine/StandardMachines.h"
 #include "sim/AnalyticOracle.h"
@@ -18,10 +19,12 @@
 #include "support/Table.h"
 
 #include <iostream>
+#include <string>
 
 using namespace palmed;
 
 int main() {
+  bench::BenchReport Report("ablation_noise");
   std::cout << "ABLATION: measurement noise vs mapping accuracy "
                "(SKL-SP-like)\n\n";
   MachineModel M = makeSklLike();
@@ -53,12 +56,21 @@ int main() {
       Pred.push_back(*P);
       Native.push_back(O.measureIpc(K)); // Noise-free ground truth.
     }
+    double ErrPct = 100.0 * weightedRmsRelativeError(Pred, Native);
+    double Tau = kendallTau(Pred, Native);
     T.addRow({TextTable::fmt(100.0 * Noise, 1) + "%",
               TextTable::fmt(static_cast<int64_t>(R.Stats.NumResources)),
-              TextTable::fmt(100.0 * weightedRmsRelativeError(Pred, Native),
-                             1),
-              TextTable::fmt(kendallTau(Pred, Native), 2)});
+              TextTable::fmt(ErrPct, 1), TextTable::fmt(Tau, 2)});
+    // Dot-free level token (basis points) to respect BenchReport's
+    // dotted-key hierarchy: 0.001 -> "noise10bp".
+    std::string Key =
+        "noise" + std::to_string(static_cast<int>(10000.0 * Noise + 0.5)) +
+        "bp.";
+    Report.addMetric(Key + "resources",
+                     static_cast<double>(R.Stats.NumResources));
+    Report.addMetric(Key + "err_pct", ErrPct, "%");
+    Report.addMetric(Key + "kendall_tau", Tau);
   }
   T.print(std::cout);
-  return 0;
+  return Report.write();
 }

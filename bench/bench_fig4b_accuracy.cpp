@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "EvalCampaign.h"
 #include "support/Table.h"
 
@@ -22,6 +23,7 @@ using namespace palmed;
 using namespace palmed::bench;
 
 int main() {
+  BenchReport Report("fig4b_accuracy");
   std::cout << "FIG. 4b: coverage / RMS error / Kendall tau per tool\n\n";
   TextTable T({"machine", "suite", "tool", "Cov. %", "Err. %", "tauK"});
   for (bool Zen : {false, true}) {
@@ -33,6 +35,10 @@ int main() {
                   TextTable::fmt(A.CoveragePct, 1),
                   TextTable::fmt(A.ErrPct, 1),
                   TextTable::fmt(A.KendallTau, 2)});
+        std::string Key = C.MachineName + "." + Suite + "." + Tool + ".";
+        Report.addMetric(Key + "coverage_pct", A.CoveragePct, "%");
+        Report.addMetric(Key + "err_pct", A.ErrPct, "%");
+        Report.addMetric(Key + "kendall_tau", A.KendallTau);
       }
       T.addSeparator();
     }
@@ -41,5 +47,5 @@ int main() {
   std::cout << "\nPaper reference (SKL-SP SPEC2017): palmed 7.8%/0.90, "
                "uops.info 40.3%/0.71,\nPMEvo 28.1%/0.47, IACA 8.7%/0.80, "
                "llvm-mca 20.1%/0.73.\n";
-  return 0;
+  return Report.write();
 }

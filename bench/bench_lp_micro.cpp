@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/DualConstruction.h"
 #include "lp/Milp.h"
 #include "lp/Simplex.h"
@@ -109,6 +110,34 @@ void BM_DualConstructionSkl(benchmark::State &State) {
 }
 BENCHMARK(BM_DualConstructionSkl);
 
+/// Console output as usual, plus one BenchReport metric per benchmark so
+/// bench_all can fold the timings into BENCH_seed.json.
+class ReportingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit ReportingReporter(palmed::bench::BenchReport &Report)
+      : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (R.run_type == Run::RT_Iteration)
+        Report.addMetric(R.benchmark_name(), R.GetAdjustedRealTime(),
+                         benchmark::GetTimeUnitString(R.time_unit));
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  palmed::bench::BenchReport &Report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  palmed::bench::BenchReport Report("lp_micro");
+  ReportingReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return Report.write();
+}

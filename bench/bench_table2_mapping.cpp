@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/PalmedDriver.h"
 #include "machine/StandardMachines.h"
 #include "sim/AnalyticOracle.h"
@@ -42,6 +43,7 @@ Row runOn(bool Zen) {
 } // namespace
 
 int main() {
+  bench::BenchReport Report("table2_mapping");
   std::cout << "TABLE II: main features of the obtained mappings\n\n";
   Row Skl = runOn(false);
   Row Zen = runOn(true);
@@ -76,5 +78,25 @@ int main() {
   std::cout << "\nPaper reference (real HW): ~1,000,000 benchmarks, 17 "
                "resources,\n2586/2596 instructions mapped, 8h/6h "
                "benchmarking + 2h LP.\n";
-  return 0;
+
+  for (const Row *R : {&Skl, &Zen}) {
+    std::string P = R->Name == "SKL-SP-like" ? "skl." : "zen.";
+    Report.addMetric(P + "instructions",
+                     static_cast<double>(R->Instructions));
+    Report.addMetric(P + "benchmarks",
+                     static_cast<double>(R->Stats.NumBenchmarks));
+    Report.addMetric(P + "basic", static_cast<double>(R->Stats.NumBasic));
+    Report.addMetric(P + "resources",
+                     static_cast<double>(R->Stats.NumResources));
+    Report.addMetric(P + "mapped", static_cast<double>(R->Stats.NumMapped));
+    Report.addMetric(P + "core_kernels",
+                     static_cast<double>(R->Stats.NumCoreKernels));
+    Report.addMetric(P + "selection_s", R->Stats.SelectionSeconds, "s");
+    Report.addMetric(P + "lp_s",
+                     R->Stats.CoreMappingSeconds +
+                         R->Stats.CompleteMappingSeconds,
+                     "s");
+    Report.addMetric(P + "core_slack", R->Stats.CoreSlack);
+  }
+  return Report.write();
 }

@@ -1,0 +1,37 @@
+# Merges the per-bench JSON files produced via bench/BenchReport.h into one
+# machine-readable document. Invoked by the `bench_all` target as:
+#
+#   cmake -DREPORT_DIR=<dir> -DOUTPUT=<file> -P MergeBenchReports.cmake
+
+if(NOT REPORT_DIR OR NOT OUTPUT)
+  message(FATAL_ERROR "usage: cmake -DREPORT_DIR=<dir> -DOUTPUT=<file> -P MergeBenchReports.cmake")
+endif()
+
+file(GLOB _reports "${REPORT_DIR}/*.json")
+if(NOT _reports)
+  message(FATAL_ERROR "no bench reports found under ${REPORT_DIR}")
+endif()
+list(SORT _reports)
+
+# Accumulate as a plain string (not a CMake list) so report contents can
+# never be split on embedded semicolons.
+set(_body "")
+set(_sep "")
+foreach(_report IN LISTS _reports)
+  file(READ "${_report}" _content)
+  string(STRIP "${_content}" _content)
+  string(APPEND _body "${_sep}    ${_content}")
+  set(_sep ",\n")
+endforeach()
+list(LENGTH _reports _count)
+
+string(TIMESTAMP _now "%Y-%m-%dT%H:%M:%SZ" UTC)
+file(WRITE "${OUTPUT}" "{
+  \"schema\": \"palmed-bench-v1\",
+  \"generated\": \"${_now}\",
+  \"benches\": [
+${_body}
+  ]
+}
+")
+message(STATUS "Merged ${_count} bench report(s) into ${OUTPUT}")

@@ -17,6 +17,8 @@ using namespace palmed;
 std::vector<PortMask>
 palmed::computeResourceClosure(const MachineModel &Machine,
                                size_t MaxResources) {
+  (void)MaxResources; // Only consumed by the assert below; unused when
+                      // NDEBUG compiles the assert out.
   std::set<PortMask> Closure;
   for (InstrId Id = 0; Id < Machine.numInstructions(); ++Id)
     for (const MicroOpDesc &Op : Machine.exec(Id).MicroOps)

@@ -7,9 +7,9 @@
 #include "core/ShapeSolver.h"
 
 #include "lp/Milp.h"
+#include "support/Compat.h"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <cmath>
 #include <string>
@@ -152,7 +152,7 @@ public:
       Shape.Resources.push_back(G.Required);
     std::sort(Shape.Resources.begin(), Shape.Resources.end(),
               [](InstrIndexMask A, InstrIndexMask B) {
-                unsigned CA = std::popcount(A), CB = std::popcount(B);
+                unsigned CA = popCount(A), CB = popCount(B);
                 if (CA != CB)
                   return CA < CB;
                 return A < B;
@@ -351,7 +351,7 @@ palmed::solveShapeMilp(const std::vector<ShapeConstraint> &Constraints,
   }
   std::sort(Shape.Resources.begin(), Shape.Resources.end(),
             [](InstrIndexMask A, InstrIndexMask B) {
-              unsigned CA = std::popcount(A), CB = std::popcount(B);
+              unsigned CA = popCount(A), CB = popCount(B);
               if (CA != CB)
                 return CA < CB;
               return A < B;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lp/Milp.h"
+#include "support/Compat.h"
 
 #include <algorithm>
 #include <cassert>
@@ -110,7 +111,7 @@ Solution lp::solveMilp(const Model &M, const MilpOptions &Options,
     Solution Relax = std::move(Entry->Relax);
     // Compact the pool lazily.
     Entry->N = nullptr;
-    std::erase_if(Pool, [](const OpenEntry &E) { return !E.N; });
+    eraseIf(Pool, [](const OpenEntry &E) { return !E.N; });
 
     if (N->Bound >= IncumbentBound - Options.AbsGap)
       continue; // Cannot improve on the incumbent.

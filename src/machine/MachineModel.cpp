@@ -6,7 +6,7 @@
 
 #include "machine/MachineModel.h"
 
-#include <bit>
+#include "support/Compat.h"
 
 using namespace palmed;
 
@@ -20,7 +20,7 @@ PortMask palmed::portMask(std::initializer_list<unsigned> Ports) {
 }
 
 unsigned palmed::portCount(PortMask Mask) {
-  return static_cast<unsigned>(std::popcount(Mask));
+  return popCount(Mask);
 }
 
 MachineModel::MachineModel(std::string Name,

@@ -1,0 +1,39 @@
+//===- support/Compat.h - C++17 portability shims --------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction. Small stand-ins for C++20 library
+// facilities, kept so the library also builds under -std=c++17 (the
+// project default remains C++20; see the root CMakeLists.txt).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SUPPORT_COMPAT_H
+#define PALMED_SUPPORT_COMPAT_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace palmed {
+
+/// Number of set bits in \p Mask. Portable stand-in for C++20
+/// std::popcount over the unsigned mask types used throughout the repo
+/// (PortMask, InstrIndexMask).
+constexpr unsigned popCount(uint64_t Mask) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_popcountll(Mask));
+#else
+  unsigned Count = 0;
+  for (; Mask; Mask &= Mask - 1)
+    ++Count;
+  return Count;
+#endif
+}
+
+/// Erase-remove stand-in for C++20 std::erase_if on sequence containers.
+template <typename Container, typename Pred>
+void eraseIf(Container &C, Pred P) {
+  C.erase(std::remove_if(C.begin(), C.end(), P), C.end());
+}
+
+} // namespace palmed
+
+#endif // PALMED_SUPPORT_COMPAT_H

@@ -162,8 +162,9 @@ TEST(PMEvo, DeterministicGivenSeed) {
   K.add(0, 1.0);
   K.add(3, 2.0);
   EXPECT_EQ(A->predictIpc(K).has_value(), B->predictIpc(K).has_value());
-  if (A->predictIpc(K) && B->predictIpc(K))
+  if (A->predictIpc(K) && B->predictIpc(K)) {
     EXPECT_DOUBLE_EQ(*A->predictIpc(K), *B->predictIpc(K));
+  }
 }
 
 TEST(PMEvo, PartialCoverageSemantics) {

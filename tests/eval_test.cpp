@@ -9,6 +9,7 @@
 #include "eval/Workload.h"
 #include "machine/StandardMachines.h"
 #include "sim/AnalyticOracle.h"
+#include "support/Compat.h"
 
 #include <gtest/gtest.h>
 
@@ -94,7 +95,7 @@ TEST(Harness, PerfectPredictorScoresPerfectly) {
   Cfg.NumBlocks = 100;
   auto Blocks = generateWorkload(M, Cfg);
   // Drop mixed blocks so the IACA stand-in is exact.
-  std::erase_if(Blocks, [&](const BasicBlock &B) {
+  eraseIf(Blocks, [&](const BasicBlock &B) {
     return M.kernelMixesExtensions(B.K);
   });
 
@@ -159,7 +160,7 @@ TEST(Harness, HeatmapMassOnDiagonalForExactTool) {
   WorkloadConfig Cfg;
   Cfg.NumBlocks = 80;
   auto Blocks = generateWorkload(M, Cfg);
-  std::erase_if(Blocks, [&](const BasicBlock &B) {
+  eraseIf(Blocks, [&](const BasicBlock &B) {
     return M.kernelMixesExtensions(B.K);
   });
   EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
