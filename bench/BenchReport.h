@@ -18,6 +18,8 @@
 #ifndef PALMED_BENCH_BENCHREPORT_H
 #define PALMED_BENCH_BENCHREPORT_H
 
+#include "palmed/Version.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +30,11 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
 
 namespace palmed {
 namespace bench {
@@ -65,6 +72,10 @@ public:
                        std::chrono::steady_clock::now() - Start)
                        .count();
     OS << "{\n      \"bench\": \"" << escaped(Name) << "\",\n"
+       << "      \"schema_version\": " << SchemaVersion << ",\n"
+       << "      \"palmed_version\": \"" << PALMED_VERSION_STRING
+       << "\",\n"
+       << "      \"host\": " << hostJson() << ",\n"
        << "      \"wall_s\": " << number(WallS);
     for (const auto &[Key, Value] : Info)
       OS << ",\n      \"" << escaped(Key) << "\": \"" << escaped(Value)
@@ -87,12 +98,44 @@ public:
     return 0;
   }
 
+  /// Version of the per-bench report layout. v2 added schema_version,
+  /// palmed_version, and the host metadata block.
+  static constexpr int SchemaVersion = 2;
+
 private:
   struct Metric {
     std::string Key;
     double Value;
     std::string Unit;
   };
+
+  /// Host/machine metadata: where the numbers were measured and with what
+  /// toolchain — required to compare bench JSONs across environments.
+  static std::string hostJson() {
+    std::string HostName = "unknown", Os = "unknown", Arch = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    char Buf[256] = {0};
+    if (::gethostname(Buf, sizeof(Buf) - 1) == 0 && Buf[0])
+      HostName = Buf;
+    struct utsname Uts;
+    if (::uname(&Uts) == 0) {
+      Os = std::string(Uts.sysname) + " " + Uts.release;
+      Arch = Uts.machine;
+    }
+#endif
+#if defined(__clang__)
+    std::string Compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    std::string Compiler = std::string("gcc ") + __VERSION__;
+#else
+    std::string Compiler = "unknown";
+#endif
+    return "{\"name\": \"" + escaped(HostName) + "\", \"os\": \"" +
+           escaped(Os) + "\", \"arch\": \"" + escaped(Arch) +
+           "\", \"compiler\": \"" + escaped(Compiler) +
+           "\", \"cxx_standard\": " + std::to_string(__cplusplus / 100) +
+           "}";
+  }
 
   static std::string escaped(const std::string &S) {
     std::string Out;

@@ -6,27 +6,25 @@
 ///
 /// \file
 /// The full evaluation campaign shared by the Fig. 4 benches: for one
-/// machine, infer the Palmed mapping, train PMEvo, instantiate the
-/// ground-truth tool stand-ins, generate both workload suites, and run the
-/// harness. Tool availability mirrors the paper: uops.info and IACA do not
-/// support the ZEN1 machine (Sec. VI-B "hence the absence of data").
+/// machine, infer the Palmed mapping (palmed::Pipeline), build every
+/// applicable tool through the PredictorRegistry, generate both workload
+/// suites, and run an EvalSession under the configured ExecutionPolicy.
+/// Tool availability mirrors the paper: uops.info and IACA do not support
+/// the ZEN1 machine (Sec. VI-B "hence the absence of data").
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PALMED_BENCH_EVALCAMPAIGN_H
 #define PALMED_BENCH_EVALCAMPAIGN_H
 
-#include "baselines/GroundTruthPredictors.h"
-#include "baselines/PMEvo.h"
-#include "core/PalmedDriver.h"
-#include "eval/Harness.h"
-#include "eval/Workload.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace palmed {
@@ -37,6 +35,13 @@ struct CampaignConfig {
   uint64_t WorkloadSeed = 2022;
   PalmedConfig Palmed;
   PMEvoConfig PMEvo;
+  /// How the eval sessions schedule their work.
+  ExecutionPolicy Policy = ExecutionPolicy::serial();
+  /// When set, every suite is evaluated twice — serial and under
+  /// SpeedupPolicy — recording wall-clocks and checking the outcomes are
+  /// identical (Campaign::Eval*Seconds / PolicyOutcomesIdentical).
+  bool MeasurePolicySpeedup = false;
+  ExecutionPolicy SpeedupPolicy = ExecutionPolicy::parallel(4);
 };
 
 struct Campaign {
@@ -44,9 +49,22 @@ struct Campaign {
   std::unique_ptr<MachineModel> Machine;
   PalmedStats Stats;
   std::vector<std::string> Tools;
-  /// Per suite name ("SPEC2017" / "Polybench"), the harness outcome.
+  /// Per suite name ("SPEC2017" / "Polybench"), the harness outcome
+  /// (EvalOutcome::Blocks carries the generated block set).
   std::map<std::string, EvalOutcome> Outcomes;
+  /// Aggregate eval-phase wall-clocks (MeasurePolicySpeedup only).
+  double EvalSerialSeconds = 0.0;
+  double EvalParallelSeconds = 0.0;
+  /// True when the serial and parallel outcomes matched bit-for-bit.
+  bool PolicyOutcomesIdentical = true;
 };
+
+/// The paper's tool roster for one machine, in display order.
+inline std::vector<std::string> campaignTools(bool Zen) {
+  if (Zen) // uops.info and IACA have no usable ZEN1 port mapping.
+    return {"palmed", "pmevo", "llvm-mca"};
+  return {"palmed", "uops.info", "iaca", "pmevo", "llvm-mca"};
+}
 
 /// Runs the whole campaign for \p Zen ? ZEN1-like : SKL-SP-like.
 inline Campaign runCampaign(bool Zen,
@@ -60,25 +78,36 @@ inline Campaign runCampaign(bool Zen,
   AnalyticOracle Oracle(M);
   BenchmarkRunner Runner(M, Oracle);
 
-  PalmedResult PR = runPalmed(Runner, Config.Palmed);
+  Pipeline P(Runner, Config.Palmed);
+  const PalmedResult &PR = P.run();
   C.Stats = PR.Stats;
 
-  std::vector<std::unique_ptr<Predictor>> Owned;
-  std::vector<Predictor *> Predictors;
-  auto AddTool = [&](std::unique_ptr<Predictor> P) {
-    C.Tools.push_back(P->name());
-    Predictors.push_back(P.get());
-    Owned.push_back(std::move(P));
-  };
+  PredictorContext Ctx;
+  Ctx.Machine = &M;
+  Ctx.Runner = &Runner;
+  Ctx.PalmedMapping = &PR.Mapping;
+  Ctx.PMEvo = Config.PMEvo;
 
-  AddTool(std::make_unique<MappingPredictor>("palmed", PR.Mapping));
-  if (!Zen) {
-    // uops.info and IACA have no usable ZEN1 port mapping in the paper.
-    AddTool(makeUopsInfoPredictor(M));
-    AddTool(makeIacaLikePredictor(M));
+  // Predictors are owned here and lent to the sessions, so the same
+  // instances can be evaluated under several execution policies.
+  std::vector<std::unique_ptr<Predictor>> Predictors;
+  const PredictorRegistry &Registry = PredictorRegistry::builtin();
+  for (const std::string &Tool : campaignTools(Zen)) {
+    std::string Error;
+    auto Pred = Registry.create(Tool, Ctx, &Error);
+    if (!Pred)
+      throw std::runtime_error("campaign: cannot build '" + Tool +
+                               "': " + Error);
+    C.Tools.push_back(Pred->name());
+    Predictors.push_back(std::move(Pred));
   }
-  AddTool(PMEvoPredictor::train(Runner, M.isa().allIds(), Config.PMEvo));
-  AddTool(makeLlvmMcaLikePredictor(M));
+  auto MakeSession = [&](ExecutionPolicy Policy) {
+    EvalSession Session(Oracle, Policy);
+    Session.setReferenceTool("palmed");
+    for (const auto &P : Predictors)
+      Session.add(*P);
+    return Session;
+  };
 
   for (auto [SuiteName, Profile] :
        std::initializer_list<std::pair<const char *, WorkloadProfile>>{
@@ -91,8 +120,24 @@ inline Campaign runCampaign(bool Zen,
                                            ? 0
                                            : 1);
     auto Blocks = generateWorkload(M, WCfg);
-    C.Outcomes.emplace(SuiteName,
-                       runEvaluation(Oracle, Blocks, Predictors, "palmed"));
+    if (Config.MeasurePolicySpeedup) {
+      using Clock = std::chrono::steady_clock;
+      auto T0 = Clock::now();
+      EvalOutcome Serial = MakeSession(ExecutionPolicy::serial()).run(Blocks);
+      auto T1 = Clock::now();
+      EvalOutcome Parallel = MakeSession(Config.SpeedupPolicy).run(Blocks);
+      auto T2 = Clock::now();
+      C.EvalSerialSeconds += std::chrono::duration<double>(T1 - T0).count();
+      C.EvalParallelSeconds +=
+          std::chrono::duration<double>(T2 - T1).count();
+      C.PolicyOutcomesIdentical =
+          C.PolicyOutcomesIdentical &&
+          Serial.NativeIpc == Parallel.NativeIpc &&
+          Serial.Predictions == Parallel.Predictions;
+      C.Outcomes.emplace(SuiteName, std::move(Serial));
+    } else {
+      C.Outcomes.emplace(SuiteName, MakeSession(Config.Policy).run(Blocks));
+    }
   }
   return C;
 }

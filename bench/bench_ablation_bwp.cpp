@@ -14,10 +14,7 @@
 
 #include "BenchReport.h"
 #include "core/BwpSolver.h"
-#include "core/PalmedDriver.h"
-#include "core/Selection.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Table.h"
 
 #include <chrono>
@@ -33,7 +30,7 @@ int main() {
   BenchmarkRunner Runner(M, O);
 
   // Infer the shape with the standard (pinned) pipeline.
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
   std::map<InstrId, size_t> IndexOf;
   for (size_t I = 0; I < R.Selection.Basic.size(); ++I)
     IndexOf[R.Selection.Basic[I]] = I;

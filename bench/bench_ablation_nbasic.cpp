@@ -12,9 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
-#include "core/PalmedDriver.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
@@ -37,7 +35,7 @@ int main() {
     BenchmarkRunner Runner(M, O);
     PalmedConfig Cfg;
     Cfg.Selection.NumBasicPerGroup = N;
-    PalmedResult R = runPalmed(Runner, Cfg);
+    PalmedResult R = Pipeline(Runner, Cfg).run();
 
     Rng Rand(777);
     std::vector<double> Pred, Native;

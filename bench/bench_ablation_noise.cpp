@@ -11,9 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
-#include "core/PalmedDriver.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
@@ -35,7 +33,7 @@ int main() {
     BenchmarkConfig BCfg;
     BCfg.NoiseStdDev = Noise;
     BenchmarkRunner Runner(M, O, BCfg);
-    PalmedResult R = runPalmed(Runner);
+    PalmedResult R = Pipeline(Runner).run();
 
     Rng Rand(4242);
     std::vector<double> Pred, Native;

@@ -19,6 +19,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 using namespace palmed;
 using namespace palmed::bench;
@@ -51,9 +52,20 @@ void dumpCsv(const std::vector<std::vector<double>> &Grid,
 int main() {
   BenchReport Report("fig4a_heatmaps");
   size_t Csvs = 0;
+  double SerialS = 0.0, ParallelS = 0.0;
+  bool Identical = true;
   std::cout << "FIG. 4a: predicted/native IPC ratio heatmaps\n";
   for (bool Zen : {false, true}) {
-    Campaign C = runCampaign(Zen);
+    // Evaluate each suite twice — serial and Parallel(4) — to track the
+    // eval-phase speedup of the threaded EvalSession and to assert the
+    // two policies agree bit-for-bit.
+    CampaignConfig Config;
+    Config.MeasurePolicySpeedup = true;
+    Config.SpeedupPolicy = ExecutionPolicy::parallel(4);
+    Campaign C = runCampaign(Zen, Config);
+    SerialS += C.EvalSerialSeconds;
+    ParallelS += C.EvalParallelSeconds;
+    Identical = Identical && C.PolicyOutcomesIdentical;
     for (const auto &[Suite, Outcome] : C.Outcomes) {
       for (const std::string &Tool : C.Tools) {
         std::cout << '\n' << C.MachineName << " / " << Suite << " / ";
@@ -88,7 +100,28 @@ int main() {
       }
     }
   }
+  const unsigned HwThreads = std::thread::hardware_concurrency();
   std::cout << "\nCSV dumps written to fig4a_*.csv\n";
+  std::cout << "eval phase: serial " << SerialS << "s, parallel(4) "
+            << ParallelS << "s ("
+            << (ParallelS > 0 ? SerialS / ParallelS : 0.0)
+            << "x on " << HwThreads << " hardware threads), outcomes "
+            << (Identical ? "identical" : "DIVERGED") << "\n";
+  if (HwThreads < 4)
+    std::cout << "note: fewer than 4 hardware threads; the parallel "
+                 "speedup is bounded by the host, not the harness\n";
   Report.addMetric("csv_files", static_cast<double>(Csvs));
+  Report.addMetric("eval.serial_s", SerialS, "s");
+  Report.addMetric("eval.parallel4_s", ParallelS, "s");
+  Report.addMetric("eval.speedup_x",
+                   ParallelS > 0 ? SerialS / ParallelS : 0.0);
+  Report.addMetric("eval.hardware_threads",
+                   static_cast<double>(HwThreads));
+  Report.addMetric("eval.outcomes_identical", Identical ? 1.0 : 0.0);
+  if (!Identical) {
+    std::cerr << "error: serial and parallel eval outcomes diverged\n";
+    Report.write();
+    return 1;
+  }
   return Report.write();
 }

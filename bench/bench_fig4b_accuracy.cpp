@@ -6,6 +6,10 @@
 // coverage (relative to Palmed-supported blocks), the weighted RMS relative
 // IPC error, and Kendall's tau against native (simulated) execution.
 //
+// Flags: --threads N runs the eval sessions under ExecutionPolicy::parallel
+// (N), --blocks N shrinks the per-suite workloads (CI smoke runs use
+// --threads 4 --blocks 100).
+//
 // Expected shape vs the paper: Palmed beats uops.info-style and PMEvo on
 // both machines; IACA-like (full manual-expertise model) is the strongest
 // port-based tool; ZEN1 errors are higher than SKL for Palmed (split
@@ -17,17 +21,44 @@
 #include "EvalCampaign.h"
 #include "support/Table.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 using namespace palmed;
 using namespace palmed::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Threads = 1;
+  size_t Blocks = 600;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--blocks") && I + 1 < Argc)
+      Blocks = std::strtoul(Argv[++I], nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--blocks N]\n", Argv[0]);
+      return 1;
+    }
+  }
+
+  CampaignConfig Config;
+  Config.BlocksPerSuite = Blocks;
+  Config.Policy = Threads > 1 ? ExecutionPolicy::parallel(Threads)
+                              : ExecutionPolicy::serial();
+
   BenchReport Report("fig4b_accuracy");
-  std::cout << "FIG. 4b: coverage / RMS error / Kendall tau per tool\n\n";
+  Report.addInfo("threads", std::to_string(Threads));
+  Report.addInfo("blocks_per_suite", std::to_string(Blocks));
+  std::cout << "FIG. 4b: coverage / RMS error / Kendall tau per tool ("
+            << (Threads > 1 ? "parallel x" + std::to_string(Threads)
+                            : std::string("serial"))
+            << ")\n\n";
   TextTable T({"machine", "suite", "tool", "Cov. %", "Err. %", "tauK"});
   for (bool Zen : {false, true}) {
-    Campaign C = runCampaign(Zen);
+    Campaign C = runCampaign(Zen, Config);
     for (const auto &[Suite, Outcome] : C.Outcomes) {
       for (const std::string &Tool : C.Tools) {
         ToolAccuracy A = Outcome.accuracy(Tool);

@@ -14,7 +14,9 @@ endif()
 list(SORT _reports)
 
 # Accumulate as a plain string (not a CMake list) so report contents can
-# never be split on embedded semicolons.
+# never be split on embedded semicolons. Each per-bench report carries its
+# own schema_version / palmed_version / host block (BenchReport.h v2),
+# which the verbatim embedding below carries through unchanged.
 set(_body "")
 set(_sep "")
 foreach(_report IN LISTS _reports)
@@ -25,11 +27,23 @@ foreach(_report IN LISTS _reports)
 endforeach()
 list(LENGTH _reports _count)
 
+# Hoist the host metadata of the first report to the top level so a reader
+# can identify the measurement environment without descending into the
+# per-bench entries (all benches of one run share the same host).
+set(_host "")
+list(GET _reports 0 _first)
+file(READ "${_first}" _first_content)
+string(REGEX MATCH "\"host\": ({[^}]*})" _host_match "${_first_content}")
+if(CMAKE_MATCH_1)
+  set(_host "  \"host\": ${CMAKE_MATCH_1},\n")
+endif()
+
 string(TIMESTAMP _now "%Y-%m-%dT%H:%M:%SZ" UTC)
 file(WRITE "${OUTPUT}" "{
-  \"schema\": \"palmed-bench-v1\",
+  \"schema\": \"palmed-bench-v2\",
+  \"schema_version\": 2,
   \"generated\": \"${_now}\",
-  \"benches\": [
+${_host}  \"benches\": [
 ${_body}
   ]
 }

@@ -10,9 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PalmedDriver.h"
-#include "machine/MachineBuilder.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 
@@ -51,7 +49,7 @@ int main() {
   BenchmarkRunner Runner(M, O);
   PalmedConfig Cfg;
   Cfg.Selection.NumBasicPerGroup = 7;
-  PalmedResult R = runPalmed(Runner, Cfg);
+  PalmedResult R = Pipeline(Runner, Cfg).run();
 
   std::printf("Inferred mapping for '%s':\n", M.name().c_str());
   R.Mapping.print(std::cout, M.isa());

@@ -9,10 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/DualConstruction.h"
-#include "core/PalmedDriver.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 
 #include <cstdio>
 #include <iostream>
@@ -60,7 +57,7 @@ int main() {
 
   std::printf("\n=== Palmed-inferred mapping (measurements only) ===\n");
   BenchmarkRunner Runner(M, O);
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
   R.Mapping.print(std::cout, Isa);
   std::printf("\n  resources found: %zu (paper example: 6)\n",
               R.Stats.NumResources);

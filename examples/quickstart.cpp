@@ -2,15 +2,15 @@
 //
 // Part of the PALMED reproduction.
 //
-// Infers a resource mapping for the Skylake-like simulated machine and uses
-// it to predict the throughput of a few kernels — the end-to-end workflow a
-// compiler or performance-debugging tool would follow.
+// Infers a resource mapping for the Skylake-like simulated machine with
+// the staged public Pipeline API and uses it to predict the throughput of
+// a few kernels — the end-to-end workflow a compiler or
+// performance-debugging tool would follow. Everything used here comes
+// from the single public header palmed/palmed.h.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PalmedDriver.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 
 #include <cstdio>
 
@@ -23,25 +23,30 @@ int main() {
   AnalyticOracle Oracle(Machine);
   BenchmarkRunner Runner(Machine, Oracle);
 
-  // 2. Run the Palmed pipeline: selection, core mapping, complete mapping.
-  //    Only cycle measurements are consumed — no performance counters.
+  // 2. Run the Palmed pipeline stage by stage: selection, core mapping,
+  //    complete mapping. Only cycle measurements are consumed — no
+  //    performance counters. Each stage returns an inspectable result;
+  //    run() would drive all remaining stages in one call.
   std::printf("Inferring resource mapping for '%s' (%zu instructions)...\n",
               Machine.name().c_str(), Machine.numInstructions());
-  PalmedResult Result = runPalmed(Runner);
-  std::printf("  %zu abstract resources, %zu instructions mapped, "
-              "%zu microbenchmarks, %.1fs\n\n",
+  Pipeline P(Runner);
+  const SelectionResult &Sel = P.selectBasics();
+  std::printf("  stage 1: %zu basic instructions out of %zu survivors\n",
+              Sel.Basic.size(), Sel.Survivors.size());
+  const CoreMappingResult &Core = P.solveCoreMapping();
+  std::printf("  stage 2: %zu core resources from %zu kernels (%.1fs)\n",
+              Core.Shape.numResources(), Core.NumCoreKernels, Core.Seconds);
+  const PalmedResult &Result = P.completeMapping();
+  std::printf("  stage 3: %zu resources, %zu instructions mapped, "
+              "%zu microbenchmarks\n\n",
               Result.Stats.NumResources, Result.Stats.NumMapped,
-              Result.Stats.NumBenchmarks,
-              Result.Stats.SelectionSeconds +
-                  Result.Stats.CoreMappingSeconds +
-                  Result.Stats.CompleteMappingSeconds);
+              Result.Stats.NumBenchmarks);
 
   // 3. Predict kernels with the closed-form conjunctive model and compare
   //    against native (simulated) execution.
   auto Predict = [&](std::initializer_list<std::pair<const char *, double>>
                          Terms) {
     Microkernel K;
-    std::string Name;
     for (const auto &[InstrName, Mult] : Terms) {
       InstrId Id = Machine.isa().findByName(InstrName);
       if (Id == InvalidInstr) {
@@ -50,10 +55,10 @@ int main() {
       }
       K.add(Id, Mult);
     }
-    auto P = Result.Mapping.predictIpc(K);
+    auto Pred = Result.Mapping.predictIpc(K);
     double Native = Oracle.measureIpc(K);
     std::printf("  %-42s predicted IPC %5.2f   native %5.2f\n",
-                K.str(Machine.isa()).c_str(), P ? *P : -1.0, Native);
+                K.str(Machine.isa()).c_str(), Pred ? *Pred : -1.0, Native);
   };
 
   std::printf("Throughput predictions:\n");

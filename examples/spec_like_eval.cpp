@@ -2,20 +2,16 @@
 //
 // Part of the PALMED reproduction.
 //
-// A compact version of the paper's Sec. VI evaluation: generate a SPEC-like
-// basic-block workload, infer a mapping with Palmed, and compare its
-// accuracy against the uops.info-style and llvm-mca-like baselines. The
-// full campaign (all machines, suites, tools, heatmaps) lives in bench/.
+// A compact version of the paper's Sec. VI evaluation, written against the
+// public facade: generate a SPEC-like basic-block workload, infer a
+// mapping with palmed::Pipeline, build the comparison tools through the
+// PredictorRegistry, and score everything with a parallel EvalSession.
+// The full campaign (all machines, suites, tools, heatmaps) lives in
+// bench/.
 //
 //===----------------------------------------------------------------------===//
 
-#include "baselines/GroundTruthPredictors.h"
-#include "baselines/Predictor.h"
-#include "core/PalmedDriver.h"
-#include "eval/Harness.h"
-#include "eval/Workload.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Table.h"
 
 #include <iostream>
@@ -27,18 +23,33 @@ int main() {
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
 
-  PalmedResult PR = runPalmed(Runner);
-  MappingPredictor Palmed("palmed", PR.Mapping);
-  auto Uops = makeUopsInfoPredictor(M);
-  auto Mca = makeLlvmMcaLikePredictor(M);
+  Pipeline P(Runner);
+  const PalmedResult &PR = P.run();
+
+  // Tools come from the registry by name; the context supplies whatever
+  // each factory needs (the machine, the inferred mapping, ...).
+  PredictorContext Ctx;
+  Ctx.Machine = &M;
+  Ctx.PalmedMapping = &PR.Mapping;
+
+  EvalSession Session(O, ExecutionPolicy::parallel(4));
+  Session.setReferenceTool("palmed");
+  for (const char *Tool : {"palmed", "uops.info", "llvm-mca"}) {
+    std::string Error;
+    auto Pred = PredictorRegistry::builtin().create(Tool, Ctx, &Error);
+    if (!Pred) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    Session.add(std::move(Pred));
+  }
 
   WorkloadConfig WCfg;
   WCfg.Profile = WorkloadProfile::SpecLike;
   WCfg.NumBlocks = 400;
   auto Blocks = generateWorkload(M, WCfg);
 
-  EvalOutcome Out = runEvaluation(
-      O, Blocks, {&Palmed, Uops.get(), Mca.get()}, "palmed");
+  EvalOutcome Out = Session.run(Blocks);
 
   TextTable T({"tool", "coverage %", "RMS err %", "Kendall tau"});
   for (const char *Tool : {"palmed", "uops.info", "llvm-mca"}) {

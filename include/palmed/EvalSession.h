@@ -1,0 +1,87 @@
+//===- palmed/EvalSession.h - Parallel evaluation session ------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public successor of the historical runEvaluation() free function:
+/// an evaluation session that owns (or borrows) a set of predictors and
+/// runs them over a weighted block set under an ExecutionPolicy. The
+/// Parallel policy fans the blocks x (native + predictors) work items out
+/// over a small internal thread pool; every work item writes its own
+/// pre-allocated slot, so Serial and Parallel produce bit-identical
+/// EvalOutcomes.
+///
+/// Thread-safety contract: predictors declare reentrancy through
+/// Predictor::isThreadSafe(). A non-reentrant predictor is either cloned
+/// per worker thread (when Predictor::clone() is supported) or guarded by
+/// a per-predictor mutex. The native oracle is handled the same way via
+/// ThroughputOracle::isThreadSafe().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_EVALSESSION_H
+#define PALMED_PALMED_EVALSESSION_H
+
+#include "baselines/Predictor.h"
+#include "eval/Harness.h"
+#include "eval/Workload.h"
+#include "sim/ThroughputOracle.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// How an EvalSession schedules its work items.
+struct ExecutionPolicy {
+  /// Number of worker threads; <= 1 means serial in-place execution.
+  unsigned NumThreads = 1;
+
+  static ExecutionPolicy serial() { return ExecutionPolicy{1}; }
+
+  /// \p NumThreads = 0 picks std::thread::hardware_concurrency().
+  static ExecutionPolicy parallel(unsigned NumThreads = 0);
+
+  bool isParallel() const { return NumThreads > 1; }
+};
+
+/// A configured evaluation run: native oracle + predictors + policy.
+class EvalSession {
+public:
+  /// \p Native measures ground-truth IPC per block; it must outlive the
+  /// session.
+  explicit EvalSession(ThroughputOracle &Native,
+                       ExecutionPolicy Policy = ExecutionPolicy::serial());
+
+  /// Names the predictor defining the coverage denominator (default
+  /// "palmed"; harmless when absent).
+  void setReferenceTool(std::string Tool);
+
+  /// Adds an owned predictor; returns it for further configuration.
+  /// Throws std::invalid_argument on duplicate predictor names.
+  Predictor &add(std::unique_ptr<Predictor> P);
+
+  /// Adds a borrowed predictor (must outlive the session).
+  void add(Predictor &P);
+
+  size_t numPredictors() const { return Lanes.size(); }
+  const ExecutionPolicy &policy() const { return Policy; }
+
+  /// Runs every predictor (and the native oracle) over \p Blocks.
+  /// Deterministic: the outcome does not depend on the policy.
+  EvalOutcome run(const std::vector<BasicBlock> &Blocks) const;
+
+private:
+  ThroughputOracle &Native;
+  ExecutionPolicy Policy;
+  std::string ReferenceTool = "palmed";
+  std::vector<Predictor *> Lanes;
+  std::vector<std::unique_ptr<Predictor>> Owned;
+};
+
+} // namespace palmed
+
+#endif // PALMED_PALMED_EVALSESSION_H

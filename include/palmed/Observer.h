@@ -1,0 +1,98 @@
+//===- palmed/Observer.h - Pipeline observation & cancellation -*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation and cooperative-cancellation hooks for palmed::Pipeline.
+/// An observer receives stage begin/end events, one event per
+/// shape/enrichment round of the core-mapping refinement (the "LP
+/// progress" of Algo 2), and one event per instruction mapped by LPAUX. A
+/// CancellationToken can be flipped from any thread; the pipeline polls it
+/// at stage entry, between refinement rounds, and between LPAUX solves,
+/// and raises CancelledError when it is set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_OBSERVER_H
+#define PALMED_PALMED_OBSERVER_H
+
+#include "isa/Instruction.h"
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+
+namespace palmed {
+
+struct PalmedStats;
+
+/// The three explicit stages of the paper's Fig. 3 pipeline.
+enum class PipelineStage {
+  SelectBasics,     ///< Algo 1: basic-instruction selection.
+  SolveCoreMapping, ///< Algo 2: shape (LP1) + weights (LP2) refinement.
+  CompleteMapping,  ///< Algo 5: LPAUX over the remaining instructions.
+};
+
+/// Human-readable stage name ("select-basics", ...).
+const char *pipelineStageName(PipelineStage Stage);
+
+/// Callback interface for pipeline progress. All methods have empty
+/// default implementations; override what you need. Callbacks run
+/// synchronously on the pipeline's thread.
+class PipelineObserver {
+public:
+  virtual ~PipelineObserver();
+
+  virtual void onStageBegin(PipelineStage Stage) { (void)Stage; }
+
+  /// \p Stats carries everything populated so far (later-stage fields are
+  /// still zero).
+  virtual void onStageEnd(PipelineStage Stage, const PalmedStats &Stats) {
+    (void)Stage;
+    (void)Stats;
+  }
+
+  /// One shape/enrichment round of the core-mapping refinement.
+  virtual void onShapeIteration(int Iteration, size_t NumConstraints,
+                                size_t NumResources, size_t NumBenchmarks) {
+    (void)Iteration;
+    (void)NumConstraints;
+    (void)NumResources;
+    (void)NumBenchmarks;
+  }
+
+  /// One instruction mapped during complete mapping (LPAUX).
+  virtual void onInstructionMapped(InstrId Id, size_t NumDone,
+                                   size_t NumTotal) {
+    (void)Id;
+    (void)NumDone;
+    (void)NumTotal;
+  }
+};
+
+/// Cooperative cancellation flag shared between a pipeline and its
+/// controller. Thread-safe; cancellation is sticky.
+class CancellationToken {
+public:
+  void requestCancel() { Cancelled.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+};
+
+/// Thrown by Pipeline when its CancellationToken fires. The pipeline is
+/// left in a consistent but unfinished state; completed stage results
+/// remain inspectable.
+class CancelledError : public std::runtime_error {
+public:
+  CancelledError();
+};
+
+} // namespace palmed
+
+#endif // PALMED_PALMED_OBSERVER_H

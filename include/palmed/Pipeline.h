@@ -1,0 +1,156 @@
+//===- palmed/Pipeline.h - Staged Palmed pipeline --------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public, staged form of the paper's Fig. 3 pipeline. Where the
+/// historical runPalmed() free function runs everything in one shot,
+/// Pipeline exposes the three stages individually:
+///
+///   Pipeline P(Runner, Config);
+///   P.selectBasics();      // Algo 1 -> SelectionResult
+///   P.solveCoreMapping();  // Algo 2 -> CoreMappingResult (shape, sat)
+///   P.completeMapping();   // Algo 5 -> PalmedResult
+///
+/// Stages must run in order and each runs once; run() drives whatever is
+/// left, so `Pipeline(R).run()` is equivalent to the one-shot function,
+/// and a caller can stop after any stage, inspect its result, and resume
+/// later. Progress is observable through PipelineObserver and the whole
+/// pipeline is cooperatively cancellable through CancellationToken (see
+/// palmed/Observer.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_PIPELINE_H
+#define PALMED_PALMED_PIPELINE_H
+
+#include "core/BwpSolver.h"
+#include "core/ResourceMapping.h"
+#include "core/Selection.h"
+#include "core/ShapeSolver.h"
+#include "palmed/Observer.h"
+#include "sim/BenchmarkRunner.h"
+
+#include <memory>
+#include <vector>
+
+namespace palmed {
+
+/// Pipeline configuration.
+struct PalmedConfig {
+  SelectionConfig Selection;
+  /// Relative measurement tolerance shared by all comparisons.
+  double Epsilon = 0.05;
+  /// Multiplicity amplification M of the aMb seed benchmarks (paper uses 4).
+  int MRepeat = 4;
+  /// Saturation amplification L of the Ksat benchmarks (paper uses 4).
+  int LSat = 4;
+  /// Weight-problem solution mode (see BwpSolver.h).
+  BwpMode Mode = BwpMode::Pinned;
+  /// Maximum shape/enrichment iterations (Algo 2's repeat-until loop).
+  int MaxShapeIterations = 10;
+};
+
+/// Run statistics (feeds the Table II reproduction).
+struct PalmedStats {
+  size_t NumBenchmarks = 0;       ///< Distinct microbenchmarks executed.
+  size_t NumResources = 0;        ///< Abstract resources found.
+  size_t NumBasic = 0;            ///< Basic instructions selected.
+  size_t NumMapped = 0;           ///< Instructions mapped.
+  size_t NumCoreKernels = 0;      ///< Kernels entering LP2.
+  size_t NumShapeConstraints = 0; ///< Deduplicated LP1 constraints.
+  double CoreSlack = 0.0;         ///< LP2 objective sum(1 - S_K).
+  double SelectionSeconds = 0.0;
+  double CoreMappingSeconds = 0.0; ///< Shape + weights (the "LP solving").
+  double CompleteMappingSeconds = 0.0;
+};
+
+/// Pipeline output.
+struct PalmedResult {
+  ResourceMapping Mapping;
+  SelectionResult Selection;
+  MappingShape Shape;
+  /// One saturating kernel per resource (primary choice, minimal
+  /// consumption); may be empty for resources nothing saturates.
+  std::vector<Microkernel> SaturatingKernels;
+  PalmedStats Stats;
+};
+
+/// Inspectable result of the core-mapping stage (Algo 2), frozen before
+/// the complete-mapping stage runs (whose final pruning may drop
+/// resources).
+struct CoreMappingResult {
+  /// Shape at the end of the refinement (one member set per resource).
+  MappingShape Shape;
+  /// Saturating kernel per resource (may be empty where nothing
+  /// saturates).
+  std::vector<Microkernel> SaturatingKernels;
+  /// Kernels that entered the final LP2 solve.
+  size_t NumCoreKernels = 0;
+  /// LP2 objective sum(1 - S_K).
+  double CoreSlack = 0.0;
+  /// Wall-clock of the stage.
+  double Seconds = 0.0;
+};
+
+/// The staged pipeline. Not thread-safe: drive it from one thread (the
+/// CancellationToken may be flipped from any other thread). Move-only.
+class Pipeline {
+public:
+  /// \p Runner must outlive the pipeline.
+  explicit Pipeline(BenchmarkRunner &Runner,
+                    PalmedConfig Config = PalmedConfig());
+  ~Pipeline();
+  Pipeline(Pipeline &&) noexcept;
+  Pipeline &operator=(Pipeline &&) noexcept;
+
+  /// Installs a progress observer (borrowed; null to clear). Callbacks run
+  /// synchronously on the pipeline's thread.
+  void setObserver(PipelineObserver *Observer);
+
+  /// Installs a cancellation token (borrowed; null to clear).
+  void setCancellationToken(CancellationToken *Token);
+
+  /// The stage the next selectBasics/solveCoreMapping/completeMapping (or
+  /// run()) call will execute. Invalid once finished().
+  PipelineStage nextStage() const;
+  /// True once all three stages have run.
+  bool finished() const;
+
+  /// Stage 1 (Algo 1): basic-instruction selection. Throws
+  /// std::logic_error when called out of order, CancelledError when the
+  /// token fired.
+  const SelectionResult &selectBasics();
+
+  /// Stage 2 (Algo 2): seed benchmarks, shape/weights refinement,
+  /// saturating-kernel choice, core weights.
+  const CoreMappingResult &solveCoreMapping();
+
+  /// Stage 3 (Algo 5): map every remaining instruction against the frozen
+  /// core and prune dominated resources.
+  const PalmedResult &completeMapping();
+
+  /// Runs every stage that has not run yet and returns the final result.
+  const PalmedResult &run();
+
+  /// Final result; requires finished().
+  const PalmedResult &result() const;
+  /// Moves the final result out (the pipeline is spent afterwards);
+  /// requires finished().
+  PalmedResult takeResult();
+
+  /// Statistics populated so far (complete once finished()).
+  const PalmedStats &stats() const;
+
+  const PalmedConfig &config() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace palmed
+
+#endif // PALMED_PALMED_PIPELINE_H

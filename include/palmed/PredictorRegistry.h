@@ -1,0 +1,95 @@
+//===- palmed/PredictorRegistry.h - Named predictor factories --*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A string-keyed registry of throughput-predictor factories, so the CLI,
+/// examples, benches, and evaluation harness construct tools uniformly by
+/// name instead of hand-wiring constructors. Factories receive a
+/// PredictorContext carrying whatever a tool may need — the ground-truth
+/// machine, a BenchmarkRunner (for trained tools like pmevo), and the
+/// Palmed-inferred mapping — and fail gracefully (null + error message)
+/// when a required ingredient is missing.
+///
+/// PredictorRegistry::builtin() exposes the five standard tools of the
+/// paper's Sec. VI evaluation: "palmed", "uops.info", "iaca", "pmevo",
+/// and "llvm-mca". User code can register additional factories on its own
+/// registry instances (copy builtin() and extend it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_PREDICTORREGISTRY_H
+#define PALMED_PALMED_PREDICTORREGISTRY_H
+
+#include "baselines/PMEvo.h"
+#include "baselines/Predictor.h"
+#include "machine/MachineModel.h"
+#include "sim/BenchmarkRunner.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace palmed {
+
+/// Everything a predictor factory may draw from. Pointers are borrowed and
+/// may be null; each factory checks for what it needs.
+struct PredictorContext {
+  /// Ground-truth machine (needed by the tool stand-ins and pmevo).
+  const MachineModel *Machine = nullptr;
+  /// Measurement front door (needed by trained tools: pmevo).
+  BenchmarkRunner *Runner = nullptr;
+  /// The Palmed-inferred mapping (needed by "palmed").
+  const ResourceMapping *PalmedMapping = nullptr;
+  /// Training knobs for "pmevo".
+  PMEvoConfig PMEvo;
+};
+
+/// String-keyed predictor factory table.
+class PredictorRegistry {
+public:
+  /// Builds a predictor from \p Ctx, or returns null and sets \p Error.
+  using Factory = std::function<std::unique_ptr<Predictor>(
+      const PredictorContext &Ctx, std::string &Error)>;
+
+  PredictorRegistry() = default;
+
+  /// The process-wide registry pre-populated with the paper's five tools.
+  /// The returned reference is to an immutable singleton; copy it to
+  /// extend it.
+  static const PredictorRegistry &builtin();
+
+  /// Registers (or replaces) a factory. \p Description is a one-line
+  /// self-description shown by `palmed_cli eval --tools help`.
+  void add(std::string Name, std::string Description, Factory Make);
+
+  bool contains(const std::string &Name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// One-line description of \p Name (empty when unknown).
+  const std::string &description(const std::string &Name) const;
+
+  /// Instantiates \p Name from \p Ctx. Returns null on unknown name or
+  /// missing context ingredient; the reason lands in \p Error when
+  /// non-null.
+  std::unique_ptr<Predictor> create(const std::string &Name,
+                                    const PredictorContext &Ctx,
+                                    std::string *Error = nullptr) const;
+
+private:
+  struct Entry {
+    std::string Description;
+    Factory Make;
+  };
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace palmed
+
+#endif // PALMED_PALMED_PREDICTORREGISTRY_H

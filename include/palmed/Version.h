@@ -1,0 +1,29 @@
+//===- palmed/Version.h - Library version ----------------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Library version, kept in sync with the CMake project version. Bumped on
+/// every public-API change under include/palmed/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_VERSION_H
+#define PALMED_PALMED_VERSION_H
+
+#define PALMED_VERSION_MAJOR 0
+#define PALMED_VERSION_MINOR 2
+#define PALMED_VERSION_PATCH 0
+#define PALMED_VERSION_STRING "0.2.0"
+
+namespace palmed {
+
+/// Returns PALMED_VERSION_STRING (for callers linking against a different
+/// header vintage than the library they load).
+const char *versionString();
+
+} // namespace palmed
+
+#endif // PALMED_PALMED_VERSION_H

@@ -1,0 +1,49 @@
+//===- palmed/palmed.h - Public umbrella header ----------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one header applications include. Pulls in the stable public facade:
+///
+///   * palmed::Pipeline — the staged Fig. 3 pipeline (selection, core
+///     mapping, complete mapping) with observers and cancellation;
+///   * palmed::PredictorRegistry — named construction of the Sec. VI
+///     evaluation tools;
+///   * palmed::EvalSession — the Fig. 4 harness with Serial/Parallel
+///     execution policies;
+///
+/// plus the substrate a caller needs to drive them: machine models
+/// (builders and the paper's standard machines), the simulated measurement
+/// oracles, workload generation, and mapping analysis utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_PALMED_H
+#define PALMED_PALMED_PALMED_H
+
+// The facade.
+#include "palmed/EvalSession.h"
+#include "palmed/Observer.h"
+#include "palmed/Pipeline.h"
+#include "palmed/PredictorRegistry.h"
+#include "palmed/Version.h"
+
+// Machine substrate: describe or pick a target machine.
+#include "machine/MachineBuilder.h"
+#include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
+
+// Measurement substrate: the simulated "hardware".
+#include "sim/AnalyticOracle.h"
+#include "sim/BenchmarkRunner.h"
+#include "sim/EventSimulator.h"
+
+// Evaluation substrate: workloads, baselines, ground-truth duals.
+#include "baselines/GroundTruthPredictors.h"
+#include "core/DualConstruction.h"
+#include "core/MappingAnalysis.h"
+#include "eval/Workload.h"
+
+#endif // PALMED_PALMED_PALMED_H

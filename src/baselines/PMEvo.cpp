@@ -246,6 +246,13 @@ std::optional<double> PMEvoPredictor::predictIpc(const Microkernel &K) {
   return K.size() / Cycles;
 }
 
+std::unique_ptr<Predictor> PMEvoPredictor::clone() const {
+  std::unique_ptr<PMEvoPredictor> Copy(new PMEvoPredictor());
+  Copy->Inferred = Inferred;
+  Copy->TrainingError = TrainingError;
+  return Copy;
+}
+
 std::vector<InstrId> PMEvoPredictor::supportedInstructions() const {
   std::vector<InstrId> Ids;
   for (const auto &[Id, MicroOps] : Inferred)

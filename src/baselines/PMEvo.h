@@ -66,6 +66,10 @@ public:
   std::optional<double> predictIpc(const Microkernel &K) override;
   std::string name() const override { return "pmevo"; }
 
+  /// Prediction only reads the frozen inferred mapping.
+  bool isThreadSafe() const override { return true; }
+  std::unique_ptr<Predictor> clone() const override;
+
   /// Final training fitness (sum of squared relative cycle errors).
   double trainingError() const { return TrainingError; }
 

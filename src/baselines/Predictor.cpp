@@ -21,3 +21,7 @@ std::optional<double> MappingPredictor::predictIpc(const Microkernel &K) {
       return std::nullopt;
   return Mapping.predictIpc(K);
 }
+
+std::unique_ptr<Predictor> MappingPredictor::clone() const {
+  return std::make_unique<MappingPredictor>(*this);
+}

@@ -35,6 +35,16 @@ public:
   virtual std::optional<double> predictIpc(const Microkernel &K) = 0;
 
   virtual std::string name() const = 0;
+
+  /// True when predictIpc may be called concurrently from several threads.
+  /// Conservative default; purely-functional predictors override it.
+  /// palmed::EvalSession consults this to decide between sharing, cloning,
+  /// and mutex-guarding a predictor.
+  virtual bool isThreadSafe() const { return false; }
+
+  /// Deep copy for per-thread use, or null when cloning is unsupported.
+  /// A clone must predict identically to the original.
+  virtual std::unique_ptr<Predictor> clone() const { return nullptr; }
 };
 
 /// Predicts through a conjunctive ResourceMapping (the paper's closed-form
@@ -49,6 +59,10 @@ public:
 
   std::optional<double> predictIpc(const Microkernel &K) override;
   std::string name() const override { return Name; }
+
+  /// Prediction is a pure function of the immutable mapping.
+  bool isThreadSafe() const override { return true; }
+  std::unique_ptr<Predictor> clone() const override;
 
   const ResourceMapping &mapping() const { return Mapping; }
 

@@ -1,82 +1,30 @@
-//===- core/PalmedDriver.h - End-to-end Palmed pipeline --------*- C++ -*-===//
+//===- core/PalmedDriver.h - One-shot pipeline wrapper ---------*- C++ -*-===//
 //
 // Part of the PALMED reproduction.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The end-to-end pipeline of paper Fig. 3:
-///
-///   1. basic-instruction selection (Algo 1, Selection.h);
-///   2. core mapping (Algo 2): seed benchmarks {a, aabb, aMb}, iterated
-///      shape inference with benchmark enrichment (LP1, ShapeSolver.h),
-///      edge weights (LP2, BwpSolver.h), and saturating-kernel selection;
-///   3. complete mapping (Algo 5): every remaining benchmarkable
-///      instruction is mapped against the frozen core via per-resource
-///      saturation benchmarks Ksat(i, r) = i^IPC(i) sat[r]^(L * IPC(sat[r])).
-///
-/// The only interaction with the target machine is through a
-/// BenchmarkRunner; no performance counters are used, mirroring the
-/// paper's core claim.
+/// Backwards-compatibility shim for the historical one-shot entry point.
+/// The pipeline itself — and the PalmedConfig / PalmedStats / PalmedResult
+/// types this header used to define — now live in the public facade
+/// (palmed/Pipeline.h, re-exported through palmed/palmed.h), which exposes
+/// the three Fig. 3 stages individually with observation and cancellation.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PALMED_CORE_PALMEDDRIVER_H
 #define PALMED_CORE_PALMEDDRIVER_H
 
-#include "core/BwpSolver.h"
-#include "core/ResourceMapping.h"
-#include "core/Selection.h"
-#include "core/ShapeSolver.h"
-#include "sim/BenchmarkRunner.h"
-
-#include <vector>
+#include "palmed/Pipeline.h"
 
 namespace palmed {
 
-/// Pipeline configuration.
-struct PalmedConfig {
-  SelectionConfig Selection;
-  /// Relative measurement tolerance shared by all comparisons.
-  double Epsilon = 0.05;
-  /// Multiplicity amplification M of the aMb seed benchmarks (paper uses 4).
-  int MRepeat = 4;
-  /// Saturation amplification L of the Ksat benchmarks (paper uses 4).
-  int LSat = 4;
-  /// Weight-problem solution mode (see BwpSolver.h).
-  BwpMode Mode = BwpMode::Pinned;
-  /// Maximum shape/enrichment iterations (Algo 2's repeat-until loop).
-  int MaxShapeIterations = 10;
-};
-
-/// Run statistics (feeds the Table II reproduction).
-struct PalmedStats {
-  size_t NumBenchmarks = 0;       ///< Distinct microbenchmarks executed.
-  size_t NumResources = 0;        ///< Abstract resources found.
-  size_t NumBasic = 0;            ///< Basic instructions selected.
-  size_t NumMapped = 0;           ///< Instructions mapped.
-  size_t NumCoreKernels = 0;      ///< Kernels entering LP2.
-  size_t NumShapeConstraints = 0; ///< Deduplicated LP1 constraints.
-  double CoreSlack = 0.0;         ///< LP2 objective sum(1 - S_K).
-  double SelectionSeconds = 0.0;
-  double CoreMappingSeconds = 0.0; ///< Shape + weights (the "LP solving").
-  double CompleteMappingSeconds = 0.0;
-};
-
-/// Pipeline output.
-struct PalmedResult {
-  ResourceMapping Mapping;
-  SelectionResult Selection;
-  MappingShape Shape;
-  /// One saturating kernel per resource (primary choice, minimal
-  /// consumption); may be empty for resources nothing saturates.
-  std::vector<Microkernel> SaturatingKernels;
-  PalmedStats Stats;
-};
-
 /// Runs the full pipeline on every instruction of the runner's machine.
-PalmedResult runPalmed(BenchmarkRunner &Runner,
-                       const PalmedConfig &Config = PalmedConfig());
+/// Equivalent to `Pipeline(Runner, Config).run()`.
+[[deprecated("use palmed::Pipeline (see palmed/palmed.h)")]] PalmedResult
+runPalmed(BenchmarkRunner &Runner,
+          const PalmedConfig &Config = PalmedConfig());
 
 } // namespace palmed
 

@@ -6,6 +6,7 @@
 
 #include "eval/Harness.h"
 
+#include "palmed/EvalSession.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -15,25 +16,26 @@
 
 using namespace palmed;
 
+// Defining the deprecated symbol is intentional; only *calls* should warn.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 EvalOutcome palmed::runEvaluation(ThroughputOracle &Native,
                                   const std::vector<BasicBlock> &Blocks,
                                   const std::vector<Predictor *> &Predictors,
                                   const std::string &ReferenceTool) {
-  EvalOutcome Out;
-  Out.Blocks = Blocks;
-  Out.ReferenceTool = ReferenceTool;
-  Out.NativeIpc.reserve(Blocks.size());
-  for (const BasicBlock &B : Blocks)
-    Out.NativeIpc.push_back(Native.measureIpc(B.K));
-
-  for (Predictor *P : Predictors) {
-    auto &Row = Out.Predictions[P->name()];
-    Row.reserve(Blocks.size());
-    for (const BasicBlock &B : Blocks)
-      Row.push_back(P->predictIpc(B.K));
-  }
-  return Out;
+  EvalSession Session(Native, ExecutionPolicy::serial());
+  Session.setReferenceTool(ReferenceTool);
+  for (Predictor *P : Predictors)
+    Session.add(*P);
+  return Session.run(Blocks);
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 ToolAccuracy EvalOutcome::accuracy(const std::string &Tool) const {
   ToolAccuracy A;

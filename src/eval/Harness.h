@@ -70,10 +70,13 @@ struct EvalOutcome {
 
 /// Runs \p Predictors over \p Blocks; native IPC comes from \p Native.
 /// \p ReferenceTool names the predictor defining the coverage denominator.
-EvalOutcome runEvaluation(ThroughputOracle &Native,
-                          const std::vector<BasicBlock> &Blocks,
-                          const std::vector<Predictor *> &Predictors,
-                          const std::string &ReferenceTool);
+/// Equivalent to a serial palmed::EvalSession (see palmed/EvalSession.h),
+/// which adds the Parallel execution policy.
+[[deprecated("use palmed::EvalSession (see palmed/palmed.h)")]] EvalOutcome
+runEvaluation(ThroughputOracle &Native,
+              const std::vector<BasicBlock> &Blocks,
+              const std::vector<Predictor *> &Predictors,
+              const std::string &ReferenceTool);
 
 } // namespace palmed
 

@@ -1,0 +1,167 @@
+//===- palmed/EvalSession.cpp - Parallel evaluation session ---------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Scheduling model: the work is blocks x lanes, where lane 0 is the
+// native oracle and lane i >= 1 is predictor i-1. Work is cut into
+// fixed-size block chunks per lane, pulled by the workers off a shared
+// atomic counter. Every work item writes one pre-allocated slot
+// (NativeIpc[b] or Predictions[tool][b]), so the outcome is bit-identical
+// for any worker count, including the in-place serial path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "palmed/EvalSession.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+using namespace palmed;
+
+ExecutionPolicy ExecutionPolicy::parallel(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 4; // hardware_concurrency may legitimately return 0.
+  }
+  return ExecutionPolicy{NumThreads};
+}
+
+EvalSession::EvalSession(ThroughputOracle &Native, ExecutionPolicy Policy)
+    : Native(Native), Policy(Policy) {}
+
+void EvalSession::setReferenceTool(std::string Tool) {
+  ReferenceTool = std::move(Tool);
+}
+
+void EvalSession::add(Predictor &P) {
+  for (const Predictor *Existing : Lanes)
+    if (Existing->name() == P.name())
+      throw std::invalid_argument("palmed::EvalSession: duplicate predictor"
+                                  " name '" +
+                                  P.name() + "'");
+  Lanes.push_back(&P);
+}
+
+Predictor &EvalSession::add(std::unique_ptr<Predictor> P) {
+  if (!P)
+    throw std::invalid_argument("palmed::EvalSession: null predictor");
+  Predictor &Ref = *P;
+  add(Ref); // Duplicate check + lane registration.
+  Owned.push_back(std::move(P));
+  return Ref;
+}
+
+EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
+  EvalOutcome Out;
+  Out.Blocks = Blocks;
+  Out.ReferenceTool = ReferenceTool;
+  Out.NativeIpc.assign(Blocks.size(), 0.0);
+
+  // Pre-create every row so the map is never mutated concurrently.
+  std::vector<std::vector<std::optional<double>> *> Rows;
+  Rows.reserve(Lanes.size());
+  for (Predictor *P : Lanes) {
+    auto &Row = Out.Predictions[P->name()];
+    Row.assign(Blocks.size(), std::nullopt);
+    Rows.push_back(&Row);
+  }
+
+  const unsigned NumWorkers =
+      Policy.NumThreads <= 1
+          ? 1
+          : static_cast<unsigned>(std::min<size_t>(
+                Policy.NumThreads, std::max<size_t>(Blocks.size(), 1)));
+
+  if (NumWorkers <= 1 || Blocks.empty()) {
+    for (size_t B = 0; B < Blocks.size(); ++B)
+      Out.NativeIpc[B] = Native.measureIpc(Blocks[B].K);
+    for (size_t L = 0; L < Lanes.size(); ++L)
+      for (size_t B = 0; B < Blocks.size(); ++B)
+        (*Rows[L])[B] = Lanes[L]->predictIpc(Blocks[B].K);
+    return Out;
+  }
+
+  // Per-lane concurrency strategy (lane 0 = native oracle).
+  const size_t NumLanes = Lanes.size() + 1;
+  std::vector<std::unique_ptr<std::mutex>> LaneMutex(NumLanes);
+  // Clones[lane][worker]: per-thread deep copies for non-reentrant
+  // predictors that support cloning.
+  std::vector<std::vector<std::unique_ptr<Predictor>>> Clones(NumLanes);
+  if (!Native.isThreadSafe())
+    LaneMutex[0] = std::make_unique<std::mutex>();
+  for (size_t L = 0; L < Lanes.size(); ++L) {
+    if (Lanes[L]->isThreadSafe())
+      continue;
+    std::vector<std::unique_ptr<Predictor>> PerWorker(NumWorkers);
+    bool Cloned = true;
+    for (unsigned W = 0; W < NumWorkers && Cloned; ++W) {
+      PerWorker[W] = Lanes[L]->clone();
+      Cloned = PerWorker[W] != nullptr;
+    }
+    if (Cloned)
+      Clones[L + 1] = std::move(PerWorker);
+    else
+      LaneMutex[L + 1] = std::make_unique<std::mutex>();
+  }
+
+  // Chunked task list: big enough chunks to amortize the atomic pull,
+  // small enough to balance lanes of uneven cost.
+  struct Task {
+    size_t Lane;
+    size_t Begin;
+    size_t End;
+  };
+  const size_t ChunkSize = std::max<size_t>(
+      1, std::min<size_t>(32, Blocks.size() / (NumWorkers * 4) + 1));
+  std::vector<Task> Tasks;
+  for (size_t L = 0; L < NumLanes; ++L)
+    for (size_t B = 0; B < Blocks.size(); B += ChunkSize)
+      Tasks.push_back({L, B, std::min(B + ChunkSize, Blocks.size())});
+
+  std::atomic<size_t> NextTask{0};
+  std::mutex ErrorMutex;
+  std::exception_ptr FirstError;
+
+  auto Worker = [&](unsigned WorkerId) {
+    try {
+      for (size_t T = NextTask.fetch_add(1); T < Tasks.size();
+           T = NextTask.fetch_add(1)) {
+        const Task &Tk = Tasks[T];
+        std::unique_lock<std::mutex> Guard;
+        if (LaneMutex[Tk.Lane])
+          Guard = std::unique_lock<std::mutex>(*LaneMutex[Tk.Lane]);
+        if (Tk.Lane == 0) {
+          for (size_t B = Tk.Begin; B < Tk.End; ++B)
+            Out.NativeIpc[B] = Native.measureIpc(Blocks[B].K);
+        } else {
+          Predictor *P = Clones[Tk.Lane].empty()
+                             ? Lanes[Tk.Lane - 1]
+                             : Clones[Tk.Lane][WorkerId].get();
+          auto &Row = *Rows[Tk.Lane - 1];
+          for (size_t B = Tk.Begin; B < Tk.End; ++B)
+            Row[B] = P->predictIpc(Blocks[B].K);
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(ErrorMutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+      // Drain the queue so the other workers stop quickly.
+      NextTask.store(Tasks.size());
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Pool.emplace_back(Worker, W);
+  for (std::thread &T : Pool)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===- palmed/PredictorRegistry.cpp - Named predictor factories -----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "palmed/PredictorRegistry.h"
+
+#include "baselines/GroundTruthPredictors.h"
+#include "palmed/Version.h"
+
+#include <sstream>
+
+using namespace palmed;
+
+const char *palmed::versionString() { return PALMED_VERSION_STRING; }
+
+void PredictorRegistry::add(std::string Name, std::string Description,
+                            Factory Make) {
+  Entries[std::move(Name)] = {std::move(Description), std::move(Make)};
+}
+
+bool PredictorRegistry::contains(const std::string &Name) const {
+  return Entries.count(Name) != 0;
+}
+
+std::vector<std::string> PredictorRegistry::names() const {
+  std::vector<std::string> Names;
+  Names.reserve(Entries.size());
+  for (const auto &[Name, Entry] : Entries)
+    Names.push_back(Name);
+  return Names;
+}
+
+const std::string &
+PredictorRegistry::description(const std::string &Name) const {
+  static const std::string Empty;
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? Empty : It->second.Description;
+}
+
+std::unique_ptr<Predictor>
+PredictorRegistry::create(const std::string &Name,
+                          const PredictorContext &Ctx,
+                          std::string *Error) const {
+  std::string Reason;
+  auto It = Entries.find(Name);
+  std::unique_ptr<Predictor> P;
+  if (It == Entries.end()) {
+    std::ostringstream OS;
+    OS << "unknown predictor '" << Name << "' (known:";
+    for (const auto &[Known, Entry] : Entries)
+      OS << ' ' << Known;
+    OS << ')';
+    Reason = OS.str();
+  } else {
+    P = It->second.Make(Ctx, Reason);
+    if (!P && Reason.empty())
+      Reason = "factory for '" + Name + "' returned nothing";
+  }
+  if (!P && Error)
+    *Error = Reason;
+  return P;
+}
+
+const PredictorRegistry &PredictorRegistry::builtin() {
+  static const PredictorRegistry Registry = [] {
+    PredictorRegistry R;
+    auto NeedMachine =
+        [](const PredictorContext &Ctx,
+           std::string &Error) -> const MachineModel * {
+      if (!Ctx.Machine)
+        Error = "requires PredictorContext::Machine";
+      return Ctx.Machine;
+    };
+    R.add("palmed",
+          "the Palmed-inferred conjunctive resource mapping "
+          "(measurements only)",
+          [](const PredictorContext &Ctx, std::string &Error)
+              -> std::unique_ptr<Predictor> {
+            if (!Ctx.PalmedMapping) {
+              Error = "requires PredictorContext::PalmedMapping (run the "
+                      "Pipeline first)";
+              return nullptr;
+            }
+            return std::make_unique<MappingPredictor>("palmed",
+                                                      *Ctx.PalmedMapping);
+          });
+    R.add("uops.info",
+          "uops.info-style port-only dual of the ground-truth machine "
+          "(no front-end, pipelined dividers)",
+          [NeedMachine](const PredictorContext &Ctx, std::string &Error)
+              -> std::unique_ptr<Predictor> {
+            const MachineModel *M = NeedMachine(Ctx, Error);
+            return M ? makeUopsInfoPredictor(*M) : nullptr;
+          });
+    R.add("iaca",
+          "IACA-like dual with front-end and non-pipelined units (full "
+          "manual-expertise model)",
+          [NeedMachine](const PredictorContext &Ctx, std::string &Error)
+              -> std::unique_ptr<Predictor> {
+            const MachineModel *M = NeedMachine(Ctx, Error);
+            return M ? makeIacaLikePredictor(*M) : nullptr;
+          });
+    R.add("llvm-mca",
+          "llvm-mca-like dual with front-end, pipelined-divider "
+          "assumption, and partial ISA coverage",
+          [NeedMachine](const PredictorContext &Ctx, std::string &Error)
+              -> std::unique_ptr<Predictor> {
+            const MachineModel *M = NeedMachine(Ctx, Error);
+            return M ? makeLlvmMcaLikePredictor(*M) : nullptr;
+          });
+    R.add("pmevo",
+          "PMEvo: evolutionary disjunctive port-mapping inference trained "
+          "on solo/pair benchmarks",
+          [NeedMachine](const PredictorContext &Ctx, std::string &Error)
+              -> std::unique_ptr<Predictor> {
+            const MachineModel *M = NeedMachine(Ctx, Error);
+            if (!M)
+              return nullptr;
+            if (!Ctx.Runner) {
+              Error = "requires PredictorContext::Runner (pmevo trains on "
+                      "measurements)";
+              return nullptr;
+            }
+            return PMEvoPredictor::train(*Ctx.Runner, M->isa().allIds(),
+                                         Ctx.PMEvo);
+          });
+    return R;
+  }();
+  return Registry;
+}

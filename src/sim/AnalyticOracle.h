@@ -33,6 +33,9 @@ public:
 
   std::string name() const override { return "analytic"; }
 
+  /// Stateless per call: safe to share across threads.
+  bool isThreadSafe() const override { return true; }
+
   /// Port-contention-only makespan of one iteration (no front-end, no
   /// mixing penalty); exposed for the dual-equivalence tests.
   double portCycles(const Microkernel &K) const;

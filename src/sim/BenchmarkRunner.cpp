@@ -49,6 +49,9 @@ double BenchmarkRunner::measureIpc(const Microkernel &K) {
   Microkernel Rounded =
       K.isIntegral() ? K : K.roundedToIntegers(Config.MaxDenominator);
 
+  // Whole-call lock: measurement is deterministic and the backend may not
+  // be reentrant, so serializing here is both safe and result-preserving.
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Cache.find(Rounded);
   if (It != Cache.end())
     return It->second;

@@ -23,6 +23,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace palmed {
 
@@ -57,9 +58,16 @@ public:
 
   std::string name() const override { return "runner:" + Backend.name(); }
 
+  /// The cache (and the backend call) are guarded by an internal mutex,
+  /// so concurrent measurement is safe regardless of the backend.
+  bool isThreadSafe() const override { return true; }
+
   /// Number of distinct microbenchmarks executed so far (Table II's
   /// "Gen. microbenchmarks").
-  size_t numDistinctBenchmarks() const { return Cache.size(); }
+  size_t numDistinctBenchmarks() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Cache.size();
+  }
 
   const MachineModel &machine() const { return Machine; }
 
@@ -67,6 +75,7 @@ private:
   const MachineModel &Machine;
   ThroughputOracle &Backend;
   BenchmarkConfig Config;
+  mutable std::mutex Mutex;
   std::map<Microkernel, double> Cache;
 };
 

@@ -47,6 +47,9 @@ public:
 
   std::string name() const override { return "event-sim"; }
 
+  /// Stateless per call: safe to share across threads.
+  bool isThreadSafe() const override { return true; }
+
 private:
   const MachineModel &Machine;
   EventSimConfig Config;

@@ -36,6 +36,11 @@ public:
   }
 
   virtual std::string name() const = 0;
+
+  /// True when measureIpc may be called concurrently from several threads.
+  /// Conservative default; stateless oracles override it. Consumers (e.g.
+  /// palmed::EvalSession) serialize access to non-thread-safe oracles.
+  virtual bool isThreadSafe() const { return false; }
 };
 
 } // namespace palmed

@@ -10,11 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PalmedDriver.h"
-#include "eval/Workload.h"
-#include "machine/StandardMachines.h"
-#include "machine/SyntheticIsa.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
 
@@ -42,7 +38,7 @@ TEST(PalmedFig1, RecoversAccurateMapping) {
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
 
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
 
   // All six instructions mapped.
   EXPECT_EQ(R.Stats.NumMapped, 6u);
@@ -74,7 +70,7 @@ TEST(PalmedFig1, RandomKernelAccuracy) {
   MachineModel M = makeFig1Machine();
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
 
   Rng Rand(7);
   std::vector<double> Pred, Native;
@@ -98,7 +94,7 @@ TEST(PalmedFig1, SaturatingKernelsSaturate) {
   MachineModel M = makeFig1Machine();
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
 
   // Every resource's chosen saturating kernel must indeed have its highest
   // inferred load on some resource close to 1 (within the 5% tolerance
@@ -124,7 +120,7 @@ TEST(PalmedSkl, FullPipelineQuality) {
 
   PalmedConfig Cfg;
   Cfg.Selection.NumBasicPerGroup = 8;
-  PalmedResult R = runPalmed(Runner, Cfg);
+  PalmedResult R = Pipeline(Runner, Cfg).run();
 
   // Everything benchmarkable is mapped.
   EXPECT_EQ(R.Stats.NumMapped, R.Selection.Survivors.size());
@@ -168,7 +164,7 @@ TEST(PalmedSkl, LowIpcInstructionsAreMapped) {
   BenchmarkRunner Runner(M, O);
   PalmedConfig Cfg;
   Cfg.Selection.NumBasicPerGroup = 8;
-  PalmedResult R = runPalmed(Runner, Cfg);
+  PalmedResult R = Pipeline(Runner, Cfg).run();
 
   // Dividers (IPC < 1) are excluded from the core but mapped by LPAUX,
   // with solo prediction close to native.
@@ -187,7 +183,7 @@ TEST(PalmedFig1, RobustToMeasurementNoise) {
   BenchmarkConfig BCfg;
   BCfg.NoiseStdDev = 0.01;
   BenchmarkRunner Runner(M, O, BCfg);
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
 
   Rng Rand(9);
   std::vector<double> Pred, Native;
@@ -209,7 +205,7 @@ TEST(PalmedStats, TableTwoCountersPopulated) {
   MachineModel M = makeFig1Machine();
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
   EXPECT_GT(R.Stats.NumBenchmarks, 20u);
   EXPECT_GT(R.Stats.NumCoreKernels, 10u);
   EXPECT_GT(R.Stats.NumShapeConstraints, 5u);
@@ -225,7 +221,7 @@ TEST(PalmedZen, SplitPipelineQuality) {
   MachineModel M = makeZenLike();
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
-  PalmedResult R = runPalmed(Runner);
+  PalmedResult R = Pipeline(Runner).run();
 
   EXPECT_EQ(R.Stats.NumMapped, R.Selection.Survivors.size());
   EXPECT_GT(R.Stats.NumMapped, 100u);
@@ -268,7 +264,7 @@ TEST_P(PalmedRandomMachine, EndToEndSoundness) {
   BenchmarkRunner Runner(M, O);
   PalmedConfig Cfg;
   Cfg.Selection.NumBasicPerGroup = 8;
-  PalmedResult Res = runPalmed(Runner, Cfg);
+  PalmedResult Res = Pipeline(Runner, Cfg).run();
 
   EXPECT_EQ(Res.Stats.NumMapped, Res.Selection.Survivors.size());
 
@@ -311,7 +307,7 @@ TEST_P(PalmedRandomOccupancy, PipelineCompletes) {
                                      /*AllowOccupancy=*/true);
   AnalyticOracle O(M);
   BenchmarkRunner Runner(M, O);
-  PalmedResult Res = runPalmed(Runner);
+  PalmedResult Res = Pipeline(Runner).run();
   EXPECT_EQ(Res.Stats.NumMapped, Res.Selection.Survivors.size());
   // Solo throughputs: every prediction within a factor of two (hard model
   // soundness), and most within 10% (pathological machines may leave a few

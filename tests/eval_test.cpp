@@ -4,11 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "baselines/GroundTruthPredictors.h"
-#include "eval/Harness.h"
-#include "eval/Workload.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
 #include "support/Compat.h"
 
 #include <gtest/gtest.h>
@@ -17,6 +13,22 @@
 #include <sstream>
 
 using namespace palmed;
+
+namespace {
+
+/// Serial EvalSession shorthand with the old free-function signature.
+EvalOutcome evaluate(ThroughputOracle &Native,
+                     const std::vector<BasicBlock> &Blocks,
+                     std::initializer_list<Predictor *> Predictors,
+                     const std::string &ReferenceTool) {
+  EvalSession Session(Native);
+  Session.setReferenceTool(ReferenceTool);
+  for (Predictor *P : Predictors)
+    Session.add(*P);
+  return Session.run(Blocks);
+}
+
+} // namespace
 
 TEST(Workload, DeterministicGivenSeed) {
   MachineModel M = makeSklLike();
@@ -99,7 +111,7 @@ TEST(Harness, PerfectPredictorScoresPerfectly) {
     return M.kernelMixesExtensions(B.K);
   });
 
-  EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
+  EvalOutcome Out = evaluate(O, Blocks, {Iaca.get()}, "iaca");
   ToolAccuracy A = Out.accuracy("iaca");
   EXPECT_DOUBLE_EQ(A.CoveragePct, 100.0);
   EXPECT_LT(A.ErrPct, 0.01);
@@ -124,7 +136,7 @@ TEST(Harness, CoverageReflectsDeclines) {
     Blocks.push_back(B);
   }
   EvalOutcome Out =
-      runEvaluation(O, Blocks, {Iaca.get(), Mca.get()}, "iaca");
+      evaluate(O, Blocks, {Iaca.get(), Mca.get()}, "iaca");
   EXPECT_DOUBLE_EQ(Out.accuracy("iaca").CoveragePct, 100.0);
   EXPECT_NEAR(Out.accuracy("llvm-mca").CoveragePct, 60.0, 1e-9);
 }
@@ -146,7 +158,7 @@ TEST(Harness, ErrAndTauComputedOverCoveredOnly) {
     B.K.add(Cvt, 1.0); // Declined by mca.
     Blocks.push_back(B);
   }
-  EvalOutcome Out = runEvaluation(O, Blocks, {Mca.get()}, "llvm-mca");
+  EvalOutcome Out = evaluate(O, Blocks, {Mca.get()}, "llvm-mca");
   ToolAccuracy A = Out.accuracy("llvm-mca");
   EXPECT_EQ(A.NumCovered, 6u);
   EXPECT_GE(A.KendallTau, -1.0);
@@ -163,7 +175,7 @@ TEST(Harness, HeatmapMassOnDiagonalForExactTool) {
   eraseIf(Blocks, [&](const BasicBlock &B) {
     return M.kernelMixesExtensions(B.K);
   });
-  EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
+  EvalOutcome Out = evaluate(O, Blocks, {Iaca.get()}, "iaca");
 
   auto Grid = Out.heatmap("iaca", 8, 10, 5.0, 2.0);
   // All mass lands in the ratio==1 row (row index 5 of 10 for [0,2)).
@@ -185,7 +197,7 @@ TEST(Harness, HeatmapPrintsAscii) {
   WorkloadConfig Cfg;
   Cfg.NumBlocks = 30;
   auto Blocks = generateWorkload(M, Cfg);
-  EvalOutcome Out = runEvaluation(O, Blocks, {Iaca.get()}, "iaca");
+  EvalOutcome Out = evaluate(O, Blocks, {Iaca.get()}, "iaca");
   std::ostringstream OS;
   Out.printHeatmap(OS, "iaca", 20, 10, 5.0, 2.0);
   EXPECT_NE(OS.str().find('>'), std::string::npos); // Ratio-1 marker row.

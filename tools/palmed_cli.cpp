@@ -2,25 +2,28 @@
 //
 // Part of the PALMED reproduction.
 //
-// A small CLI exposing the library's workflow:
+// A small CLI exposing the public palmed/ facade:
 //
 //   palmed_cli map     --machine skl|zen|fig1 [--noise S] [--out FILE]
+//                      [--progress]
 //   palmed_cli predict --machine skl --mapping FILE "ADD_0^2 LOAD_0"
 //   palmed_cli analyze --machine skl --mapping FILE "ADD_0^2 LOAD_0"
+//   palmed_cli eval    --machine skl [--threads N] [--blocks N]
+//                      [--suite spec|poly] [--tools a,b,c | --tools help]
 //   palmed_cli dual    --machine skl
 //
-// `map` infers a resource mapping from (simulated) measurements and writes
-// the portable text format; `predict` and `analyze` consume it; `dual`
-// prints the ground-truth conjunctive dual for comparison.
+// `map` infers a resource mapping (palmed::Pipeline) and writes the
+// portable text format; `predict` and `analyze` consume it; `eval` runs
+// the Fig. 4b accuracy harness through the PredictorRegistry and a
+// (optionally parallel) EvalSession; `dual` prints the ground-truth
+// conjunctive dual for comparison.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/DualConstruction.h"
-#include "core/MappingAnalysis.h"
-#include "core/PalmedDriver.h"
-#include "machine/StandardMachines.h"
-#include "sim/AnalyticOracle.h"
+#include "palmed/palmed.h"
+#include "support/Table.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +31,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace palmed;
 
@@ -36,14 +40,19 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
+      "palmed_cli %s\n"
       "usage:\n"
       "  palmed_cli map     --machine skl|zen|fig1 [--noise S] [--out F]\n"
+      "                     [--progress]\n"
       "  palmed_cli predict --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli analyze --machine M --mapping F \"KERNEL\"\n"
+      "  palmed_cli eval    --machine M [--threads N] [--blocks N]\n"
+      "                     [--suite spec|poly] [--tools a,b,c|help]\n"
       "  palmed_cli dual    --machine M\n"
       "KERNEL is e.g. \"ADD_0^2 LOAD_0\" (instruction names with optional\n"
       "^multiplicity). Machines: skl (Skylake-like), zen (Zen1-like),\n"
-      "fig1 (the paper's running example).\n");
+      "fig1 (the paper's running example).\n",
+      versionString());
 }
 
 std::optional<MachineModel> makeMachine(const std::string &Name) {
@@ -63,7 +72,12 @@ struct Options {
   std::string MappingFile;
   std::string OutFile;
   std::string Kernel;
+  std::string Tools;
+  std::string Suite = "spec";
   double Noise = 0.0;
+  unsigned Threads = 1;
+  size_t Blocks = 300;
+  bool Progress = false;
 };
 
 std::optional<Options> parseArgs(int Argc, char **Argv) {
@@ -96,6 +110,29 @@ std::optional<Options> parseArgs(int Argc, char **Argv) {
         O.Noise = std::strtod(V, nullptr);
       else
         return std::nullopt;
+    } else if (Arg == "--threads") {
+      if (const char *V = Next())
+        O.Threads =
+            static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      else
+        return std::nullopt;
+    } else if (Arg == "--blocks") {
+      if (const char *V = Next())
+        O.Blocks = std::strtoul(V, nullptr, 10);
+      else
+        return std::nullopt;
+    } else if (Arg == "--tools") {
+      if (const char *V = Next())
+        O.Tools = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--suite") {
+      if (const char *V = Next())
+        O.Suite = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--progress") {
+      O.Progress = true;
     } else if (!Arg.empty() && Arg[0] != '-') {
       O.Kernel = Arg;
     } else {
@@ -123,6 +160,41 @@ std::optional<ResourceMapping> loadMapping(const std::string &File,
   return M;
 }
 
+const char *bwpModeName(BwpMode Mode) {
+  return Mode == BwpMode::Pinned ? "pinned" : "exact-milp";
+}
+
+/// Banner naming the library version and the effective pipeline config,
+/// printed at the top of `map` output.
+void printConfigBanner(const PalmedConfig &Cfg, const Options &O) {
+  std::fprintf(stderr,
+               "palmed %s | machine=%s epsilon=%g M=%d L=%d mode=%s "
+               "max-iter=%d noise=%g\n",
+               versionString(), O.Machine.c_str(), Cfg.Epsilon, Cfg.MRepeat,
+               Cfg.LSat, bwpModeName(Cfg.Mode), Cfg.MaxShapeIterations,
+               O.Noise);
+}
+
+/// Stage-progress printer for `map --progress`.
+class StderrObserver : public PipelineObserver {
+public:
+  void onStageBegin(PipelineStage Stage) override {
+    std::fprintf(stderr, "[%s] ...\n", pipelineStageName(Stage));
+  }
+  void onStageEnd(PipelineStage Stage, const PalmedStats &Stats) override {
+    std::fprintf(stderr, "[%s] done (%zu benchmarks so far)\n",
+                 pipelineStageName(Stage), Stats.NumBenchmarks);
+  }
+  void onShapeIteration(int Iteration, size_t NumConstraints,
+                        size_t NumResources,
+                        size_t NumBenchmarks) override {
+    std::fprintf(stderr,
+                 "  shape round %d: %zu constraints, %zu resources, "
+                 "%zu benchmarks\n",
+                 Iteration, NumConstraints, NumResources, NumBenchmarks);
+  }
+};
+
 int cmdMap(const Options &O) {
   auto Machine = makeMachine(O.Machine);
   if (!Machine)
@@ -132,9 +204,15 @@ int cmdMap(const Options &O) {
   BCfg.NoiseStdDev = O.Noise;
   BenchmarkRunner Runner(*Machine, Oracle, BCfg);
 
+  PalmedConfig Cfg;
+  printConfigBanner(Cfg, O);
   std::fprintf(stderr, "inferring mapping for '%s'...\n",
                Machine->name().c_str());
-  PalmedResult R = runPalmed(Runner);
+  Pipeline P(Runner, Cfg);
+  StderrObserver Observer;
+  if (O.Progress)
+    P.setObserver(&Observer);
+  const PalmedResult &R = P.run();
   std::fprintf(stderr,
                "%zu resources, %zu instructions mapped, %zu benchmarks, "
                "%.1fs total\n",
@@ -193,6 +271,108 @@ int cmdPredictOrAnalyze(const Options &O, bool Analyze) {
   return 0;
 }
 
+std::vector<std::string> splitList(const std::string &Csv) {
+  std::vector<std::string> Out;
+  std::stringstream SS(Csv);
+  std::string Item;
+  while (std::getline(SS, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+int cmdEval(const Options &O) {
+  const PredictorRegistry &Registry = PredictorRegistry::builtin();
+  if (O.Tools == "help" || O.Tools == "list") {
+    std::printf("registered predictors:\n");
+    for (const std::string &Name : Registry.names())
+      std::printf("  %-10s %s\n", Name.c_str(),
+                  Registry.description(Name).c_str());
+    return 0;
+  }
+  auto Machine = makeMachine(O.Machine);
+  if (!Machine)
+    return 1;
+  WorkloadConfig WCfg;
+  if (O.Suite == "spec")
+    WCfg.Profile = WorkloadProfile::SpecLike;
+  else if (O.Suite == "poly")
+    WCfg.Profile = WorkloadProfile::PolybenchLike;
+  else {
+    std::fprintf(stderr, "error: unknown suite '%s' (spec|poly)\n",
+                 O.Suite.c_str());
+    return 1;
+  }
+  WCfg.NumBlocks = O.Blocks;
+
+  // Validate and dedupe the tool roster before the (expensive) mapping
+  // inference, so bad --tools input fails fast.
+  std::vector<std::string> Tools =
+      O.Tools.empty() ? Registry.names() : splitList(O.Tools);
+  {
+    std::vector<std::string> Unique;
+    for (const std::string &Tool : Tools) {
+      if (!Registry.contains(Tool)) {
+        std::fprintf(stderr, "error: unknown tool '%s' (see --tools help)\n",
+                     Tool.c_str());
+        return 1;
+      }
+      if (std::find(Unique.begin(), Unique.end(), Tool) == Unique.end())
+        Unique.push_back(Tool);
+    }
+    Tools = std::move(Unique);
+  }
+
+  AnalyticOracle Oracle(*Machine);
+  BenchmarkRunner Runner(*Machine, Oracle);
+
+  std::fprintf(stderr, "palmed %s | eval machine=%s suite=%s blocks=%zu "
+                       "threads=%u\n",
+               versionString(), O.Machine.c_str(), O.Suite.c_str(),
+               O.Blocks, O.Threads);
+  std::fprintf(stderr, "inferring mapping for '%s'...\n",
+               Machine->name().c_str());
+  Pipeline P(Runner);
+  const PalmedResult &R = P.run();
+
+  PredictorContext Ctx;
+  Ctx.Machine = &*Machine;
+  Ctx.Runner = &Runner;
+  Ctx.PalmedMapping = &R.Mapping;
+
+  EvalSession Session(Oracle, O.Threads > 1
+                                  ? ExecutionPolicy::parallel(O.Threads)
+                                  : ExecutionPolicy::serial());
+  Session.setReferenceTool("palmed");
+  std::vector<std::string> Added;
+  for (const std::string &Tool : Tools) {
+    std::string Error;
+    auto Pred = Registry.create(Tool, Ctx, &Error);
+    if (!Pred) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    Added.push_back(Pred->name());
+    Session.add(std::move(Pred));
+  }
+
+  auto Blocks = generateWorkload(*Machine, WCfg);
+  EvalOutcome Out = Session.run(Blocks);
+
+  TextTable T({"tool", "coverage %", "RMS err %", "Kendall tau"});
+  for (const std::string &Tool : Added) {
+    ToolAccuracy A = Out.accuracy(Tool);
+    T.addRow({A.Tool, TextTable::fmt(A.CoveragePct, 1),
+              TextTable::fmt(A.ErrPct, 1),
+              TextTable::fmt(A.KendallTau, 2)});
+  }
+  std::printf("%s workload, %zu blocks, machine %s:\n\n",
+              workloadProfileName(WCfg.Profile), Blocks.size(),
+              Machine->name().c_str());
+  T.print(std::cout);
+  return 0;
+}
+
 int cmdDual(const Options &O) {
   auto Machine = makeMachine(O.Machine);
   if (!Machine)
@@ -216,6 +396,8 @@ int main(int Argc, char **Argv) {
     return cmdPredictOrAnalyze(*O, /*Analyze=*/false);
   if (O->Command == "analyze")
     return cmdPredictOrAnalyze(*O, /*Analyze=*/true);
+  if (O->Command == "eval")
+    return cmdEval(*O);
   if (O->Command == "dual")
     return cmdDual(*O);
   usage();
