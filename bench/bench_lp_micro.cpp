@@ -59,21 +59,60 @@ void BM_SimplexMedium(benchmark::State &State) {
 }
 BENCHMARK(BM_SimplexMedium);
 
-void BM_MilpKnapsack(benchmark::State &State) {
+lp::Model makeKnapsack(int Items, int Rows, double Capacity) {
   Rng R(3);
   lp::Model M;
-  lp::LinearExpr Cap, Obj;
-  for (int V = 0; V < 14; ++V) {
+  std::vector<lp::LinearExpr> Caps(static_cast<size_t>(Rows));
+  lp::LinearExpr Obj;
+  for (int V = 0; V < Items; ++V) {
     lp::VarId Id = M.addBoolVar("b");
-    Cap.add(Id, R.uniformRealIn(1.0, 5.0));
+    for (lp::LinearExpr &Cap : Caps)
+      Cap.add(Id, R.uniformRealIn(1.0, 5.0));
     Obj.add(Id, R.uniformRealIn(1.0, 9.0));
   }
-  M.addConstraint(std::move(Cap), lp::Sense::LE, 18.0);
+  for (lp::LinearExpr &Cap : Caps)
+    M.addConstraint(std::move(Cap), lp::Sense::LE, Capacity);
   M.setObjective(std::move(Obj), lp::Goal::Maximize);
+  return M;
+}
+
+void BM_MilpKnapsack(benchmark::State &State) {
+  // Same instance as the committed BENCH_seed.json entry.
+  lp::Model M = makeKnapsack(14, 1, 18.0);
   for (auto _ : State)
     benchmark::DoNotOptimize(lp::solveMilp(M));
 }
 BENCHMARK(BM_MilpKnapsack);
+
+/// Branch-and-bound with child LPs warm-started from the parent basis vs
+/// every node re-solved cold; the per-benchmark counters report the pivot
+/// and warm-start traffic of one solve.
+void BM_MilpWarmStarted(benchmark::State &State) {
+  lp::Model M = makeKnapsack(22, 4, 28.0);
+  lp::MilpOptions Options;
+  lp::MilpStats Stats;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lp::solveMilp(M, Options, &Stats));
+  State.counters["nodes"] = static_cast<double>(Stats.NodesExplored);
+  State.counters["pivots"] = static_cast<double>(Stats.LpPivots);
+  State.counters["warm_hit_pct"] =
+      Stats.WarmStartAttempts
+          ? 100.0 * Stats.WarmStartHits / Stats.WarmStartAttempts
+          : 0.0;
+}
+BENCHMARK(BM_MilpWarmStarted);
+
+void BM_MilpColdNodes(benchmark::State &State) {
+  lp::Model M = makeKnapsack(22, 4, 28.0);
+  lp::MilpOptions Options;
+  Options.UseWarmStart = false;
+  lp::MilpStats Stats;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lp::solveMilp(M, Options, &Stats));
+  State.counters["nodes"] = static_cast<double>(Stats.NodesExplored);
+  State.counters["pivots"] = static_cast<double>(Stats.LpPivots);
+}
+BENCHMARK(BM_MilpColdNodes);
 
 /// The flow-LP oracle vs the closed-form dual on the same kernel: the
 /// paper's complexity argument in microseconds.

@@ -77,6 +77,16 @@ int main() {
   T.addRow({"Core fit slack (sum 1-S_K)",
             TextTable::fmt(Skl.Stats.CoreSlack, 2),
             TextTable::fmt(Zen.Stats.CoreSlack, 2)});
+  T.addRow({"LP solves (core+aux)",
+            N(static_cast<size_t>(Skl.Stats.CoreLpSolves +
+                                  Skl.Stats.CompleteLpSolves)),
+            N(static_cast<size_t>(Zen.Stats.CoreLpSolves +
+                                  Zen.Stats.CompleteLpSolves))});
+  T.addRow({"Simplex pivots",
+            N(static_cast<size_t>(Skl.Stats.CoreLpPivots +
+                                  Skl.Stats.CompleteLpPivots)),
+            N(static_cast<size_t>(Zen.Stats.CoreLpPivots +
+                                  Zen.Stats.CompleteLpPivots))});
   T.print(std::cout);
   std::cout << "\nPaper reference (real HW): ~1,000,000 benchmarks, 17 "
                "resources,\n2586/2596 instructions mapped, 8h/6h "
@@ -100,6 +110,16 @@ int main() {
                          R->Stats.CompleteMappingSeconds,
                      "s");
     Report.addMetric(P + "core_slack", R->Stats.CoreSlack);
+    Report.addMetric(P + "lp_solves",
+                     static_cast<double>(R->Stats.CoreLpSolves +
+                                         R->Stats.CompleteLpSolves));
+    Report.addMetric(P + "lp_pivots",
+                     static_cast<double>(R->Stats.CoreLpPivots +
+                                         R->Stats.CompleteLpPivots));
+    Report.addMetric(P + "lp_warm_attempts",
+                     static_cast<double>(R->Stats.LpWarmStartAttempts));
+    Report.addMetric(P + "lp_warm_hits",
+                     static_cast<double>(R->Stats.LpWarmStartHits));
   }
   return Report.write();
 }

@@ -65,6 +65,16 @@ struct PalmedStats {
   double SelectionSeconds = 0.0;
   double CoreMappingSeconds = 0.0; ///< Shape + weights (the "LP solving").
   double CompleteMappingSeconds = 0.0;
+  /// LP solver work during the two mapping stages (from lp::lpTelemetry):
+  /// solve counts and simplex pivots for core mapping (LP2) and mapping
+  /// completion (LPAUX), plus warm-start traffic (nonzero only for code
+  /// paths that re-solve from a saved basis, e.g. branch-and-bound).
+  long CoreLpSolves = 0;
+  long CoreLpPivots = 0;
+  long CompleteLpSolves = 0;
+  long CompleteLpPivots = 0;
+  long LpWarmStartAttempts = 0;
+  long LpWarmStartHits = 0;
 };
 
 /// Pipeline output.

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail when the LP hot path regresses against the committed baseline.
+
+Usage: check_lp_regression.py <report.json> [baseline.json] [factor] [suffix]
+
+<report.json> is a single-bench report written by bench_table2_mapping
+under PALMED_BENCH_REPORT. The baseline defaults to BENCH_seed.json at the
+repo root (the merged multi-bench file); the check fails when any metric
+ending in `suffix` (default `lp_s`) exceeds the baseline by more than
+`factor` (default 2.0 — generous because CI machines are noisy and
+heterogeneous, while a real hot-path regression shows up as 2x or worse).
+CI pairs the wall-clock gate with a tight host-independent gate on the
+deterministic `lp_pivots` counters against BENCH_post.json.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def metrics_of(bench):
+    return {m["name"]: m["value"] for m in bench.get("metrics", [])}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    report_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(
+        argv[2] if len(argv) > 2
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_seed.json")
+    factor = float(argv[3]) if len(argv) > 3 else 2.0
+    suffix = argv[4] if len(argv) > 4 else "lp_s"
+
+    report = json.loads(report_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    base_bench = next(
+        (b for b in baseline.get("benches", [baseline])
+         if b.get("bench") == report.get("bench")), None)
+    if base_bench is None:
+        print(f"baseline has no entry for bench '{report.get('bench')}'")
+        return 2
+
+    new = metrics_of(report)
+    old = metrics_of(base_bench)
+    failures = []
+    checked = 0
+    for name, old_value in old.items():
+        if not name.endswith(suffix):
+            continue
+        if name not in new:
+            failures.append(f"{name}: missing from the new report")
+            continue
+        checked += 1
+        limit = old_value * factor
+        status = "OK" if new[name] <= limit else "REGRESSED"
+        print(f"{name}: {new[name]:.3f} vs baseline {old_value:.3f} "
+              f"(limit {limit:.3f}) {status}")
+        if new[name] > limit:
+            failures.append(
+                f"{name}: {new[name]:.3f} > {factor}x baseline "
+                f"{old_value:.3f}")
+    if checked == 0:
+        failures.append(f"no {suffix} metrics found in the baseline")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

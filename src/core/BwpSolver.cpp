@@ -18,6 +18,17 @@ using namespace palmed;
 
 namespace {
 
+/// All pinned-mode BWP relaxations run the compat solver: the refinement
+/// loop and the saturating-kernel choice consume raw solution *vertices*
+/// (not just objective values), and degenerate optima make the vertex a
+/// function of the pivot sequence — pinning the historical sequence keeps
+/// mapping outcomes reproducible across solver generations.
+lp::SimplexOptions compatLpOptions() {
+  lp::SimplexOptions Options;
+  Options.Pricing = lp::LpPricing::Dantzig;
+  return Options;
+}
+
 /// Shared LP2/LPAUX machinery: free weight variables plus frozen
 /// contributions, per-kernel per-resource load rows, pinned or exact-MILP
 /// objective handling.
@@ -96,8 +107,7 @@ private:
   /// problem infeasible; the correct reading is "no attributable usage".
   void buildBase(lp::Model &M, std::vector<lp::VarId> &Vars) const {
     for (size_t V = 0; V < NumVars; ++V)
-      Vars.push_back(M.addVar("w" + std::to_string(V), 0.0,
-                              VarUpperBounds[V]));
+      Vars.push_back(M.addVar(std::string(), 0.0, VarUpperBounds[V]));
     for (const KernelRow &Row : Rows) {
       for (size_t R : Row.Supported) {
         lp::LinearExpr Load;
@@ -137,38 +147,34 @@ private:
     }
 
     std::vector<double> Values(NumVars, 0.0);
+    // Per-resource objective of the last solved iteration: when a pin pass
+    // leaves a resource's objective unchanged, its LP (and the balancing
+    // passes) would reproduce the exact same solution — the solver is
+    // deterministic — so the solve is skipped and Values stay as-is.
+    std::vector<std::vector<std::pair<lp::VarId, double>>> PrevObj(
+        NumResources);
+    std::vector<uint8_t> HasPrev(NumResources, 0);
     Feasible = false;
     for (int Iter = 0; Iter < MaxPinIterations; ++Iter) {
       bool AllSolved = true;
       for (size_t R = 0; R < NumResources; ++R) {
         if (ResourceVars[R].empty())
           continue;
-        lp::Model M;
         std::vector<int> LocalOf(NumVars, -1);
-        std::vector<lp::VarId> Vars;
-        for (size_t V : ResourceVars[R]) {
-          LocalOf[V] = static_cast<int>(Vars.size());
-          Vars.push_back(
-              M.addVar("w" + std::to_string(V), 0.0, VarUpperBounds[V]));
-        }
+        for (size_t I = 0; I < ResourceVars[R].size(); ++I)
+          LocalOf[ResourceVars[R][I]] = static_cast<int>(I);
         // Saturation objective (pinned loads); the tie-break is kept in a
         // separate expression so the balancing pass can preserve the
         // saturation value exactly, without the tie-break distorting it.
+        // Local variable ids equal their position in ResourceVars[R].
         lp::LinearExpr PinnedObj;
         for (size_t K = 0; K < Rows.size(); ++K) {
           const KernelRow &Row = Rows[K];
           if (Row.VarLoad[R].empty() && Row.FrozenLoad[R] == 0.0)
             continue;
-          lp::LinearExpr Load;
-          for (const auto &[V, C] : Row.VarLoad[R])
-            Load.add(Vars[static_cast<size_t>(LocalOf[V])], C);
-          if (!Row.VarLoad[R].empty())
-            M.addConstraint(Load, lp::Sense::LE,
-                            std::max(0.0, Row.TMeas - Row.FrozenLoad[R]));
           if (Pins[K] == static_cast<int>(R)) {
             for (const auto &[V, C] : Row.VarLoad[R])
-              PinnedObj.add(Vars[static_cast<size_t>(LocalOf[V])],
-                            C / Row.TMeas);
+              PinnedObj.add(LocalOf[V], C / Row.TMeas);
           } else if (Pins[K] == -1) {
             // Unpinned (first iteration): spread the objective across the
             // kernel's supported resources.
@@ -176,16 +182,36 @@ private:
                 Row.TMeas *
                 static_cast<double>(std::max<size_t>(1, Row.Supported.size()));
             for (const auto &[V, C] : Row.VarLoad[R])
-              PinnedObj.add(Vars[static_cast<size_t>(LocalOf[V])],
-                            C / Scale);
+              PinnedObj.add(LocalOf[V], C / Scale);
           }
         }
         PinnedObj.normalize();
+        if (HasPrev[R] && PrevObj[R] == PinnedObj.terms())
+          continue; // Identical subproblem: Values[.] already hold its
+                    // solution.
+
+        lp::Model M;
+        std::vector<lp::VarId> Vars;
+        for (size_t V : ResourceVars[R])
+          Vars.push_back(M.addVar(std::string(), 0.0, VarUpperBounds[V]));
+        for (const KernelRow &Row : Rows) {
+          if (Row.VarLoad[R].empty())
+            continue;
+          lp::LinearExpr Load;
+          for (const auto &[V, C] : Row.VarLoad[R])
+            Load.add(Vars[static_cast<size_t>(LocalOf[V])], C);
+          M.addConstraint(std::move(Load), lp::Sense::LE,
+                          std::max(0.0, Row.TMeas - Row.FrozenLoad[R]));
+        }
         lp::LinearExpr Obj = PinnedObj;
         for (lp::VarId V : Vars)
           Obj.add(V, TieBreak);
         M.setObjective(std::move(Obj), lp::Goal::Maximize);
-        lp::Solution Sol = lp::solveLp(M);
+        lp::Solution Sol = lp::solveLp(M, {}, compatLpOptions());
+        if (Sol.Status == lp::SolveStatus::Optimal) {
+          PrevObj[R] = PinnedObj.terms();
+          HasPrev[R] = 1;
+        }
         if (Sol.Status != lp::SolveStatus::Optimal) {
           AllSolved = false;
           continue;
@@ -201,7 +227,7 @@ private:
           std::vector<lp::VarId> Vars2;
           for (size_t V : ResourceVars[R])
             Vars2.push_back(
-                M2.addVar("w" + std::to_string(V), 0.0, VarUpperBounds[V]));
+                M2.addVar(std::string(), 0.0, VarUpperBounds[V]));
           // Re-add the capacity rows.
           for (const KernelRow &Row : Rows) {
             if (Row.VarLoad[R].empty())
@@ -232,7 +258,7 @@ private:
           lp::LinearExpr Obj2;
           Obj2.add(Z, 1.0);
           M2.setObjective(std::move(Obj2), lp::Goal::Minimize);
-          lp::Solution Sol2 = lp::solveLp(M2);
+          lp::Solution Sol2 = lp::solveLp(M2, {}, compatLpOptions());
           if (Sol2.Status == lp::SolveStatus::Optimal) {
             // Third pass: with the saturation value and the balanced
             // ceiling fixed, raise every weight to its consistent maximum
@@ -246,7 +272,7 @@ private:
             for (size_t V : ResourceVars[R])
               Obj3.add(Vars2[static_cast<size_t>(LocalOf[V])], 1.0);
             M2.setObjective(std::move(Obj3), lp::Goal::Maximize);
-            lp::Solution Sol3 = lp::solveLp(M2);
+            lp::Solution Sol3 = lp::solveLp(M2, {}, compatLpOptions());
             const lp::Solution &Fin =
                 Sol3.Status == lp::SolveStatus::Optimal ? Sol3 : Sol2;
             for (size_t V : ResourceVars[R])

@@ -180,13 +180,23 @@ private:
     return true;
   }
 
-  static void absorb(Group &G, const ShapeConstraint &C) {
+  /// Merges \p C into \p G; returns whether the owner list grew, so dfs
+  /// can backtrack in O(1) (restore the two masks, pop at most one owner)
+  /// instead of copying the whole group.
+  static bool absorbTracked(Group &G, const ShapeConstraint &C) {
     G.Required |= C.Required;
     G.Forbidden |= C.Forbidden;
     if (C.Owner >= 0 &&
         std::find(G.Owners.begin(), G.Owners.end(), C.Owner) ==
-            G.Owners.end())
+            G.Owners.end()) {
       G.Owners.push_back(C.Owner);
+      return true;
+    }
+    return false;
+  }
+
+  static void absorb(Group &G, const ShapeConstraint &C) {
+    (void)absorbTracked(G, C);
   }
 
   std::vector<Group> greedy() const {
@@ -222,10 +232,14 @@ private:
     for (size_t G = 0; G < Groups.size(); ++G) {
       if (!compatible(Groups[G], C))
         continue;
-      Group Saved = Groups[G];
-      absorb(Groups[G], C);
+      InstrIndexMask SavedReq = Groups[G].Required;
+      InstrIndexMask SavedForb = Groups[G].Forbidden;
+      bool GrewOwners = absorbTracked(Groups[G], C);
       dfs(Index + 1, Groups);
-      Groups[G] = Saved;
+      Groups[G].Required = SavedReq;
+      Groups[G].Forbidden = SavedForb;
+      if (GrewOwners)
+        Groups[G].Owners.pop_back();
     }
     // Open a new group (only as the last option to curb symmetry).
     Group Fresh;

@@ -7,7 +7,17 @@
 /// \file
 /// Best-first branch-and-bound over the simplex relaxation. Used for
 /// Palmed's LP1 shape problem (0/1 edges) and the exact-MILP mode of the
-/// bipartite weight problem (LP2 / LPAUX argmax indicators).
+/// bipartite weight problem (LP2 / LPAUX argmax indicators). Child node
+/// relaxations are warm-started from the parent's final basis (the bounded
+/// dual simplex restores feasibility after the branching bound change).
+///
+/// Status contract: SolveStatus::Optimal is returned only when the search
+/// tree was explored exhaustively — every pruned subtree was justified by
+/// its relaxation bound or by infeasibility. Whenever any subtree was
+/// dropped for another reason (a node LP hit its iteration limit, or the
+/// node budget ran out), the best incumbent is reported as
+/// SolveStatus::Feasible, and with no incumbent the result is
+/// SolveStatus::IterLimit — never Infeasible.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +26,8 @@
 
 #include "lp/Model.h"
 #include "lp/Simplex.h"
+
+#include <cmath>
 
 namespace palmed {
 namespace lp {
@@ -29,6 +41,9 @@ struct MilpOptions {
   double IntTolerance = 1e-6;
   /// Absolute optimality gap at which the search stops early.
   double AbsGap = 1e-7;
+  /// Warm-start child relaxations from the parent's final basis. Off is
+  /// only useful for testing and for comparing against cold solves.
+  bool UseWarmStart = true;
   SimplexOptions Lp;
 };
 
@@ -36,7 +51,32 @@ struct MilpOptions {
 struct MilpStats {
   int NodesExplored = 0;
   int Incumbents = 0;
+  /// LP relaxations solved (root + children that were not pre-pruned).
+  int LpSolves = 0;
+  /// Simplex pivots across all node LPs (primal + dual).
+  long LpPivots = 0;
+  /// Dual-simplex share of LpPivots (warm-start feasibility restores).
+  long LpDualPivots = 0;
+  /// Nonbasic bound flips across all node LPs.
+  long LpBoundFlips = 0;
+  /// Child LPs attempted with the parent's basis / accepted by the warm
+  /// path (a miss fell back to a cold solve).
+  int WarmStartAttempts = 0;
+  int WarmStartHits = 0;
+  /// Subtrees dropped because a child relaxation hit its iteration limit.
+  /// Any drop downgrades the final status (see the status contract above).
+  int DroppedSubtrees = 0;
+  /// The MaxNodes budget ran out with open nodes remaining.
+  bool NodeLimitHit = false;
 };
+
+/// True when \p X is integral within \p Tol. The single integrality
+/// predicate shared by the branch-variable choice and the incumbent test,
+/// so a value at exactly the tolerance cannot be "integral" to one check
+/// and "fractional" to the other.
+inline bool isIntegral(double X, double Tol) {
+  return std::abs(X - std::round(X)) <= Tol;
+}
 
 /// Solves \p M to integer optimality (or best effort under the node limit).
 Solution solveMilp(const Model &M, const MilpOptions &Options,

@@ -115,7 +115,11 @@ private:
   Goal Direction = Goal::Minimize;
 };
 
-/// Solver outcome.
+/// Solver outcome. The MILP solver only reports Optimal (and only proves
+/// Infeasible) when the branch-and-bound tree was explored exhaustively:
+/// any subtree dropped for a reason other than its bound — a node LP
+/// hitting its iteration limit, or the node budget running out — degrades
+/// the result to Feasible (best incumbent) or IterLimit (no incumbent).
 enum class SolveStatus {
   Optimal,
   Feasible,   ///< MILP only: incumbent found but search truncated.

@@ -1,12 +1,24 @@
-//===- lp/Simplex.cpp - Dense two-phase primal simplex -------------------===//
+//===- lp/Simplex.cpp - Bounded-variable primal/dual simplex --------------===//
 //
 // Part of the PALMED reproduction.
 //
 // Implementation notes: variables are shifted by their (finite) lower bound
-// so the working variables are non-negative; finite upper bounds become
-// explicit rows. Phase 1 minimizes the sum of artificial variables, phase 2
-// the user objective. Dantzig pricing with a Bland fallback after a stall
-// guards against cycling on degenerate bases.
+// so the working variables live in [0, upper-lower]. Finite upper bounds are
+// handled implicitly: a nonbasic variable rests at either bound (bound flips
+// move it across without a pivot), so no explicit upper-bound rows are ever
+// materialized. Phase 1 minimizes the sum of artificial variables; phase 2
+// the user objective. Pricing is Devex with a Bland fallback after a
+// degenerate stall. Artificial columns are dead after phase 1: they are
+// never priced and never swept by phase-2 eliminations.
+//
+// Warm starts: the column numbering is stable across solves of the same
+// model (structural variables, then one slack id per row, then one
+// artificial id per row), so a final basis can seed a re-solve after bound
+// overrides change (branch-and-bound children; the bounded dual simplex
+// restores primal feasibility) or after the objective changes (BWP pin
+// iterations; the basis stays primal feasible and phase 1 is skipped).
+// Whenever the warm basis does not fit, the solver silently falls back to a
+// cold two-phase solve, so warm starts never change results, only work.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,78 +27,261 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 using namespace palmed;
 using namespace palmed::lp;
 
+LpTelemetry &lp::lpTelemetry() {
+  thread_local LpTelemetry Tel;
+  return Tel;
+}
+
 namespace {
 
-/// Dense row-major tableau with an explicit reduced-cost row.
+enum class ColStatus : uint8_t { AtLower, AtUpper, Basic };
+
+constexpr size_t None = static_cast<size_t>(-1);
+
+/// Dense tableau over the physical columns actually materialized:
+/// [0, NumVars) structural, [NumVars, ArtStart) slacks for LE/GE rows, and
+/// [ArtStart, NumCols) artificials for the rows that need one to form the
+/// initial basis. Rhs holds the *actual value* of each row's basic variable
+/// (nonbasic-at-upper contributions folded in), except transiently during
+/// warm-basis replay where it is treated as a plain algebraic column.
 class Tableau {
 public:
-  Tableau(size_t NumRows, size_t NumCols)
-      : NumRows(NumRows), NumCols(NumCols),
-        Data(NumRows * (NumCols + 1), 0.0), Cost(NumCols + 1, 0.0),
-        Basis(NumRows, -1), Enterable(NumCols, true) {}
+  size_t NumRows = 0;
+  size_t NumVars = 0;
+  size_t ArtStart = 0; ///< Live-column sweep bound: pricing and phase
+                       ///< eliminations never touch [ArtStart, NumCols).
+  size_t NumCols = 0;
 
-  double &at(size_t Row, size_t Col) { return Data[Row * (NumCols + 1) + Col]; }
-  double at(size_t Row, size_t Col) const {
-    return Data[Row * (NumCols + 1) + Col];
-  }
-  double &rhs(size_t Row) { return at(Row, NumCols); }
-  double rhs(size_t Row) const { return at(Row, NumCols); }
+  std::vector<double> Data; ///< NumRows x NumCols, row-major.
+  std::vector<double> Rhs;
+  std::vector<double> Cost;  ///< Reduced costs of the current phase.
+  double CostRhs = 0.0; ///< Compat mode only: the cost row's rhs entry
+                        ///< (-objective), swept like the historical code.
+  std::vector<double> Upper; ///< Shifted upper bound (Infinity if none).
+  std::vector<ColStatus> Status;
+  std::vector<int> Basis;     ///< Per row: physical basic column.
+  std::vector<double> Weight; ///< Devex reference weights.
 
-  void pivot(size_t PivotRow, size_t PivotCol) {
-    double *RowP = &Data[PivotRow * (NumCols + 1)];
-    double Inv = 1.0 / RowP[PivotCol];
-    for (size_t C = 0; C <= NumCols; ++C)
-      RowP[C] *= Inv;
-    RowP[PivotCol] = 1.0;
-    for (size_t R = 0; R < NumRows; ++R) {
-      if (R == PivotRow)
-        continue;
-      double *Other = &Data[R * (NumCols + 1)];
-      double Factor = Other[PivotCol];
-      if (Factor == 0.0)
-        continue;
-      for (size_t C = 0; C <= NumCols; ++C)
-        Other[C] -= Factor * RowP[C];
-      Other[PivotCol] = 0.0;
-    }
-    double Factor = Cost[PivotCol];
-    if (Factor != 0.0) {
-      for (size_t C = 0; C <= NumCols; ++C)
-        Cost[C] -= Factor * RowP[C];
-      Cost[PivotCol] = 0.0;
-    }
-    Basis[PivotRow] = static_cast<int>(PivotCol);
+  std::vector<int> SlackPhysOfRow; ///< -1 when the row has no slack column.
+  std::vector<int> ArtPhysOfRow;   ///< -1 when the row has no artificial.
+  std::vector<int> RowOfPhys;      ///< For cols >= NumVars: owning row.
+
+  double *row(size_t R) { return &Data[R * NumCols]; }
+  const double *row(size_t R) const { return &Data[R * NumCols]; }
+  double &at(size_t R, size_t C) { return Data[R * NumCols + C]; }
+  double at(size_t R, size_t C) const { return Data[R * NumCols + C]; }
+
+  int logicalOf(int Phys) const {
+    if (static_cast<size_t>(Phys) < NumVars)
+      return Phys;
+    size_t R = static_cast<size_t>(RowOfPhys[static_cast<size_t>(Phys)]);
+    bool IsArt = static_cast<size_t>(Phys) >= ArtStart;
+    return static_cast<int>(NumVars + (IsArt ? NumRows : 0) + R);
   }
 
-  size_t NumRows;
-  size_t NumCols;
-  std::vector<double> Data;
-  std::vector<double> Cost; ///< Reduced costs; last entry is -objective.
-  std::vector<int> Basis;
-  std::vector<bool> Enterable;
+  /// Maps a stable logical column id back to this instance's physical
+  /// column, or -1 when the column was not materialized.
+  int physOf(int Logical) const {
+    if (Logical < 0)
+      return -1;
+    size_t L = static_cast<size_t>(Logical);
+    if (L < NumVars)
+      return Logical;
+    if (L < NumVars + NumRows)
+      return SlackPhysOfRow[L - NumVars];
+    if (L < NumVars + 2 * NumRows)
+      return ArtPhysOfRow[L - NumVars - NumRows];
+    return -1;
+  }
 };
 
-enum class PhaseResult { Optimal, Unbounded, IterLimit };
+/// Builds the tableau for \p M under effective bounds Lo/Hi. The initial
+/// basis is the slack of every row whose (sign-normalized) slack coefficient
+/// is +1, and an artificial elsewhere. With \p ExplicitBounds (compat mode)
+/// every finite upper bound becomes one extra LE row, exactly like the
+/// historical solver, and the implicit-bound machinery stays inert.
+void buildTableau(Tableau &T, const Model &M, const std::vector<double> &Lo,
+                  const std::vector<double> &Hi, bool ExplicitBounds) {
+  const size_t NumVars = M.numVars();
+  const size_t NumCons = M.numConstraints();
+  std::vector<size_t> UbVars;
+  if (ExplicitBounds)
+    for (size_t V = 0; V < NumVars; ++V)
+      if (std::isfinite(Hi[V]))
+        UbVars.push_back(V);
+  const size_t NumRows = NumCons + UbVars.size();
+  T.NumRows = NumRows;
+  T.NumVars = NumVars;
 
-/// Runs primal simplex iterations until optimality of the current cost row.
-PhaseResult runPhase(Tableau &T, const SimplexOptions &Options) {
+  thread_local std::vector<double> EffRhs, RowSign, SlackCoeff;
+  thread_local std::vector<uint8_t> NeedArt;
+  EffRhs.assign(NumRows, 0.0);
+  RowSign.assign(NumRows, 1.0);
+  SlackCoeff.assign(NumRows, 0.0);
+  NeedArt.assign(NumRows, 0);
+
+  size_t NumSlack = 0;
+  for (size_t R = 0; R < NumRows; ++R) {
+    double Rhs;
+    Sense Dir;
+    if (R < NumCons) {
+      const Constraint &C = M.constraints()[R];
+      double Shift = 0.0;
+      for (const auto &[Var, Coeff] : C.Expr.terms())
+        Shift += Coeff * Lo[static_cast<size_t>(Var)];
+      Rhs = C.Rhs - Shift;
+      Dir = C.Dir;
+    } else {
+      size_t V = UbVars[R - NumCons];
+      Rhs = Hi[V] - Lo[V];
+      Dir = Sense::LE;
+    }
+    if (Rhs < 0.0) {
+      Rhs = -Rhs;
+      RowSign[R] = -1.0;
+    }
+    EffRhs[R] = Rhs;
+    if (Dir != Sense::EQ) {
+      ++NumSlack;
+      SlackCoeff[R] = RowSign[R] * (Dir == Sense::LE ? 1.0 : -1.0);
+    }
+    NeedArt[R] = SlackCoeff[R] != 1.0;
+  }
+  T.ArtStart = NumVars + NumSlack;
+
+  T.SlackPhysOfRow.assign(NumRows, -1);
+  T.ArtPhysOfRow.assign(NumRows, -1);
+  size_t NextSlack = NumVars;
+  size_t NumArt = 0;
+  for (size_t R = 0; R < NumRows; ++R) {
+    if (SlackCoeff[R] != 0.0)
+      T.SlackPhysOfRow[R] = static_cast<int>(NextSlack++);
+    if (NeedArt[R])
+      T.ArtPhysOfRow[R] = static_cast<int>(T.ArtStart + NumArt++);
+  }
+  T.NumCols = T.ArtStart + NumArt;
+
+  // The tableau is thread_local scratch; keep capacity for the common
+  // stream of similarly-sized LPs but release it when one outsized solve
+  // would otherwise pin its allocation for the thread's lifetime.
+  size_t Need = NumRows * T.NumCols;
+  if (T.Data.capacity() > (size_t{1} << 20) &&
+      T.Data.capacity() > 8 * Need) {
+    T.Data.clear();
+    T.Data.shrink_to_fit();
+  }
+  T.Data.assign(Need, 0.0);
+  T.Rhs.assign(NumRows, 0.0);
+  T.Upper.assign(T.NumCols, Infinity);
+  T.Status.assign(T.NumCols, ColStatus::AtLower);
+  T.Basis.assign(NumRows, -1);
+  T.RowOfPhys.assign(T.NumCols, -1);
+  T.CostRhs = 0.0;
+
+  if (!ExplicitBounds)
+    for (size_t V = 0; V < NumVars; ++V)
+      T.Upper[V] = std::isfinite(Hi[V]) ? Hi[V] - Lo[V] : Infinity;
+
+  for (size_t R = 0; R < NumRows; ++R) {
+    if (R < NumCons) {
+      const Constraint &C = M.constraints()[R];
+      for (const auto &[Var, Coeff] : C.Expr.terms())
+        T.at(R, static_cast<size_t>(Var)) += RowSign[R] * Coeff;
+    } else {
+      T.at(R, UbVars[R - NumCons]) = RowSign[R];
+    }
+    T.Rhs[R] = EffRhs[R];
+    if (T.SlackPhysOfRow[R] >= 0) {
+      size_t S = static_cast<size_t>(T.SlackPhysOfRow[R]);
+      T.at(R, S) = SlackCoeff[R];
+      T.RowOfPhys[S] = static_cast<int>(R);
+    }
+    if (T.ArtPhysOfRow[R] >= 0) {
+      size_t A = static_cast<size_t>(T.ArtPhysOfRow[R]);
+      T.at(R, A) = 1.0;
+      T.RowOfPhys[A] = static_cast<int>(R);
+      T.Basis[R] = static_cast<int>(A);
+      T.Status[A] = ColStatus::Basic;
+    } else {
+      size_t S = static_cast<size_t>(T.SlackPhysOfRow[R]);
+      T.Basis[R] = static_cast<int>(S);
+      T.Status[S] = ColStatus::Basic;
+    }
+  }
+}
+
+enum class PhaseResult { Optimal, Unbounded, IterLimit, Infeasible };
+
+/// Compat-mode pivot: the historical arithmetic, with Rhs (and the cost
+/// row's rhs) swept as plain algebraic columns — the pivot row is scaled by
+/// the reciprocal, other rows subtract Factor times the scaled row. Only
+/// columns below \p SweepEnd are touched; phase 2 passes ArtStart, which
+/// skips the dead artificial columns without changing any value ever read.
+void compatPivot(Tableau &T, size_t PR, size_t Q, size_t SweepEnd) {
+  double *PRow = T.row(PR);
+  double Inv = 1.0 / PRow[Q];
+  // Collect the pivot row's nonzeros once: eliminations only touch those
+  // columns (a zero entry contributes an exact ±0, a no-op value-wise —
+  // the pivot-row slack block is mostly zeros, so this halves sweep cost
+  // without perturbing any value the historical arithmetic produced).
+  thread_local std::vector<uint32_t> NonZero;
+  NonZero.clear();
+  for (size_t C = 0; C < SweepEnd; ++C) {
+    if (PRow[C] != 0.0) {
+      PRow[C] *= Inv;
+      NonZero.push_back(static_cast<uint32_t>(C));
+    }
+  }
+  PRow[Q] = 1.0;
+  T.Rhs[PR] *= Inv;
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    if (R == PR)
+      continue;
+    double *Other = T.row(R);
+    double Factor = Other[Q];
+    if (Factor == 0.0)
+      continue;
+    for (uint32_t C : NonZero)
+      Other[C] -= Factor * PRow[C];
+    Other[Q] = 0.0;
+    T.Rhs[R] -= Factor * T.Rhs[PR];
+  }
+  double Factor = T.Cost[Q];
+  if (Factor != 0.0) {
+    for (uint32_t C : NonZero)
+      T.Cost[C] -= Factor * PRow[C];
+    T.CostRhs -= Factor * T.Rhs[PR];
+    T.Cost[Q] = 0.0;
+  }
+  T.Status[static_cast<size_t>(T.Basis[PR])] = ColStatus::AtLower;
+  T.Basis[PR] = static_cast<int>(Q);
+  T.Status[Q] = ColStatus::Basic;
+}
+
+/// Compat-mode phase runner: Dantzig pricing with the historical stall
+/// detection and ratio-test tie-breaks, reproducing the seed solver's pivot
+/// sequence value-for-value. \p PriceEnd bounds the entering-column scan
+/// (phase 1 may re-enter artificials, phase 2 may not); \p SweepEnd bounds
+/// the elimination sweep.
+PhaseResult runCompat(Tableau &T, const SimplexOptions &Options,
+                      LpRunStats &RS, size_t PriceEnd, size_t SweepEnd) {
   const double Tol = Options.Tolerance;
+  LpTelemetry &Tel = lpTelemetry();
   int StallCount = 0;
   bool UseBland = false;
-  double LastObjective = -T.Cost[T.NumCols];
+  double LastObjective = -T.CostRhs;
 
   for (int Iter = 0; Iter < Options.MaxIterations; ++Iter) {
-    // Entering column: most negative reduced cost (Dantzig) or first
-    // negative (Bland) among enterable columns.
-    size_t Entering = T.NumCols;
+    size_t Entering = None;
     double BestCost = -Tol;
-    for (size_t C = 0; C < T.NumCols; ++C) {
-      if (!T.Enterable[C])
+    for (size_t C = 0; C < PriceEnd; ++C) {
+      if (T.Status[C] == ColStatus::Basic)
         continue;
       double RC = T.Cost[C];
       if (RC < BestCost) {
@@ -96,30 +291,30 @@ PhaseResult runPhase(Tableau &T, const SimplexOptions &Options) {
           break;
       }
     }
-    if (Entering == T.NumCols)
+    if (Entering == None)
       return PhaseResult::Optimal;
 
-    // Ratio test; ties broken by smallest basis variable index (helps
-    // termination together with Bland pricing).
-    size_t Leaving = T.NumRows;
+    size_t Leaving = None;
     double BestRatio = 0.0;
     for (size_t R = 0; R < T.NumRows; ++R) {
       double A = T.at(R, Entering);
       if (A <= Tol)
         continue;
-      double Ratio = T.rhs(R) / A;
-      if (Leaving == T.NumRows || Ratio < BestRatio - Tol ||
+      double Ratio = T.Rhs[R] / A;
+      if (Leaving == None || Ratio < BestRatio - Tol ||
           (Ratio < BestRatio + Tol && T.Basis[R] < T.Basis[Leaving])) {
         BestRatio = Ratio;
         Leaving = R;
       }
     }
-    if (Leaving == T.NumRows)
+    if (Leaving == None)
       return PhaseResult::Unbounded;
 
-    T.pivot(Leaving, Entering);
+    compatPivot(T, Leaving, Entering, SweepEnd);
+    ++RS.Pivots;
+    ++Tel.Pivots;
 
-    double Objective = -T.Cost[T.NumCols];
+    double Objective = -T.CostRhs;
     if (Objective < LastObjective - Tol) {
       LastObjective = Objective;
       StallCount = 0;
@@ -130,12 +325,442 @@ PhaseResult runPhase(Tableau &T, const SimplexOptions &Options) {
   return PhaseResult::IterLimit;
 }
 
+/// Executes the basis change for entering column \p Q moving by step \p T0
+/// in direction \p Dir (+1 from lower, -1 from upper), pivoting in row
+/// \p PR; the leaving variable becomes nonbasic at \p LeaveAt. Rhs keeps
+/// actual-value semantics throughout.
+void applyPivot(Tableau &T, size_t PR, size_t Q, int Dir, double T0,
+                ColStatus LeaveAt) {
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    if (R == PR)
+      continue;
+    double A = T.at(R, Q);
+    if (A != 0.0)
+      T.Rhs[R] -= Dir * A * T0;
+  }
+  double NewVal = Dir > 0 ? T0 : T.Upper[Q] - T0;
+
+  int Leaving = T.Basis[PR];
+  T.Status[static_cast<size_t>(Leaving)] = LeaveAt;
+
+  double *PRow = T.row(PR);
+  double Inv = 1.0 / PRow[Q];
+  for (size_t C = 0; C < T.ArtStart; ++C)
+    PRow[C] *= Inv;
+  PRow[Q] = 1.0;
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    if (R == PR)
+      continue;
+    double *Other = T.row(R);
+    double Factor = Other[Q];
+    if (Factor == 0.0)
+      continue;
+    for (size_t C = 0; C < T.ArtStart; ++C)
+      Other[C] -= Factor * PRow[C];
+    Other[Q] = 0.0;
+  }
+  double Factor = T.Cost[Q];
+  if (Factor != 0.0) {
+    for (size_t C = 0; C < T.ArtStart; ++C)
+      T.Cost[C] -= Factor * PRow[C];
+    T.Cost[Q] = 0.0;
+  }
+  T.Basis[PR] = static_cast<int>(Q);
+  T.Status[Q] = ColStatus::Basic;
+  T.Rhs[PR] = NewVal;
+}
+
+/// Devex reference-weight update; must run on the pre-elimination pivot row.
+void devexUpdate(Tableau &T, size_t PR, size_t Q) {
+  const double *PRow = T.row(PR);
+  double AQ = PRow[Q];
+  double WQ = T.Weight[Q] / (AQ * AQ);
+  for (size_t C = 0; C < T.ArtStart; ++C) {
+    if (C == Q || T.Status[C] == ColStatus::Basic)
+      continue;
+    double A = PRow[C];
+    if (A == 0.0)
+      continue;
+    double Cand = A * A * WQ;
+    if (Cand > T.Weight[C])
+      T.Weight[C] = Cand;
+  }
+  T.Weight[static_cast<size_t>(T.Basis[PR])] = std::max(WQ, 1.0);
+  // Reset the reference framework when weights explode.
+  if (WQ > 1e10)
+    std::fill(T.Weight.begin(), T.Weight.end(), 1.0);
+}
+
+/// Bounded-variable primal simplex on the current cost row.
+PhaseResult runPrimal(Tableau &T, const SimplexOptions &Options,
+                      LpRunStats &RS) {
+  const double Tol = Options.Tolerance;
+  LpTelemetry &Tel = lpTelemetry();
+  T.Weight.assign(T.NumCols, 1.0);
+  int Stall = 0;
+  bool UseBland = false;
+
+  for (int Iter = 0; Iter < Options.MaxIterations; ++Iter) {
+    // --- Pricing: Devex score d^2/w, or first eligible under Bland. ---
+    size_t Entering = None;
+    int Dir = 0;
+    double BestScore = 0.0;
+    for (size_t C = 0; C < T.ArtStart; ++C) {
+      ColStatus St = T.Status[C];
+      if (St == ColStatus::Basic || T.Upper[C] == 0.0)
+        continue;
+      double RC = T.Cost[C];
+      int D;
+      if (St == ColStatus::AtLower) {
+        if (RC >= -Tol)
+          continue;
+        D = 1;
+      } else {
+        if (RC <= Tol)
+          continue;
+        D = -1;
+      }
+      if (UseBland) {
+        Entering = C;
+        Dir = D;
+        break;
+      }
+      double Score = RC * RC / T.Weight[C];
+      if (Score > BestScore) {
+        BestScore = Score;
+        Entering = C;
+        Dir = D;
+      }
+    }
+    if (Entering == None)
+      return PhaseResult::Optimal;
+
+    // --- Ratio test over the basic rows. ---
+    double RowT = Infinity;
+    size_t PivotRow = None;
+    double PivotAbs = 0.0;
+    ColStatus LeaveAt = ColStatus::AtLower;
+    for (size_t R = 0; R < T.NumRows; ++R) {
+      double A = T.at(R, Entering);
+      double S = Dir > 0 ? A : -A;
+      double Lim;
+      ColStatus LA;
+      if (S > Tol) {
+        Lim = T.Rhs[R] > 0.0 ? T.Rhs[R] / S : 0.0;
+        LA = ColStatus::AtLower;
+      } else if (S < -Tol) {
+        double U = T.Upper[static_cast<size_t>(T.Basis[R])];
+        if (U == Infinity)
+          continue;
+        double Room = U - T.Rhs[R];
+        Lim = Room > 0.0 ? Room / (-S) : 0.0;
+        LA = ColStatus::AtUpper;
+      } else {
+        continue;
+      }
+      bool Take;
+      if (PivotRow == None || Lim < RowT - Tol)
+        Take = true;
+      else if (Lim < RowT + Tol)
+        Take = UseBland ? T.Basis[R] < T.Basis[PivotRow]
+                        : std::abs(A) > PivotAbs;
+      else
+        Take = false;
+      if (Take) {
+        RowT = Lim;
+        PivotRow = R;
+        PivotAbs = std::abs(A);
+        LeaveAt = LA;
+      }
+    }
+
+    double FlipT = T.Upper[Entering];
+    if (PivotRow == None && FlipT == Infinity)
+      return PhaseResult::Unbounded;
+
+    if (FlipT <= RowT) {
+      // Bound flip: the entering variable crosses to its other bound
+      // without any basis change.
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        double A = T.at(R, Entering);
+        if (A != 0.0)
+          T.Rhs[R] -= Dir * A * FlipT;
+      }
+      T.Status[Entering] = Dir > 0 ? ColStatus::AtUpper : ColStatus::AtLower;
+      ++RS.BoundFlips;
+      ++Tel.BoundFlips;
+      if (FlipT > Tol)
+        Stall = 0;
+      else if (++Stall > 200)
+        UseBland = true;
+      continue;
+    }
+
+    double Step = RowT > 0.0 ? RowT : 0.0;
+    devexUpdate(T, PivotRow, Entering);
+    applyPivot(T, PivotRow, Entering, Dir, Step, LeaveAt);
+    ++RS.Pivots;
+    ++Tel.Pivots;
+    if (Step > Tol)
+      Stall = 0;
+    else if (++Stall > 200)
+      UseBland = true;
+  }
+  return PhaseResult::IterLimit;
+}
+
+/// Bounded-variable dual simplex: starting from a dual-feasible basis,
+/// drives out primal bound violations (used to re-solve after branching
+/// tightens a bound). Terminating primal-feasible certifies optimality up
+/// to the primal polish that follows; "no entering column" certifies
+/// infeasibility.
+PhaseResult runDual(Tableau &T, const SimplexOptions &Options, int MaxPivots,
+                    LpRunStats &RS) {
+  const double Tol = Options.Tolerance;
+  const double FeasTol = 1e-7;
+  LpTelemetry &Tel = lpTelemetry();
+  bool UseBland = false;
+
+  for (int Iter = 0; Iter < MaxPivots; ++Iter) {
+    // Leaving row: most violated basic bound.
+    size_t PR = None;
+    double BestViol = FeasTol;
+    bool AboveUpper = false;
+    for (size_t R = 0; R < T.NumRows; ++R) {
+      double V = T.Rhs[R];
+      if (-V > BestViol) {
+        BestViol = -V;
+        PR = R;
+        AboveUpper = false;
+      }
+      double U = T.Upper[static_cast<size_t>(T.Basis[R])];
+      if (U != Infinity && V - U > BestViol) {
+        BestViol = V - U;
+        PR = R;
+        AboveUpper = true;
+      }
+    }
+    if (PR == None)
+      return PhaseResult::Optimal;
+
+    // Entering: bound-flipping dual ratio test. Collect the columns that
+    // can absorb the violation, walk their breakpoints in increasing
+    // dual-ratio |d|/|a| order, and flip across any candidate whose own
+    // upper bound is exhausted before the violation is (its reduced cost
+    // crosses zero at its breakpoint, so the eventual pivot — whose ratio
+    // is no smaller — leaves it dual feasible at the flipped bound). The
+    // first candidate that can absorb the remainder becomes basic; without
+    // the flips, a bounded entering column would overshoot its bound and
+    // the restore would grind through one violation per pivot on exactly
+    // the all-variables-bounded models warm starts target.
+    const double *PRow = T.row(PR);
+    struct Candidate {
+      uint32_t Col;
+      double Ratio;
+      double Abs;
+    };
+    thread_local std::vector<Candidate> Candidates;
+    Candidates.clear();
+    for (size_t C = 0; C < T.ArtStart; ++C) {
+      ColStatus St = T.Status[C];
+      if (St == ColStatus::Basic || T.Upper[C] == 0.0)
+        continue;
+      double A = PRow[C];
+      bool Ok = AboveUpper ? (St == ColStatus::AtLower && A > Tol) ||
+                                 (St == ColStatus::AtUpper && A < -Tol)
+                           : (St == ColStatus::AtLower && A < -Tol) ||
+                                 (St == ColStatus::AtUpper && A > Tol);
+      if (!Ok)
+        continue;
+      double AbsA = std::abs(A);
+      Candidates.push_back(
+          {static_cast<uint32_t>(C), std::abs(T.Cost[C]) / AbsA, AbsA});
+    }
+    if (Candidates.empty())
+      return PhaseResult::Infeasible;
+    std::sort(Candidates.begin(), Candidates.end(),
+              [UseBland](const Candidate &A, const Candidate &B) {
+                if (A.Ratio != B.Ratio)
+                  return A.Ratio < B.Ratio;
+                if (!UseBland && A.Abs != B.Abs)
+                  return A.Abs > B.Abs;
+                return A.Col < B.Col;
+              });
+
+    double Remaining = BestViol;
+    bool Pivoted = false;
+    for (const Candidate &Cand : Candidates) {
+      size_t C = Cand.Col;
+      int Dir = T.Status[C] == ColStatus::AtLower ? 1 : -1;
+      double U = T.Upper[C];
+      double StepFull = Remaining > 0.0 ? Remaining / Cand.Abs : 0.0;
+      if (U == Infinity || StepFull <= U) {
+        applyPivot(T, PR, C, Dir, StepFull,
+                   AboveUpper ? ColStatus::AtUpper : ColStatus::AtLower);
+        ++RS.Pivots;
+        ++RS.DualPivots;
+        ++Tel.Pivots;
+        ++Tel.DualPivots;
+        Pivoted = true;
+        break;
+      }
+      // Flip: absorbs |a| * U of the violation without a basis change.
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        double A = T.at(R, C);
+        if (A != 0.0)
+          T.Rhs[R] -= Dir * A * U;
+      }
+      T.Status[C] = Dir > 0 ? ColStatus::AtUpper : ColStatus::AtLower;
+      ++RS.BoundFlips;
+      ++Tel.BoundFlips;
+      Remaining -= Cand.Abs * U;
+    }
+    if (!Pivoted)
+      return PhaseResult::Infeasible; // Even all bounds flipped cannot
+                                      // close the violation.
+    if (Iter > 500)
+      UseBland = true;
+  }
+  return PhaseResult::IterLimit;
+}
+
+/// Reduced costs of \p Costs under the current basis (artificial columns
+/// keep cost zero and are never priced).
+void computeReducedCosts(Tableau &T, const std::vector<double> &Costs) {
+  T.Cost = Costs;
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    size_t B = static_cast<size_t>(T.Basis[R]);
+    double CB = B < Costs.size() ? Costs[B] : 0.0;
+    if (CB == 0.0)
+      continue;
+    const double *Row = T.row(R);
+    for (size_t C = 0; C < T.ArtStart; ++C)
+      T.Cost[C] -= CB * Row[C];
+  }
+  // Basic columns are unit columns, so their entries are exactly zero now;
+  // enforce it against accumulated noise.
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    size_t B = static_cast<size_t>(T.Basis[R]);
+    if (B < T.ArtStart)
+      T.Cost[B] = 0.0;
+  }
+}
+
+/// Plain algebraic pivot used only while replaying a warm basis: Rhs is
+/// treated as one more column (B^-1 b semantics; actual-value semantics are
+/// restored afterwards by folding in the nonbasic-at-upper contributions).
+void replayPivot(Tableau &T, size_t PR, size_t P, size_t SweepEnd) {
+  double *PRow = T.row(PR);
+  double Inv = 1.0 / PRow[P];
+  for (size_t C = 0; C < SweepEnd; ++C)
+    PRow[C] *= Inv;
+  PRow[P] = 1.0;
+  T.Rhs[PR] *= Inv;
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    if (R == PR)
+      continue;
+    double *Other = T.row(R);
+    double Factor = Other[P];
+    if (Factor == 0.0)
+      continue;
+    for (size_t C = 0; C < SweepEnd; ++C)
+      Other[C] -= Factor * PRow[C];
+    Other[P] = 0.0;
+    T.Rhs[R] -= Factor * T.Rhs[PR];
+  }
+  T.Status[static_cast<size_t>(T.Basis[PR])] = ColStatus::AtLower;
+  T.Basis[PR] = static_cast<int>(P);
+  T.Status[P] = ColStatus::Basic;
+}
+
+/// Installs \p W into a freshly built tableau: maps logical ids, realizes
+/// the basis by Gaussian elimination with partial pivoting, restores
+/// nonbasic-at-upper statuses, and recomputes actual basic values. Returns
+/// false (tableau unusable) when the basis does not fit this instance.
+bool replayBasis(Tableau &T, const SimplexBasis &W) {
+  if (W.BasicCols.size() != T.NumRows ||
+      W.AtUpper.size() != T.NumVars)
+    return false;
+
+  std::vector<int> Phys(T.NumRows);
+  std::vector<uint8_t> Seen(T.NumCols, 0);
+  bool NeedArts = false;
+  for (size_t R = 0; R < T.NumRows; ++R) {
+    int P = T.physOf(W.BasicCols[R]);
+    if (P < 0 || Seen[static_cast<size_t>(P)])
+      return false;
+    Seen[static_cast<size_t>(P)] = 1;
+    Phys[R] = P;
+    NeedArts |= static_cast<size_t>(P) >= T.ArtStart;
+  }
+  size_t SweepEnd = NeedArts ? T.NumCols : T.ArtStart;
+
+  std::vector<int> RowOfBasic(T.NumCols, -1);
+  for (size_t R = 0; R < T.NumRows; ++R)
+    RowOfBasic[static_cast<size_t>(T.Basis[R])] = static_cast<int>(R);
+
+  std::vector<uint8_t> RowFixed(T.NumRows, 0);
+  std::vector<size_t> Pending;
+  for (size_t I = 0; I < T.NumRows; ++I) {
+    size_t P = static_cast<size_t>(Phys[I]);
+    int R = RowOfBasic[P];
+    if (R >= 0 && !RowFixed[static_cast<size_t>(R)])
+      RowFixed[static_cast<size_t>(R)] = 1;
+    else
+      Pending.push_back(P);
+  }
+  for (size_t P : Pending) {
+    size_t BestRow = None;
+    double BestAbs = 1e-8;
+    for (size_t R = 0; R < T.NumRows; ++R) {
+      if (RowFixed[R])
+        continue;
+      double A = std::abs(T.at(R, P));
+      if (A > BestAbs) {
+        BestAbs = A;
+        BestRow = R;
+      }
+    }
+    if (BestRow == None)
+      return false; // Singular under the new bounds.
+    replayPivot(T, BestRow, P, SweepEnd);
+    RowFixed[BestRow] = 1;
+  }
+
+  // Restore nonbasic-at-upper statuses and fold their contribution into
+  // the basic values (actual-value semantics from here on).
+  for (size_t V = 0; V < T.NumVars; ++V) {
+    if (!W.AtUpper[V] || T.Status[V] == ColStatus::Basic ||
+        T.Upper[V] == Infinity)
+      continue;
+    T.Status[V] = ColStatus::AtUpper;
+    double U = T.Upper[V];
+    if (U == 0.0)
+      continue;
+    for (size_t R = 0; R < T.NumRows; ++R) {
+      double A = T.at(R, V);
+      if (A != 0.0)
+        T.Rhs[R] -= A * U;
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 Solution lp::solveLp(const Model &M, const std::vector<BoundOverride> &Overrides,
-                     const SimplexOptions &Options) {
+                     const SimplexOptions &Options,
+                     const SimplexBasis *WarmStart, SimplexBasis *FinalBasis,
+                     LpRunStats *Stats) {
   const double Tol = Options.Tolerance;
   const size_t NumVars = M.numVars();
+  LpRunStats LocalStats;
+  LpRunStats &RS = Stats ? *Stats : LocalStats;
+  RS = LpRunStats();
+  LpTelemetry &Tel = lpTelemetry();
+  ++Tel.Solves;
+  if (FinalBasis)
+    FinalBasis->clear();
 
   // Effective bounds after overrides.
   std::vector<double> Lo(NumVars), Hi(NumVars);
@@ -156,170 +781,217 @@ Solution lp::solveLp(const Model &M, const std::vector<BoundOverride> &Overrides
     }
   }
 
-  // Row inventory: model constraints + one row per finite upper bound.
-  struct RowSpec {
-    const Constraint *C = nullptr; ///< Null for upper-bound rows.
-    size_t UbVar = 0;
-    Sense Dir = Sense::LE;
-    double Rhs = 0.0;
+  // Phase-2 costs over physical columns (as minimization).
+  auto makeCosts = [&](const Tableau &T) {
+    std::vector<double> Costs(T.NumCols, 0.0);
+    double ObjSign = M.goal() == Goal::Minimize ? 1.0 : -1.0;
+    LinearExpr Obj = M.objective();
+    Obj.normalize();
+    for (const auto &[Var, Coeff] : Obj.terms())
+      Costs[static_cast<size_t>(Var)] = ObjSign * Coeff;
+    return Costs;
   };
-  std::vector<RowSpec> RowSpecs;
-  for (const Constraint &C : M.constraints()) {
-    RowSpec S;
-    S.C = &C;
-    S.Dir = C.Dir;
-    double Shift = 0.0;
-    for (const auto &[Var, Coeff] : C.Expr.terms())
-      Shift += Coeff * Lo[static_cast<size_t>(Var)];
-    S.Rhs = C.Rhs - Shift;
-    RowSpecs.push_back(S);
-  }
-  for (size_t V = 0; V < NumVars; ++V) {
-    if (!std::isfinite(Hi[V]))
-      continue;
-    RowSpec S;
-    S.UbVar = V;
-    S.Dir = Sense::LE;
-    S.Rhs = Hi[V] - Lo[V];
-    RowSpecs.push_back(S);
-  }
 
-  const size_t NumRows = RowSpecs.size();
-  // Count auxiliary columns. After rhs-sign normalization:
-  //   LE -> slack (basic);  GE -> surplus + artificial;  EQ -> artificial.
-  size_t NumSlack = 0, NumArtificial = 0;
-  std::vector<Sense> EffDir(NumRows);
-  std::vector<double> EffRhs(NumRows);
-  std::vector<double> RowSign(NumRows, 1.0);
-  for (size_t R = 0; R < NumRows; ++R) {
-    Sense Dir = RowSpecs[R].Dir;
-    double Rhs = RowSpecs[R].Rhs;
-    if (Rhs < 0.0) {
-      Rhs = -Rhs;
-      RowSign[R] = -1.0;
-      if (Dir == Sense::LE)
-        Dir = Sense::GE;
-      else if (Dir == Sense::GE)
-        Dir = Sense::LE;
-    }
-    EffDir[R] = Dir;
-    EffRhs[R] = Rhs;
-    switch (Dir) {
-    case Sense::LE:
-      ++NumSlack;
-      break;
-    case Sense::GE:
-      ++NumSlack; // Surplus column.
-      ++NumArtificial;
-      break;
-    case Sense::EQ:
-      ++NumArtificial;
-      break;
-    }
-  }
+  // Thread-local scratch: the hot callers solve tens of thousands of
+  // small LPs, and reusing vector capacity across solves removes the
+  // allocation churn (buildTableau fully re-initializes every field).
+  thread_local Tableau T;
+  PhaseResult PR = PhaseResult::IterLimit;
+  bool Solved = false;
+  const bool Compat = Options.Pricing == LpPricing::Dantzig;
 
-  const size_t SlackStart = NumVars;
-  const size_t ArtStart = SlackStart + NumSlack;
-  const size_t NumCols = ArtStart + NumArtificial;
+  // ---- Compat path: the historical solver, value-for-value. ----
+  if (Compat) {
+    buildTableau(T, M, Lo, Hi, /*ExplicitBounds=*/true);
 
-  Tableau T(NumRows, NumCols);
-  size_t NextSlack = SlackStart, NextArt = ArtStart;
-  for (size_t R = 0; R < NumRows; ++R) {
-    const RowSpec &S = RowSpecs[R];
-    if (S.C) {
-      for (const auto &[Var, Coeff] : S.C->Expr.terms())
-        T.at(R, static_cast<size_t>(Var)) += RowSign[R] * Coeff;
-    } else {
-      T.at(R, S.UbVar) = RowSign[R];
-    }
-    T.rhs(R) = EffRhs[R];
-    switch (EffDir[R]) {
-    case Sense::LE:
-      T.at(R, NextSlack) = 1.0;
-      T.Basis[R] = static_cast<int>(NextSlack);
-      ++NextSlack;
-      break;
-    case Sense::GE:
-      T.at(R, NextSlack) = -1.0;
-      ++NextSlack;
-      T.at(R, NextArt) = 1.0;
-      T.Basis[R] = static_cast<int>(NextArt);
-      ++NextArt;
-      break;
-    case Sense::EQ:
-      T.at(R, NextArt) = 1.0;
-      T.Basis[R] = static_cast<int>(NextArt);
-      ++NextArt;
-      break;
-    }
-  }
-
-  // ---- Phase 1: minimize the sum of artificials. ----
-  if (NumArtificial > 0) {
-    std::fill(T.Cost.begin(), T.Cost.end(), 0.0);
-    for (size_t C = ArtStart; C < NumCols; ++C)
-      T.Cost[C] = 1.0;
-    // Canonicalize: basic artificials must have zero reduced cost.
-    for (size_t R = 0; R < NumRows; ++R) {
-      int B = T.Basis[R];
-      if (B >= 0 && static_cast<size_t>(B) >= ArtStart)
-        for (size_t C = 0; C <= NumCols; ++C)
-          T.Cost[C] -= T.at(R, C);
-    }
-    PhaseResult PR = runPhase(T, Options);
-    if (PR == PhaseResult::IterLimit) {
-      Result.Status = SolveStatus::IterLimit;
-      return Result;
-    }
-    double Phase1Obj = -T.Cost[NumCols];
-    if (Phase1Obj > 1e-7) {
-      Result.Status = SolveStatus::Infeasible;
-      return Result;
-    }
-    // Drive residual basic artificials out of the basis where possible.
-    for (size_t R = 0; R < NumRows; ++R) {
-      int B = T.Basis[R];
-      if (B < 0 || static_cast<size_t>(B) < ArtStart)
-        continue;
-      size_t PivotCol = NumCols;
-      for (size_t C = 0; C < ArtStart; ++C) {
-        if (std::abs(T.at(R, C)) > Tol) {
-          PivotCol = C;
-          break;
+    if (T.NumCols > T.ArtStart) {
+      // Phase 1 over all columns (artificials are priced and swept like
+      // the historical code until they are retired).
+      T.Cost.assign(T.NumCols, 0.0);
+      for (size_t C = T.ArtStart; C < T.NumCols; ++C)
+        T.Cost[C] = 1.0;
+      T.CostRhs = 0.0;
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        if (static_cast<size_t>(T.Basis[R]) < T.ArtStart)
+          continue;
+        const double *Row = T.row(R);
+        for (size_t C = 0; C < T.NumCols; ++C)
+          T.Cost[C] -= Row[C];
+        T.CostRhs -= T.Rhs[R];
+      }
+      PhaseResult P1 =
+          runCompat(T, Options, RS, /*PriceEnd=*/T.NumCols,
+                    /*SweepEnd=*/T.NumCols);
+      if (P1 == PhaseResult::IterLimit) {
+        Result.Status = SolveStatus::IterLimit;
+        return Result;
+      }
+      if (-T.CostRhs > 1e-7) {
+        Result.Status = SolveStatus::Infeasible;
+        return Result;
+      }
+      // Drive residual basic artificials out where possible; redundant
+      // rows keep theirs basic at zero.
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        if (static_cast<size_t>(T.Basis[R]) < T.ArtStart)
+          continue;
+        size_t PivotCol = None;
+        for (size_t C = 0; C < T.ArtStart; ++C) {
+          if (std::abs(T.at(R, C)) > Tol) {
+            PivotCol = C;
+            break;
+          }
+        }
+        if (PivotCol != None) {
+          compatPivot(T, R, PivotCol, T.ArtStart);
+          ++RS.Pivots;
+          ++Tel.Pivots;
         }
       }
-      if (PivotCol != NumCols)
-        T.pivot(R, PivotCol);
-      // Otherwise the row is redundant; the artificial stays basic at zero.
     }
-    for (size_t C = ArtStart; C < NumCols; ++C)
-      T.Enterable[C] = false;
+
+    // Phase 2: dead artificial columns are no longer priced or swept (the
+    // values they would have received are never read).
+    std::vector<double> Costs = makeCosts(T);
+    T.Cost = Costs;
+    T.CostRhs = 0.0;
+    for (size_t R = 0; R < T.NumRows; ++R) {
+      size_t B = static_cast<size_t>(T.Basis[R]);
+      double CB = Costs[B];
+      if (CB == 0.0)
+        continue;
+      const double *Row = T.row(R);
+      for (size_t C = 0; C < T.ArtStart; ++C)
+        T.Cost[C] -= CB * Row[C];
+      T.CostRhs -= CB * T.Rhs[R];
+    }
+    PR = runCompat(T, Options, RS, /*PriceEnd=*/T.ArtStart,
+                   /*SweepEnd=*/T.ArtStart);
+    Solved = true;
   }
 
-  // ---- Phase 2: the user objective (as minimization). ----
-  std::vector<double> Costs(NumCols, 0.0);
-  double ObjSign = M.goal() == Goal::Minimize ? 1.0 : -1.0;
-  LinearExpr Obj = M.objective();
-  Obj.normalize();
-  for (const auto &[Var, Coeff] : Obj.terms())
-    Costs[static_cast<size_t>(Var)] = ObjSign * Coeff;
-  std::fill(T.Cost.begin(), T.Cost.end(), 0.0);
-  for (size_t C = 0; C < NumCols; ++C)
-    T.Cost[C] = Costs[C];
-  for (size_t R = 0; R < NumRows; ++R) {
-    int B = T.Basis[R];
-    if (B < 0)
-      continue;
-    double CB = Costs[static_cast<size_t>(B)];
-    if (CB == 0.0)
-      continue;
-    for (size_t C = 0; C <= NumCols; ++C)
-      T.Cost[C] -= CB * T.at(R, C);
+  // ---- Warm path: replay the caller's basis, then re-optimize. ----
+  if (!Solved && WarmStart && !WarmStart->empty()) {
+    ++Tel.WarmStartAttempts;
+    buildTableau(T, M, Lo, Hi, /*ExplicitBounds=*/false);
+    if (replayBasis(T, *WarmStart)) {
+      std::vector<double> Costs = makeCosts(T);
+      computeReducedCosts(T, Costs);
+
+      const double FeasTol = 1e-7;
+      bool PrimalFeasible = true;
+      for (size_t R = 0; R < T.NumRows && PrimalFeasible; ++R) {
+        double V = T.Rhs[R];
+        double U = T.Upper[static_cast<size_t>(T.Basis[R])];
+        PrimalFeasible = V >= -FeasTol && (U == Infinity || V <= U + FeasTol);
+      }
+      bool DualFeasible = true;
+      for (size_t C = 0; C < T.ArtStart && DualFeasible; ++C) {
+        // Fixed columns (ancestor branching fixations) can never enter;
+        // their reduced-cost sign is immaterial.
+        if (T.Status[C] == ColStatus::Basic || T.Upper[C] == 0.0)
+          continue;
+        DualFeasible = T.Status[C] == ColStatus::AtLower
+                           ? T.Cost[C] >= -FeasTol
+                           : T.Cost[C] <= FeasTol;
+      }
+
+      if (PrimalFeasible) {
+        // Objective-only change (or nothing changed): phase 1 is free.
+        PR = runPrimal(T, Options, RS);
+        // A warm IterLimit falls through to the cold path below: warm
+        // starts must never change results, only work.
+        Solved = PR != PhaseResult::IterLimit;
+      } else if (DualFeasible) {
+        // Bound change: restore primal feasibility dually, then polish.
+        int DualCap = static_cast<int>(std::min<long>(
+            Options.MaxIterations, 5 * static_cast<long>(T.NumRows) + 100));
+        PhaseResult DR = runDual(T, Options, DualCap, RS);
+        if (DR == PhaseResult::Optimal) {
+          PR = runPrimal(T, Options, RS);
+          Solved = PR != PhaseResult::IterLimit;
+        } else if (DR == PhaseResult::Infeasible) {
+          // Dual unboundedness certifies primal infeasibility (same trust
+          // level as phase 1's certificate); re-solving cold here would
+          // make every pruned branch-and-bound child pay twice.
+          PR = DR;
+          Solved = true;
+        }
+        // Dual IterLimit: retry cold rather than reporting a starved
+        // restore as the solve's outcome.
+      }
+    }
+    if (Solved) {
+      RS.WarmStarted = true;
+      ++Tel.WarmStartHits;
+    }
   }
 
-  PhaseResult PR = runPhase(T, Options);
-  if (PR == PhaseResult::IterLimit) {
-    Result.Status = SolveStatus::IterLimit;
+  // ---- Cold path: two-phase from the slack/artificial basis. ----
+  if (!Solved) {
+    buildTableau(T, M, Lo, Hi, /*ExplicitBounds=*/false);
+
+    if (T.NumCols > T.ArtStart) {
+      // Phase 1: minimize the sum of artificials. Their reduced costs are
+      // never needed (artificials are never priced), so the cost row only
+      // spans the live columns.
+      T.Cost.assign(T.NumCols, 0.0);
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        size_t B = static_cast<size_t>(T.Basis[R]);
+        if (B < T.ArtStart)
+          continue;
+        const double *Row = T.row(R);
+        for (size_t C = 0; C < T.ArtStart; ++C)
+          T.Cost[C] -= Row[C];
+      }
+      PhaseResult P1 = runPrimal(T, Options, RS);
+      if (P1 != PhaseResult::Optimal) {
+        Result.Status = SolveStatus::IterLimit;
+        return Result;
+      }
+      double Phase1Obj = 0.0;
+      for (size_t R = 0; R < T.NumRows; ++R)
+        if (static_cast<size_t>(T.Basis[R]) >= T.ArtStart)
+          Phase1Obj += T.Rhs[R];
+      if (Phase1Obj > 1e-7) {
+        Result.Status = SolveStatus::Infeasible;
+        return Result;
+      }
+      // Drive residual basic artificials out of the basis where possible;
+      // a row that offers no live pivot is redundant and keeps its
+      // artificial basic at zero (the dead column is never touched again).
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        size_t B = static_cast<size_t>(T.Basis[R]);
+        if (B < T.ArtStart)
+          continue;
+        size_t PivotCol = None;
+        for (size_t C = 0; C < T.ArtStart; ++C) {
+          if (T.Status[C] != ColStatus::Basic &&
+              std::abs(T.at(R, C)) > Tol) {
+            PivotCol = C;
+            break;
+          }
+        }
+        if (PivotCol == None)
+          continue;
+        int Dir = T.Status[PivotCol] == ColStatus::AtLower ? 1 : -1;
+        double A = T.at(R, PivotCol);
+        double Step = T.Rhs[R] / (Dir * A);
+        applyPivot(T, R, PivotCol, Dir, Step, ColStatus::AtLower);
+        ++RS.Pivots;
+        ++Tel.Pivots;
+      }
+    }
+
+    computeReducedCosts(T, makeCosts(T));
+    PR = runPrimal(T, Options, RS);
+  }
+
+  if (PR == PhaseResult::IterLimit || PR == PhaseResult::Infeasible) {
+    // Infeasible here comes from the warm dual's certificate; the primal
+    // phases report infeasibility via the phase-1 objective instead.
+    Result.Status = PR == PhaseResult::Infeasible ? SolveStatus::Infeasible
+                                                  : SolveStatus::IterLimit;
     return Result;
   }
   if (PR == PhaseResult::Unbounded) {
@@ -329,10 +1001,13 @@ Solution lp::solveLp(const Model &M, const std::vector<BoundOverride> &Overrides
 
   // Extract the solution (shift lower bounds back in).
   Result.Values.assign(NumVars, 0.0);
-  for (size_t R = 0; R < NumRows; ++R) {
+  for (size_t V = 0; V < NumVars; ++V)
+    if (T.Status[V] == ColStatus::AtUpper)
+      Result.Values[V] = T.Upper[V];
+  for (size_t R = 0; R < T.NumRows; ++R) {
     int B = T.Basis[R];
     if (B >= 0 && static_cast<size_t>(B) < NumVars)
-      Result.Values[static_cast<size_t>(B)] = T.rhs(R);
+      Result.Values[static_cast<size_t>(B)] = T.Rhs[R];
   }
   for (size_t V = 0; V < NumVars; ++V) {
     Result.Values[V] += Lo[V];
@@ -343,6 +1018,15 @@ Solution lp::solveLp(const Model &M, const std::vector<BoundOverride> &Overrides
   }
   Result.Objective = M.objective().evaluate(Result.Values);
   Result.Status = SolveStatus::Optimal;
+
+  if (FinalBasis) {
+    FinalBasis->BasicCols.resize(T.NumRows);
+    for (size_t R = 0; R < T.NumRows; ++R)
+      FinalBasis->BasicCols[R] = T.logicalOf(T.Basis[R]);
+    FinalBasis->AtUpper.assign(NumVars, 0);
+    for (size_t V = 0; V < NumVars; ++V)
+      FinalBasis->AtUpper[V] = T.Status[V] == ColStatus::AtUpper;
+  }
   return Result;
 }
 

@@ -21,6 +21,8 @@
 
 #include "palmed/Pipeline.h"
 
+#include "lp/Simplex.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -215,6 +217,7 @@ void Pipeline::Impl::solveCoreMapping() {
   const std::vector<InstrId> &Basic = Sel.Basic;
   const double Eps = Config.Epsilon;
   auto T1 = std::chrono::steady_clock::now();
+  const lp::LpTelemetry LpBefore = lp::lpTelemetry();
 
   // Seed benchmarks: {a}, {aabb}, {aMb} per compatible pair (Algo 2 line 2).
   auto AddKernel = [&](const Microkernel &K) {
@@ -649,6 +652,15 @@ void Pipeline::Impl::solveCoreMapping() {
   Result.Stats.NumCoreKernels = CoreKernels.size();
   Result.Stats.CoreSlack = Weights.TotalSlack;
   Result.Stats.CoreMappingSeconds = secondsSince(T1);
+  {
+    const lp::LpTelemetry &LpNow = lp::lpTelemetry();
+    Result.Stats.CoreLpSolves = LpNow.Solves - LpBefore.Solves;
+    Result.Stats.CoreLpPivots = LpNow.Pivots - LpBefore.Pivots;
+    Result.Stats.LpWarmStartAttempts +=
+        LpNow.WarmStartAttempts - LpBefore.WarmStartAttempts;
+    Result.Stats.LpWarmStartHits +=
+        LpNow.WarmStartHits - LpBefore.WarmStartHits;
+  }
 
   // ---- Materialize the core mapping. ----
   for (size_t R = 0; R < NumRes; ++R)
@@ -675,6 +687,7 @@ void Pipeline::Impl::completeMapping() {
   const SelectionResult &Sel = Result.Selection;
   const size_t NumRes = Shape.numResources();
   auto T2 = std::chrono::steady_clock::now();
+  const lp::LpTelemetry LpBefore = lp::lpTelemetry();
   size_t NumDone = 0;
   const size_t NumTotal = Sel.Survivors.size();
   for (InstrId Inst : Sel.Survivors) {
@@ -715,6 +728,15 @@ void Pipeline::Impl::completeMapping() {
         Result.Mapping.setUsage(Inst, R, Aux.Rho[R]);
   }
   Result.Stats.CompleteMappingSeconds = secondsSince(T2);
+  {
+    const lp::LpTelemetry &LpNow = lp::lpTelemetry();
+    Result.Stats.CompleteLpSolves = LpNow.Solves - LpBefore.Solves;
+    Result.Stats.CompleteLpPivots = LpNow.Pivots - LpBefore.Pivots;
+    Result.Stats.LpWarmStartAttempts +=
+        LpNow.WarmStartAttempts - LpBefore.WarmStartAttempts;
+    Result.Stats.LpWarmStartHits +=
+        LpNow.WarmStartHits - LpBefore.WarmStartHits;
+  }
 
   // ---- Prune dominated resources. ----
   // A resource whose usage column is pointwise dominated by another's can

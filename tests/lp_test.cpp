@@ -122,6 +122,133 @@ TEST(Simplex, BoundOverridesTighten) {
   EXPECT_NEAR(S.Objective, 3.0, 1e-7);
 }
 
+TEST(Simplex, BealeCyclingTerminatesBothPricings) {
+  // Beale's classic cycling instance: Dantzig pricing without an
+  // anti-cycling guard loops forever at the origin. Both solver flavors
+  // must escape via the Bland fallback and reach the optimum -1/20.
+  for (lp::LpPricing Pricing : {LpPricing::Devex, LpPricing::Dantzig}) {
+    Model M;
+    VarId X1 = M.addVar("x1", 0, Infinity);
+    VarId X2 = M.addVar("x2", 0, Infinity);
+    VarId X3 = M.addVar("x3", 0, Infinity);
+    VarId X4 = M.addVar("x4", 0, Infinity);
+    M.addConstraint(
+        expr({{X1, 0.25}, {X2, -60.0}, {X3, -1.0 / 25.0}, {X4, 9.0}}),
+        Sense::LE, 0.0);
+    M.addConstraint(
+        expr({{X1, 0.5}, {X2, -90.0}, {X3, -1.0 / 50.0}, {X4, 3.0}}),
+        Sense::LE, 0.0);
+    M.addConstraint(expr({{X3, 1.0}}), Sense::LE, 1.0);
+    M.setObjective(
+        expr({{X1, -0.75}, {X2, 150.0}, {X3, -1.0 / 50.0}, {X4, 6.0}}),
+        Goal::Minimize);
+
+    SimplexOptions Options;
+    Options.Pricing = Pricing;
+    Solution S = solveLp(M, {}, Options);
+    ASSERT_EQ(S.Status, SolveStatus::Optimal);
+    EXPECT_NEAR(S.Objective, -0.05, 1e-9);
+  }
+}
+
+TEST(Simplex, CompatAndFastAgreeOnRandomBoundedLps) {
+  // The two solver flavors must agree on status and optimal value (the
+  // optimal vertex may legitimately differ on degenerate faces).
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    Rng R(Seed);
+    int N = 1 + static_cast<int>(R.uniformInt(6));
+    int Rows = 1 + static_cast<int>(R.uniformInt(6));
+    Model M;
+    std::vector<VarId> V;
+    for (int I = 0; I < N; ++I) {
+      double Lo = std::floor(R.uniformRealIn(-3.0, 3.0));
+      double Hi = R.uniformInt(3) == 0
+                      ? Infinity
+                      : Lo + std::floor(R.uniformRealIn(0.0, 6.0));
+      V.push_back(M.addVar("x", Lo, Hi));
+    }
+    for (int Row = 0; Row < Rows; ++Row) {
+      LinearExpr E;
+      for (int I = 0; I < N; ++I) {
+        double C = std::floor(R.uniformRealIn(-4.0, 5.0));
+        if (C != 0.0)
+          E.add(V[static_cast<size_t>(I)], C);
+      }
+      Sense S = R.uniformInt(4) == 0
+                    ? Sense::EQ
+                    : (R.uniformInt(2) ? Sense::LE : Sense::GE);
+      M.addConstraint(std::move(E), S, std::floor(R.uniformRealIn(-8.0, 12.0)));
+    }
+    LinearExpr Obj;
+    for (int I = 0; I < N; ++I)
+      Obj.add(V[static_cast<size_t>(I)], std::floor(R.uniformRealIn(-5.0, 6.0)));
+    M.setObjective(std::move(Obj),
+                   R.uniformInt(2) ? Goal::Maximize : Goal::Minimize);
+
+    SimplexOptions Fast;
+    SimplexOptions Compat;
+    Compat.Pricing = LpPricing::Dantzig;
+    Solution A = solveLp(M, {}, Fast);
+    Solution B = solveLp(M, {}, Compat);
+    ASSERT_EQ(A.Status, B.Status) << "seed " << Seed;
+    if (A.Status == SolveStatus::Optimal) {
+      EXPECT_NEAR(A.Objective, B.Objective,
+                  1e-6 * std::max(1.0, std::abs(B.Objective)))
+          << "seed " << Seed;
+    }
+  }
+}
+
+TEST(Simplex, WarmStartAfterObjectiveChangeMatchesCold) {
+  // Re-solving with a new objective from the previous basis must agree
+  // with a cold solve (and actually take the warm path).
+  Model M;
+  VarId X = M.addVar("x", 0, 4);
+  VarId Y = M.addVar("y", 0, 3);
+  M.addConstraint(expr({{X, 1}, {Y, 2}}), Sense::LE, 8);
+  M.addConstraint(expr({{X, 3}, {Y, 1}}), Sense::LE, 9);
+  M.setObjective(expr({{X, 1}, {Y, 1}}), Goal::Maximize);
+
+  SimplexOptions Options;
+  SimplexBasis Basis;
+  Solution First = solveLp(M, {}, Options, nullptr, &Basis);
+  ASSERT_EQ(First.Status, SolveStatus::Optimal);
+  ASSERT_FALSE(Basis.empty());
+
+  M.setObjective(expr({{X, -2}, {Y, 5}}), Goal::Maximize);
+  LpRunStats Stats;
+  Solution Warm = solveLp(M, {}, Options, &Basis, nullptr, &Stats);
+  Solution Cold = solveLp(M, {}, Options);
+  ASSERT_EQ(Warm.Status, SolveStatus::Optimal);
+  EXPECT_TRUE(Stats.WarmStarted);
+  EXPECT_NEAR(Warm.Objective, Cold.Objective, 1e-9);
+}
+
+TEST(Simplex, WarmStartAfterBoundTighteningMatchesCold) {
+  // Branch-and-bound's pattern: tighten one bound and re-solve from the
+  // parent basis; the dual simplex restores feasibility and the result
+  // must match a cold solve of the child.
+  Model M;
+  VarId X = M.addVar("x", 0, 10);
+  VarId Y = M.addVar("y", 0, 10);
+  M.addConstraint(expr({{X, 2}, {Y, 3}}), Sense::LE, 12);
+  M.addConstraint(expr({{X, 1}, {Y, -1}}), Sense::GE, -4);
+  M.setObjective(expr({{X, 3}, {Y, 4}}), Goal::Maximize);
+
+  SimplexOptions Options;
+  SimplexBasis Basis;
+  Solution Parent = solveLp(M, {}, Options, nullptr, &Basis);
+  ASSERT_EQ(Parent.Status, SolveStatus::Optimal);
+
+  std::vector<BoundOverride> Child = {{X, 0.0, 1.0}};
+  LpRunStats Stats;
+  Solution Warm = solveLp(M, Child, Options, &Basis, nullptr, &Stats);
+  Solution Cold = solveLp(M, Child, Options);
+  ASSERT_EQ(Warm.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(Warm.Objective, Cold.Objective, 1e-9);
+  EXPECT_NEAR(Warm.value(X), 1.0, 1e-9);
+}
+
 TEST(Simplex, DegenerateProblemTerminates) {
   // Classic degeneracy: many redundant constraints through the origin.
   Model M;
@@ -312,6 +439,223 @@ TEST_P(MilpProperty, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MilpProperty,
                          ::testing::Range(uint64_t{1}, uint64_t{30}));
+
+/// Property: agreement with brute force on random *general-integer*
+/// problems (bounded integer ranges, mixed LE/GE/EQ rows) — exercises the
+/// bounded-variable machinery and multi-level branching, with and without
+/// warm-started child nodes.
+class MilpGeneralIntProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MilpGeneralIntProperty, MatchesBruteForce) {
+  Rng R(GetParam());
+  const int N = 2 + static_cast<int>(R.uniformInt(3));
+  const int Rows = 1 + static_cast<int>(R.uniformInt(3));
+  const int Range = 3; // Each variable in [0, 3].
+
+  std::vector<double> Costs(static_cast<size_t>(N));
+  for (double &C : Costs)
+    C = std::floor(R.uniformRealIn(-5.0, 10.0));
+  std::vector<std::vector<double>> A(static_cast<size_t>(Rows),
+                                     std::vector<double>(static_cast<size_t>(N)));
+  std::vector<double> Rhs(static_cast<size_t>(Rows));
+  std::vector<Sense> Dirs(static_cast<size_t>(Rows));
+  for (int Row = 0; Row < Rows; ++Row) {
+    for (int I = 0; I < N; ++I)
+      A[Row][I] = std::floor(R.uniformRealIn(-2.0, 4.0));
+    Dirs[Row] = R.uniformInt(5) == 0
+                    ? Sense::EQ
+                    : (R.uniformInt(2) ? Sense::LE : Sense::GE);
+    Rhs[Row] = std::floor(R.uniformRealIn(Dirs[Row] == Sense::LE ? 2.0 : -6.0,
+                                          12.0));
+  }
+
+  Model M;
+  std::vector<VarId> Vars;
+  for (int I = 0; I < N; ++I)
+    Vars.push_back(M.addVar("n", 0, Range, /*IsInteger=*/true));
+  for (int Row = 0; Row < Rows; ++Row) {
+    LinearExpr E;
+    for (int I = 0; I < N; ++I)
+      E.add(Vars[static_cast<size_t>(I)], A[Row][I]);
+    M.addConstraint(std::move(E), Dirs[Row], Rhs[Row]);
+  }
+  LinearExpr Obj;
+  for (int I = 0; I < N; ++I)
+    Obj.add(Vars[static_cast<size_t>(I)], Costs[static_cast<size_t>(I)]);
+  M.setObjective(std::move(Obj), Goal::Maximize);
+
+  // Brute force over the integer grid.
+  double Best = -1e18;
+  std::vector<int> X(static_cast<size_t>(N), 0);
+  bool Done = false;
+  while (!Done) {
+    bool Ok = true;
+    for (int Row = 0; Row < Rows && Ok; ++Row) {
+      double Sum = 0.0;
+      for (int I = 0; I < N; ++I)
+        Sum += A[Row][I] * X[static_cast<size_t>(I)];
+      switch (Dirs[Row]) {
+      case Sense::LE:
+        Ok = Sum <= Rhs[Row] + 1e-9;
+        break;
+      case Sense::GE:
+        Ok = Sum >= Rhs[Row] - 1e-9;
+        break;
+      case Sense::EQ:
+        Ok = std::abs(Sum - Rhs[Row]) <= 1e-9;
+        break;
+      }
+    }
+    if (Ok) {
+      double Value = 0.0;
+      for (int I = 0; I < N; ++I)
+        Value += Costs[static_cast<size_t>(I)] * X[static_cast<size_t>(I)];
+      Best = std::max(Best, Value);
+    }
+    int I = 0;
+    for (; I < N; ++I) {
+      if (++X[static_cast<size_t>(I)] <= Range)
+        break;
+      X[static_cast<size_t>(I)] = 0;
+    }
+    Done = I == N;
+  }
+
+  for (bool Warm : {true, false}) {
+    MilpOptions Options;
+    Options.UseWarmStart = Warm;
+    MilpStats Stats;
+    Solution S = solveMilp(M, Options, &Stats);
+    if (Best == -1e18) {
+      EXPECT_EQ(S.Status, SolveStatus::Infeasible) << "warm " << Warm;
+    } else {
+      ASSERT_EQ(S.Status, SolveStatus::Optimal) << "warm " << Warm;
+      EXPECT_NEAR(S.Objective, Best, 1e-6) << "warm " << Warm;
+      EXPECT_EQ(Stats.DroppedSubtrees, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpGeneralIntProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{40}));
+
+TEST(Milp, WarmStartsAreUsedAndAgreeWithCold) {
+  // A model with enough branching to exercise parent-basis reuse.
+  Rng R(7);
+  Model M;
+  LinearExpr Obj;
+  std::vector<LinearExpr> Caps(3);
+  for (int V = 0; V < 16; ++V) {
+    VarId Id = M.addBoolVar("b");
+    Obj.add(Id, R.uniformRealIn(1.0, 9.0));
+    for (LinearExpr &Cap : Caps)
+      Cap.add(Id, R.uniformRealIn(1.0, 5.0));
+  }
+  for (LinearExpr &Cap : Caps)
+    M.addConstraint(std::move(Cap), Sense::LE, 20.0);
+  M.setObjective(std::move(Obj), Goal::Maximize);
+
+  MilpOptions WarmOptions;
+  MilpStats WarmStats;
+  Solution Warm = solveMilp(M, WarmOptions, &WarmStats);
+
+  MilpOptions ColdOptions;
+  ColdOptions.UseWarmStart = false;
+  MilpStats ColdStats;
+  Solution Cold = solveMilp(M, ColdOptions, &ColdStats);
+
+  ASSERT_EQ(Warm.Status, SolveStatus::Optimal);
+  ASSERT_EQ(Cold.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(Warm.Objective, Cold.Objective, 1e-6);
+  EXPECT_GT(WarmStats.WarmStartAttempts, 0);
+  EXPECT_GT(WarmStats.WarmStartHits, 0);
+  EXPECT_EQ(ColdStats.WarmStartAttempts, 0);
+  EXPECT_GT(WarmStats.LpSolves, 0);
+  EXPECT_GT(WarmStats.LpPivots, 0);
+}
+
+TEST(Milp, IterationStarvedSearchNeverReportsOptimal) {
+  // Regression for the silent-pruning bug: when a child LP dies at its
+  // iteration limit, the subtree's content is unknown — the search must
+  // not claim Optimal (or, with no incumbent, Infeasible). Sweep the
+  // iteration budget from "root cannot even solve" to "everything
+  // solves" over a family of general-integer models with GE rows (whose
+  // children need phase-1 work, so starving them is easy) and check the
+  // status contract at every point. On the pre-fix solver several of
+  // these sweeps report Optimal with a sub-optimal incumbent.
+  bool SawDroppedSubtree = false;
+  for (uint64_t Seed = 1; Seed <= 16; ++Seed) {
+    Rng R(Seed);
+    int N = 6 + static_cast<int>(R.uniformInt(8));
+    int Rows = 3 + static_cast<int>(R.uniformInt(4));
+    Model M;
+    std::vector<VarId> V;
+    for (int I = 0; I < N; ++I)
+      V.push_back(M.addVar("n", 0, 3, /*IsInteger=*/true));
+    for (int Row = 0; Row < Rows; ++Row) {
+      LinearExpr E;
+      for (int I = 0; I < N; ++I)
+        E.add(V[static_cast<size_t>(I)], std::floor(R.uniformRealIn(-2.0, 4.0)));
+      Sense S = R.uniformInt(3) == 0 ? Sense::GE : Sense::LE;
+      M.addConstraint(std::move(E), S, std::floor(R.uniformRealIn(2.0, 14.0)));
+    }
+    LinearExpr Obj;
+    for (int I = 0; I < N; ++I)
+      Obj.add(V[static_cast<size_t>(I)], std::floor(R.uniformRealIn(-3.0, 8.0)));
+    M.setObjective(std::move(Obj), Goal::Maximize);
+
+    Solution Reference = solveMilp(M);
+    if (Reference.Status != SolveStatus::Optimal)
+      continue;
+
+    for (int MaxIter = 1; MaxIter <= 40; ++MaxIter) {
+      MilpOptions Options;
+      Options.Lp.MaxIterations = MaxIter;
+      Options.UseWarmStart = false; // Starve every child equally.
+      MilpStats Stats;
+      Solution S = solveMilp(M, Options, &Stats);
+      if (Stats.DroppedSubtrees > 0) {
+        SawDroppedSubtree = true;
+        EXPECT_NE(S.Status, SolveStatus::Optimal)
+            << "seed " << Seed << " MaxIter " << MaxIter;
+        EXPECT_NE(S.Status, SolveStatus::Infeasible)
+            << "seed " << Seed << " MaxIter " << MaxIter;
+      }
+      if (S.Status == SolveStatus::Optimal) {
+        EXPECT_EQ(Stats.DroppedSubtrees, 0)
+            << "seed " << Seed << " MaxIter " << MaxIter;
+        EXPECT_FALSE(Stats.NodeLimitHit)
+            << "seed " << Seed << " MaxIter " << MaxIter;
+        EXPECT_NEAR(S.Objective, Reference.Objective, 1e-6)
+            << "seed " << Seed << " MaxIter " << MaxIter;
+      }
+    }
+  }
+  // The sweep must actually cross the interesting regime.
+  EXPECT_TRUE(SawDroppedSubtree);
+}
+
+TEST(Milp, NodeLimitYieldsFeasibleNotOptimal) {
+  Rng R(13);
+  Model M;
+  LinearExpr Obj, Cap;
+  for (int V = 0; V < 18; ++V) {
+    VarId Id = M.addBoolVar("b");
+    Obj.add(Id, R.uniformRealIn(1.0, 9.0));
+    Cap.add(Id, R.uniformRealIn(1.0, 5.0));
+  }
+  M.addConstraint(std::move(Cap), Sense::LE, 25.0);
+  M.setObjective(std::move(Obj), Goal::Maximize);
+
+  MilpOptions Options;
+  Options.MaxNodes = 4;
+  MilpStats Stats;
+  Solution S = solveMilp(M, Options, &Stats);
+  EXPECT_NE(S.Status, SolveStatus::Optimal);
+  if (S.ok()) {
+    EXPECT_EQ(S.Status, SolveStatus::Feasible);
+  }
+}
 
 // -------------------------------------------------------------------- Model
 
