@@ -27,6 +27,7 @@
 #include "baselines/Predictor.h"
 #include "eval/Harness.h"
 #include "eval/Workload.h"
+#include "palmed/ExecutionPolicy.h"
 #include "sim/ThroughputOracle.h"
 
 #include <memory>
@@ -35,18 +36,7 @@
 
 namespace palmed {
 
-/// How an EvalSession schedules its work items.
-struct ExecutionPolicy {
-  /// Number of worker threads; <= 1 means serial in-place execution.
-  unsigned NumThreads = 1;
-
-  static ExecutionPolicy serial() { return ExecutionPolicy{1}; }
-
-  /// \p NumThreads = 0 picks std::thread::hardware_concurrency().
-  static ExecutionPolicy parallel(unsigned NumThreads = 0);
-
-  bool isParallel() const { return NumThreads > 1; }
-};
+class Executor;
 
 /// A configured evaluation run: native oracle + predictors + policy.
 class EvalSession {
@@ -55,6 +45,8 @@ public:
   /// session.
   explicit EvalSession(ThroughputOracle &Native,
                        ExecutionPolicy Policy = ExecutionPolicy::serial());
+  ~EvalSession();
+  EvalSession(EvalSession &&) noexcept;
 
   /// Names the predictor defining the coverage denominator (default
   /// "palmed"; harmless when absent).
@@ -80,6 +72,10 @@ private:
   std::string ReferenceTool = "palmed";
   std::vector<Predictor *> Lanes;
   std::vector<std::unique_ptr<Predictor>> Owned;
+  /// Worker pool, created on the first parallel run and reused by every
+  /// later run (mutable: the pool is scheduling state, not part of the
+  /// session's logical configuration).
+  mutable std::unique_ptr<Executor> Exec;
 };
 
 } // namespace palmed

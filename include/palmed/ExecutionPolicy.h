@@ -1,0 +1,42 @@
+//===- palmed/ExecutionPolicy.h - Threading knob ---------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public threading knob shared by every parallel entry point of the
+/// facade: EvalSession (block x predictor fan-out) and Pipeline (selection
+/// benchmarks, LPAUX solves). A policy only chooses *how* work is
+/// scheduled; outcomes are bit-identical between Serial and any
+/// Parallel(N) — see the "Threading model" section of the README.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PALMED_EXECUTIONPOLICY_H
+#define PALMED_PALMED_EXECUTIONPOLICY_H
+
+namespace palmed {
+
+/// How a session or pipeline schedules its independent work items.
+struct ExecutionPolicy {
+  /// Number of worker threads; <= 1 (including a raw aggregate-initialized
+  /// 0) means serial in-place execution everywhere. "0 = auto" exists only
+  /// as the parallel() factory argument, which resolves it to a concrete
+  /// width immediately — a policy never carries an unresolved 0 into a
+  /// session or pipeline.
+  unsigned NumThreads = 1;
+
+  static ExecutionPolicy serial() { return ExecutionPolicy{1}; }
+
+  /// \p NumThreads = 0 picks std::thread::hardware_concurrency(), clamped
+  /// to a sane maximum (Executor::MaxAutoThreads, 64) and falling back to
+  /// 4 when the runtime reports 0 cores.
+  static ExecutionPolicy parallel(unsigned NumThreads = 0);
+
+  bool isParallel() const { return NumThreads > 1; }
+};
+
+} // namespace palmed
+
+#endif // PALMED_PALMED_EXECUTIONPOLICY_H

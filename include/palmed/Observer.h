@@ -10,8 +10,20 @@
 /// shape/enrichment round of the core-mapping refinement (the "LP
 /// progress" of Algo 2), and one event per instruction mapped by LPAUX. A
 /// CancellationToken can be flipped from any thread; the pipeline polls it
-/// at stage entry, between refinement rounds, and between LPAUX solves,
-/// and raises CancelledError when it is set.
+/// at stage entry, between refinement rounds, and between LPAUX solves
+/// (on every worker under a Parallel policy), and raises CancelledError
+/// when it is set.
+///
+/// Threading contract (Parallel execution policies): stage begin/end and
+/// shape-iteration events always run on the thread driving the pipeline,
+/// but onInstructionMapped may be invoked from an internal worker thread.
+/// The pipeline serializes these calls — two callbacks never run
+/// concurrently — and guarantees monotone progress: NumDone takes each
+/// value 1..NumTotal exactly once, in increasing order, with one event
+/// per instruction. Which instruction carries which NumDone value (and
+/// the thread a callback runs on) may vary between runs; everything else
+/// the observer can see is deterministic. An observer that touches state
+/// shared with other threads must synchronize that state itself.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,7 +52,10 @@ const char *pipelineStageName(PipelineStage Stage);
 
 /// Callback interface for pipeline progress. All methods have empty
 /// default implementations; override what you need. Callbacks run
-/// synchronously on the pipeline's thread.
+/// synchronously with the pipeline's work: on the driving thread, except
+/// onInstructionMapped, which a Parallel pipeline may deliver from a
+/// worker thread (serialized and with monotone NumDone; see the file
+/// comment).
 class PipelineObserver {
 public:
   virtual ~PipelineObserver();
@@ -63,7 +78,11 @@ public:
     (void)NumBenchmarks;
   }
 
-  /// One instruction mapped during complete mapping (LPAUX).
+  /// One instruction mapped during complete mapping (LPAUX). NumTotal
+  /// counts only the instructions stage 3 actually maps — basic
+  /// instructions, mapped by stage 2, are excluded from the denominator —
+  /// so NumDone runs 1..NumTotal without jumps. May be delivered from a
+  /// worker thread under a Parallel policy (see the file comment).
   virtual void onInstructionMapped(InstrId Id, size_t NumDone,
                                    size_t NumTotal) {
     (void)Id;

@@ -30,6 +30,7 @@
 #include "core/ResourceMapping.h"
 #include "core/Selection.h"
 #include "core/ShapeSolver.h"
+#include "palmed/ExecutionPolicy.h"
 #include "palmed/Observer.h"
 #include "sim/BenchmarkRunner.h"
 
@@ -51,6 +52,11 @@ struct PalmedConfig {
   BwpMode Mode = BwpMode::Pinned;
   /// Maximum shape/enrichment iterations (Algo 2's repeat-until loop).
   int MaxShapeIterations = 10;
+  /// How the per-instruction fan-outs (stage 1 selection benchmarks and
+  /// stage 3 LPAUX solves) are scheduled. Mapping outcomes are
+  /// bit-identical between Serial and any Parallel(N); see the observer
+  /// threading contract in palmed/Observer.h.
+  ExecutionPolicy Execution = ExecutionPolicy::serial();
 };
 
 /// Run statistics (feeds the Table II reproduction).
@@ -75,6 +81,11 @@ struct PalmedStats {
   long CompleteLpPivots = 0;
   long LpWarmStartAttempts = 0;
   long LpWarmStartHits = 0;
+  /// Resolved executor width the pipeline ran with (1 = serial). A thread
+  /// counter, not a mapping outcome: it is the one stats field allowed to
+  /// differ between Serial and Parallel runs (besides the *Seconds
+  /// timings).
+  unsigned NumThreads = 1;
 };
 
 /// Pipeline output.
@@ -107,6 +118,11 @@ struct CoreMappingResult {
 
 /// The staged pipeline. Not thread-safe: drive it from one thread (the
 /// CancellationToken may be flipped from any other thread). Move-only.
+/// Under a Parallel execution policy the pipeline owns internal worker
+/// threads for the stage-1/stage-3 fan-outs; observer callbacks may then
+/// arrive from those workers under the contract documented in
+/// palmed/Observer.h, while mapping outcomes stay bit-identical to a
+/// serial run.
 class Pipeline {
 public:
   /// \p Runner must outlive the pipeline.

@@ -25,6 +25,7 @@
 
 // The facade.
 #include "palmed/EvalSession.h"
+#include "palmed/ExecutionPolicy.h"
 #include "palmed/Observer.h"
 #include "palmed/Pipeline.h"
 #include "palmed/PredictorRegistry.h"

@@ -6,6 +6,8 @@
 
 #include "core/Selection.h"
 
+#include "support/Executor.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -95,18 +97,27 @@ clusterEquivalent(const std::vector<InstrId> &Group,
 SelectionResult
 palmed::selectBasicInstructions(BenchmarkRunner &Runner,
                                 const std::vector<InstrId> &Pool,
-                                const SelectionConfig &Config) {
+                                const SelectionConfig &Config,
+                                Executor *Exec) {
   const InstructionSet &Isa = Runner.machine().isa();
   const double Eps = Config.Epsilon;
+  // Serial fallback when the caller passes no executor.
+  Executor SerialExec(1);
+  Executor &E = Exec ? *Exec : SerialExec;
   SelectionResult R;
 
   // --- Solo IPC measurement and benchmarkability filter. ---
-  for (InstrId Id : Pool) {
-    double Ipc = Runner.measureIpc(Microkernel::single(Id));
-    if (Ipc < Config.MinIpc)
+  // Measurements fan out into index-ordered slots; the filter below runs
+  // serially in pool order, so the result is policy-independent.
+  std::vector<double> SoloSlots(Pool.size());
+  E.parallelFor(Pool.size(), [&](size_t I, unsigned) {
+    SoloSlots[I] = Runner.measureIpc(Microkernel::single(Pool[I]));
+  });
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    if (SoloSlots[I] < Config.MinIpc)
       continue; // Unbenchmarkable; dropped like the paper's IPC < 0.05.
-    R.Survivors.push_back(Id);
-    R.SoloIpc[Id] = Ipc;
+    R.Survivors.push_back(Pool[I]);
+    R.SoloIpc[Pool[I]] = SoloSlots[I];
   }
 
   // --- Partition by extension group; exclude low-IPC from candidacy. ---
@@ -117,19 +128,37 @@ palmed::selectBasicInstructions(BenchmarkRunner &Runner,
     Groups[Isa.info(Id).Ext].push_back(Id);
   }
 
+  // --- Quadratic benchmarks, all groups at once. ---
+  // The pair list is deterministic (group iteration order is fixed), every
+  // measurement writes its own slot, and the PairIpc map is keyed — so the
+  // fill order cannot affect the outcome.
+  {
+    std::vector<std::pair<InstrId, InstrId>> Pairs;
+    for (auto &[Ext, Group] : Groups) {
+      (void)Ext;
+      for (size_t I = 0; I < Group.size(); ++I)
+        for (size_t J = I + 1; J < Group.size(); ++J)
+          Pairs.push_back({Group[I], Group[J]});
+    }
+    std::vector<double> PairSlots(Pairs.size());
+    std::vector<uint8_t> Measured(Pairs.size(), 0);
+    E.parallelFor(Pairs.size(), [&](size_t P, unsigned) {
+      auto [A, B] = Pairs[P];
+      Microkernel K = makePairKernel(A, R.SoloIpc.at(A), B, R.SoloIpc.at(B));
+      if (!Runner.accepts(K))
+        return;
+      PairSlots[P] = Runner.measureIpc(K);
+      Measured[P] = 1;
+    });
+    for (size_t P = 0; P < Pairs.size(); ++P)
+      if (Measured[P])
+        R.PairIpc[{std::min(Pairs[P].first, Pairs[P].second),
+                   std::max(Pairs[P].first, Pairs[P].second)}] =
+            PairSlots[P];
+  }
+
   for (auto &[Ext, Group] : Groups) {
     (void)Ext;
-    // --- Quadratic benchmarks within the group. ---
-    for (size_t I = 0; I < Group.size(); ++I) {
-      for (size_t J = I + 1; J < Group.size(); ++J) {
-        InstrId A = Group[I], B = Group[J];
-        Microkernel K = makePairKernel(A, R.SoloIpc[A], B, R.SoloIpc[B]);
-        if (!Runner.accepts(K))
-          continue;
-        R.PairIpc[{std::min(A, B), std::max(A, B)}] = Runner.measureIpc(K);
-      }
-    }
-
     // --- Equivalence classes; keep representatives. ---
     std::vector<std::vector<InstrId>> Classes =
         clusterEquivalent(Group, R, Eps);

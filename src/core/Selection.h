@@ -40,6 +40,8 @@
 
 namespace palmed {
 
+class Executor;
+
 /// Tuning knobs of the selection stage.
 struct SelectionConfig {
   /// Relative tolerance used by every IPC comparison (the paper constrains
@@ -79,10 +81,15 @@ struct SelectionResult {
   double pairIpc(InstrId A, InstrId B) const;
 };
 
-/// Runs Algorithm 1 over \p Pool (typically the whole ISA).
+/// Runs Algorithm 1 over \p Pool (typically the whole ISA). When \p Exec
+/// is non-null, the solo-IPC and quadratic pair benchmarks fan out over
+/// its workers; every measurement lands in an index-ordered slot and all
+/// derived decisions run serially afterwards, so the result is
+/// bit-identical to a serial run.
 SelectionResult selectBasicInstructions(BenchmarkRunner &Runner,
                                         const std::vector<InstrId> &Pool,
-                                        const SelectionConfig &Config);
+                                        const SelectionConfig &Config,
+                                        Executor *Exec = nullptr);
 
 /// Builds the paper's "a^IPC(a) b^IPC(b)" quadratic kernel.
 Microkernel makePairKernel(InstrId A, double IpcA, InstrId B, double IpcB);

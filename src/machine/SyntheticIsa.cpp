@@ -6,6 +6,8 @@
 
 #include "machine/SyntheticIsa.h"
 
+#include <cassert>
+#include <stdexcept>
 #include <string>
 
 using namespace palmed;
@@ -31,6 +33,85 @@ void palmed::populateSyntheticIsa(MachineBuilder &B,
       B.addInstruction(std::move(Info), std::move(MicroOps));
     }
   }
+}
+
+MachineModel palmed::makeStressMachine(const StressIsaConfig &Config) {
+  // StressIsaConfig is a public knob; reject bad values loudly even in
+  // Release builds (the bounds below guard array indexing and the
+  // NumPorts - 2 AGU computation).
+  if (Config.NumPorts < 3 || Config.NumPorts > MaxPorts)
+    throw std::invalid_argument(
+        "makeStressMachine: NumPorts must be in [3, " +
+        std::to_string(MaxPorts) + "]");
+  if (Config.NumExtensions < 1 || Config.NumExtensions > 3)
+    throw std::invalid_argument(
+        "makeStressMachine: NumExtensions must be in [1, 3]");
+  if (Config.NumCategories == 0 || Config.VariantsPerCategory < 0 ||
+      Config.MemVariantsPerCategory < 0 ||
+      Config.VariantsPerCategory + Config.MemVariantsPerCategory <= 0)
+    throw std::invalid_argument(
+        "makeStressMachine: need at least one category and one variant");
+  Rng R(Config.Seed);
+  MachineBuilder B(Config.Name);
+  for (unsigned P = 0; P < Config.NumPorts; ++P)
+    B.addPort("p" + std::to_string(P));
+  if (Config.DecodeWidth > 0)
+    B.setDecodeWidth(Config.DecodeWidth);
+
+  // The last two ports double as the load AGUs (every memory variant's
+  // fused µOP lands there), mirroring the shipped machines' dedicated
+  // AGU pair.
+  const MicroOpDesc LoadOp{
+      portMask({Config.NumPorts - 2, Config.NumPorts - 1}), 1.0};
+
+  // Real machines issue a functional class to a small *contiguous* group
+  // of ports (p0/p1, p2/p3, ...). Mirror that: each category draws a
+  // random port-group width (narrow groups dominate) and start, so
+  // categories overlap partially — the structure that forces the shape
+  // refinement to discover combined resources.
+  auto RandomGroupMask = [&]() {
+    unsigned Width = static_cast<unsigned>(R.chance(0.5)   ? 1
+                                           : R.chance(0.6) ? 2
+                                                           : 3);
+    unsigned Start = static_cast<unsigned>(
+        R.uniformIntIn(0, static_cast<int64_t>(Config.NumPorts) - 1));
+    PortMask Mask = 0;
+    for (unsigned W = 0; W < Width; ++W)
+      Mask |= PortMask{1} << ((Start + W) % Config.NumPorts);
+    return Mask;
+  };
+
+  const ExtClass Exts[] = {ExtClass::Base, ExtClass::Sse, ExtClass::Avx};
+  const InstrCategory Cats[] = {
+      InstrCategory::IntAlu, InstrCategory::Shift,  InstrCategory::IntMul,
+      InstrCategory::FpAdd,  InstrCategory::FpMul,  InstrCategory::VecInt,
+      InstrCategory::Branch, InstrCategory::AddressGen,
+      InstrCategory::VecShuffle};
+
+  std::vector<CategoryRecipe> Recipes;
+  Recipes.reserve(Config.NumCategories);
+  for (unsigned C = 0; C < Config.NumCategories; ++C) {
+    CategoryRecipe Recipe;
+    Recipe.BaseName = "S" + std::to_string(C);
+    Recipe.Ext = Exts[C % Config.NumExtensions];
+    Recipe.Category = Cats[C % (sizeof(Cats) / sizeof(Cats[0]))];
+    unsigned NumMicroOps = R.chance(0.3) ? 2 : 1;
+    for (unsigned U = 0; U < NumMicroOps; ++U)
+      Recipe.MicroOps.push_back({RandomGroupMask(), 1.0});
+    if (R.chance(Config.NonPipelinedChance)) {
+      // Non-pipelined single-µOP divider-style category: low IPC, never
+      // basic, mapped by LPAUX only.
+      Recipe.MicroOps.resize(1);
+      Recipe.MicroOps[0].Occupancy =
+          static_cast<double>(R.uniformIntIn(2, 5));
+    }
+    Recipe.NumVariants = Config.VariantsPerCategory;
+    Recipe.NumMemVariants = Config.MemVariantsPerCategory;
+    Recipes.push_back(std::move(Recipe));
+  }
+
+  populateSyntheticIsa(B, Recipes, LoadOp);
+  return B.build();
 }
 
 MachineModel palmed::makeRandomMachine(Rng &R, unsigned NumPorts,

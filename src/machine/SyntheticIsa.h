@@ -52,6 +52,40 @@ MachineModel makeRandomMachine(Rng &R, unsigned NumPorts,
                                unsigned NumInstructions,
                                bool AllowOccupancy = true);
 
+/// Parameterized stress profile: a machine substantially larger than the
+/// shipped skl/zen models, for scaling the selection and LPAUX fan-outs
+/// beyond the paper's two machines (ROADMAP "scale the machine
+/// substrate"). Construction is deterministic in the config (seeded Rng),
+/// so two calls with equal configs produce identical machines.
+struct StressIsaConfig {
+  std::string Name = "stress";
+  /// Execution ports (<= MaxPorts). The last two double as the load AGUs.
+  unsigned NumPorts = 10;
+  /// Distinct µOP decompositions (selection sees one equivalence class
+  /// per category and extension).
+  unsigned NumCategories = 30;
+  /// Register-only variants instantiated per category.
+  int VariantsPerCategory = 12;
+  /// Additional variants with a fused load µOP per category.
+  int MemVariantsPerCategory = 3;
+  /// Extension groups drawn from {Base, Sse, Avx}: 1 = Base only,
+  /// 2 = Base + Sse, 3 = all. Selection runs per group, so this scales
+  /// the number of independent quadratic-benchmark fan-outs.
+  unsigned NumExtensions = 3;
+  /// Front-end width; 0 disables the decode cap.
+  unsigned DecodeWidth = 6;
+  /// Fraction of categories whose µOP is non-pipelined (occupancy 2..5),
+  /// exercising the low-IPC LPAUX-only path.
+  double NonPipelinedChance = 0.1;
+  uint64_t Seed = 0x57e55a11;
+};
+
+/// Instantiates the stress profile. Instruction count is
+/// NumCategories * (VariantsPerCategory + MemVariantsPerCategory).
+/// Throws std::invalid_argument on out-of-range configs (NumPorts outside
+/// [3, MaxPorts], NumExtensions outside [1, 3], or an empty ISA).
+MachineModel makeStressMachine(const StressIsaConfig &Config);
+
 } // namespace palmed
 
 #endif // PALMED_MACHINE_SYNTHETICISA_H

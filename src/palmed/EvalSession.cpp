@@ -4,34 +4,27 @@
 //
 // Scheduling model: the work is blocks x lanes, where lane 0 is the
 // native oracle and lane i >= 1 is predictor i-1. Work is cut into
-// fixed-size block chunks per lane, pulled by the workers off a shared
-// atomic counter. Every work item writes one pre-allocated slot
-// (NativeIpc[b] or Predictions[tool][b]), so the outcome is bit-identical
-// for any worker count, including the in-place serial path.
+// fixed-size block chunks per lane, fanned out over a palmed::Executor.
+// Every work item writes one pre-allocated slot (NativeIpc[b] or
+// Predictions[tool][b]), so the outcome is bit-identical for any worker
+// count, including the in-place serial path.
 //
 //===----------------------------------------------------------------------===//
 
 #include "palmed/EvalSession.h"
 
-#include <atomic>
-#include <exception>
+#include "support/Executor.h"
+
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 
 using namespace palmed;
 
-ExecutionPolicy ExecutionPolicy::parallel(unsigned NumThreads) {
-  if (NumThreads == 0) {
-    NumThreads = std::thread::hardware_concurrency();
-    if (NumThreads == 0)
-      NumThreads = 4; // hardware_concurrency may legitimately return 0.
-  }
-  return ExecutionPolicy{NumThreads};
-}
-
 EvalSession::EvalSession(ThroughputOracle &Native, ExecutionPolicy Policy)
     : Native(Native), Policy(Policy) {}
+
+EvalSession::~EvalSession() = default;
+EvalSession::EvalSession(EvalSession &&) noexcept = default;
 
 void EvalSession::setReferenceTool(std::string Tool) {
   ReferenceTool = std::move(Tool);
@@ -70,13 +63,7 @@ EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
     Rows.push_back(&Row);
   }
 
-  const unsigned NumWorkers =
-      Policy.NumThreads <= 1
-          ? 1
-          : static_cast<unsigned>(std::min<size_t>(
-                Policy.NumThreads, std::max<size_t>(Blocks.size(), 1)));
-
-  if (NumWorkers <= 1 || Blocks.empty()) {
+  if (Policy.NumThreads <= 1 || Blocks.empty()) {
     for (size_t B = 0; B < Blocks.size(); ++B)
       Out.NativeIpc[B] = Native.measureIpc(Blocks[B].K);
     for (size_t L = 0; L < Lanes.size(); ++L)
@@ -84,6 +71,12 @@ EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
         (*Rows[L])[B] = Lanes[L]->predictIpc(Blocks[B].K);
     return Out;
   }
+
+  // The pool is created once and reused by every later run (helper
+  // threads themselves spawn lazily inside the Executor).
+  if (!Exec)
+    Exec = std::make_unique<Executor>(Policy.NumThreads);
+  const unsigned NumWorkers = Exec->numWorkers();
 
   // Per-lane concurrency strategy (lane 0 = native oracle).
   const size_t NumLanes = Lanes.size() + 1;
@@ -122,46 +115,22 @@ EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
     for (size_t B = 0; B < Blocks.size(); B += ChunkSize)
       Tasks.push_back({L, B, std::min(B + ChunkSize, Blocks.size())});
 
-  std::atomic<size_t> NextTask{0};
-  std::mutex ErrorMutex;
-  std::exception_ptr FirstError;
-
-  auto Worker = [&](unsigned WorkerId) {
-    try {
-      for (size_t T = NextTask.fetch_add(1); T < Tasks.size();
-           T = NextTask.fetch_add(1)) {
-        const Task &Tk = Tasks[T];
-        std::unique_lock<std::mutex> Guard;
-        if (LaneMutex[Tk.Lane])
-          Guard = std::unique_lock<std::mutex>(*LaneMutex[Tk.Lane]);
-        if (Tk.Lane == 0) {
-          for (size_t B = Tk.Begin; B < Tk.End; ++B)
-            Out.NativeIpc[B] = Native.measureIpc(Blocks[B].K);
-        } else {
-          Predictor *P = Clones[Tk.Lane].empty()
-                             ? Lanes[Tk.Lane - 1]
-                             : Clones[Tk.Lane][WorkerId].get();
-          auto &Row = *Rows[Tk.Lane - 1];
-          for (size_t B = Tk.Begin; B < Tk.End; ++B)
-            Row[B] = P->predictIpc(Blocks[B].K);
-        }
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> Lock(ErrorMutex);
-      if (!FirstError)
-        FirstError = std::current_exception();
-      // Drain the queue so the other workers stop quickly.
-      NextTask.store(Tasks.size());
+  Exec->parallelFor(Tasks.size(), [&](size_t T, unsigned WorkerId) {
+    const Task &Tk = Tasks[T];
+    std::unique_lock<std::mutex> Guard;
+    if (LaneMutex[Tk.Lane])
+      Guard = std::unique_lock<std::mutex>(*LaneMutex[Tk.Lane]);
+    if (Tk.Lane == 0) {
+      for (size_t B = Tk.Begin; B < Tk.End; ++B)
+        Out.NativeIpc[B] = Native.measureIpc(Blocks[B].K);
+    } else {
+      Predictor *P = Clones[Tk.Lane].empty()
+                         ? Lanes[Tk.Lane - 1]
+                         : Clones[Tk.Lane][WorkerId].get();
+      auto &Row = *Rows[Tk.Lane - 1];
+      for (size_t B = Tk.Begin; B < Tk.End; ++B)
+        Row[B] = P->predictIpc(Blocks[B].K);
     }
-  };
-
-  std::vector<std::thread> Pool;
-  Pool.reserve(NumWorkers);
-  for (unsigned W = 0; W < NumWorkers; ++W)
-    Pool.emplace_back(Worker, W);
-  for (std::thread &T : Pool)
-    T.join();
-  if (FirstError)
-    std::rethrow_exception(FirstError);
+  });
   return Out;
 }

@@ -1,0 +1,15 @@
+//===- palmed/ExecutionPolicy.cpp - Threading knob ------------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "palmed/ExecutionPolicy.h"
+
+#include "support/Executor.h"
+
+using namespace palmed;
+
+ExecutionPolicy ExecutionPolicy::parallel(unsigned NumThreads) {
+  return ExecutionPolicy{Executor::resolveThreadCount(NumThreads)};
+}

@@ -22,11 +22,13 @@
 #include "palmed/Pipeline.h"
 
 #include "lp/Simplex.h"
+#include "support/Executor.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -113,6 +115,10 @@ struct Pipeline::Impl {
   const MachineModel &Machine;
   PalmedConfig Config;
 
+  /// Shared worker pool for the stage-1 and stage-3 fan-outs (width 1
+  /// under the Serial policy, in which case everything runs inline).
+  Executor Exec;
+
   PipelineObserver *Observer = nullptr;
   CancellationToken *Cancel = nullptr;
 
@@ -133,13 +139,19 @@ struct Pipeline::Impl {
   std::vector<Microkernel> Sat;
   std::vector<bool> Genuine;
 
+  // NumThreads <= 1 (including a raw 0) is serial, matching EvalSession;
+  // the "0 = auto" convention is resolved by ExecutionPolicy::parallel()
+  // before a policy ever reaches the pipeline.
   Impl(BenchmarkRunner &Runner, PalmedConfig Config)
-      : Runner(Runner), Machine(Runner.machine()), Config(std::move(Config)),
+      : Runner(Runner), Machine(Runner.machine()), Config(Config),
+        Exec(std::max(1u, Config.Execution.NumThreads)),
         Result{ResourceMapping(Runner.machine().numInstructions()),
                SelectionResult(),
                MappingShape(),
                {},
-               PalmedStats()} {}
+               PalmedStats()} {
+    Result.Stats.NumThreads = Exec.numWorkers();
+  }
 
   void checkCancelled() const {
     if (Cancel && Cancel->cancelRequested())
@@ -192,7 +204,7 @@ void Pipeline::Impl::selectBasics() {
   beginStage(PipelineStage::SelectBasics);
   auto T0 = std::chrono::steady_clock::now();
   Result.Selection = selectBasicInstructions(Runner, Machine.isa().allIds(),
-                                             Config.Selection);
+                                             Config.Selection, &Exec);
   const SelectionResult &Sel = Result.Selection;
   Result.Stats.SelectionSeconds = secondsSince(T0);
 
@@ -687,15 +699,34 @@ void Pipeline::Impl::completeMapping() {
   const SelectionResult &Sel = Result.Selection;
   const size_t NumRes = Shape.numResources();
   auto T2 = std::chrono::steady_clock::now();
-  const lp::LpTelemetry LpBefore = lp::lpTelemetry();
-  size_t NumDone = 0;
-  const size_t NumTotal = Sel.Survivors.size();
-  for (InstrId Inst : Sel.Survivors) {
+
+  // The instructions this stage maps: non-basic survivors, in selection
+  // order. Basics were mapped by stage 2 and are excluded from the
+  // progress denominator, so NumDone runs 1..NumTotal without jumps.
+  std::vector<InstrId> AuxInstrs;
+  for (InstrId Inst : Sel.Survivors)
+    if (!IndexOf.count(Inst))
+      AuxInstrs.push_back(Inst);
+  const size_t NumTotal = AuxInstrs.size();
+
+  // Per-instruction work (solo + saturation benchmarks, LPAUX solve) fans
+  // out over the executor. Every task writes one index-ordered slot —
+  // including its thread-local LP telemetry delta — and the reduction
+  // below runs serially in selection order, so the mapping and the stats
+  // are bit-identical to a serial run.
+  struct AuxSlot {
+    AuxWeights Aux;
+    lp::LpTelemetry Lp;
+  };
+  std::vector<AuxSlot> Slots(NumTotal);
+  size_t NumDone = 0;       // Guarded by ProgressMutex.
+  std::mutex ProgressMutex; // Serializes observer delivery (see Observer.h).
+
+  Exec.parallelFor(NumTotal, [&](size_t Idx, unsigned) {
     checkCancelled();
-    ++NumDone;
-    if (IndexOf.count(Inst))
-      continue; // Basic: already mapped.
-    double InstIpc = Sel.soloIpc(Inst);
+    const InstrId Inst = AuxInstrs[Idx];
+    const double InstIpc = Sel.soloIpc(Inst);
+    const lp::LpTelemetry TelBefore = lp::lpTelemetry();
 
     std::vector<WeightKernel> AuxKernels;
     // Solo kernel: capacity constraints only. Attributing its bottleneck
@@ -716,27 +747,43 @@ void Pipeline::Impl::completeMapping() {
       AuxKernels.push_back({Rounded, Ipc, static_cast<int>(R)});
     }
 
-    AuxWeights Aux = solveAuxWeights(Shape, IndexOf, Weights.Rho, Inst,
+    Slots[Idx].Aux = solveAuxWeights(Shape, IndexOf, Weights.Rho, Inst,
                                      AuxKernels, Config.Mode);
+    {
+      // The measurement + solve work above is a deterministic function of
+      // the instruction, so the per-task delta (and the index-ordered sum
+      // below) is independent of scheduling.
+      const lp::LpTelemetry &TelNow = lp::lpTelemetry();
+      Slots[Idx].Lp.Solves = TelNow.Solves - TelBefore.Solves;
+      Slots[Idx].Lp.Pivots = TelNow.Pivots - TelBefore.Pivots;
+      Slots[Idx].Lp.WarmStartAttempts =
+          TelNow.WarmStartAttempts - TelBefore.WarmStartAttempts;
+      Slots[Idx].Lp.WarmStartHits =
+          TelNow.WarmStartHits - TelBefore.WarmStartHits;
+    }
+
+    if (Observer) {
+      std::lock_guard<std::mutex> Lock(ProgressMutex);
+      Observer->onInstructionMapped(Inst, ++NumDone, NumTotal);
+    }
+  });
+
+  // Serial reduction, in selection order.
+  for (size_t Idx = 0; Idx < NumTotal; ++Idx) {
+    const InstrId Inst = AuxInstrs[Idx];
+    const AuxSlot &Slot = Slots[Idx];
     Result.Mapping.markMapped(Inst);
-    if (Observer)
-      Observer->onInstructionMapped(Inst, NumDone, NumTotal);
-    if (!Aux.Feasible)
+    Result.Stats.CompleteLpSolves += Slot.Lp.Solves;
+    Result.Stats.CompleteLpPivots += Slot.Lp.Pivots;
+    Result.Stats.LpWarmStartAttempts += Slot.Lp.WarmStartAttempts;
+    Result.Stats.LpWarmStartHits += Slot.Lp.WarmStartHits;
+    if (!Slot.Aux.Feasible)
       continue; // Mapped with no usage: visible as an explicit gap.
     for (size_t R = 0; R < NumRes; ++R)
-      if (Aux.Rho[R] > 1e-9)
-        Result.Mapping.setUsage(Inst, R, Aux.Rho[R]);
+      if (Slot.Aux.Rho[R] > 1e-9)
+        Result.Mapping.setUsage(Inst, R, Slot.Aux.Rho[R]);
   }
   Result.Stats.CompleteMappingSeconds = secondsSince(T2);
-  {
-    const lp::LpTelemetry &LpNow = lp::lpTelemetry();
-    Result.Stats.CompleteLpSolves = LpNow.Solves - LpBefore.Solves;
-    Result.Stats.CompleteLpPivots = LpNow.Pivots - LpBefore.Pivots;
-    Result.Stats.LpWarmStartAttempts +=
-        LpNow.WarmStartAttempts - LpBefore.WarmStartAttempts;
-    Result.Stats.LpWarmStartHits +=
-        LpNow.WarmStartHits - LpBefore.WarmStartHits;
-  }
 
   // ---- Prune dominated resources. ----
   // A resource whose usage column is pointwise dominated by another's can

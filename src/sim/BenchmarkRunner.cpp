@@ -24,8 +24,8 @@ bool BenchmarkRunner::accepts(const Microkernel &K) const {
 
 namespace {
 
-/// Order-independent hash of a rounded kernel, used to seed per-kernel
-/// measurement noise deterministically.
+/// Order-independent hash of a rounded kernel, used to pick the cache
+/// shard and to seed per-kernel measurement noise deterministically.
 uint64_t kernelHash(const Microkernel &K) {
   uint64_t H = 0xcbf29ce484222325ULL;
   auto Mix = [&H](uint64_t V) {
@@ -41,6 +41,19 @@ uint64_t kernelHash(const Microkernel &K) {
 
 } // namespace
 
+BenchmarkRunner::Shard &BenchmarkRunner::shardFor(const Microkernel &Rounded) {
+  return Shards[kernelHash(Rounded) % NumShards];
+}
+
+size_t BenchmarkRunner::numDistinctBenchmarks() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Done.size();
+  }
+  return Total;
+}
+
 double BenchmarkRunner::measureIpc(const Microkernel &K) {
   assert(!K.empty() && "cannot benchmark an empty kernel");
   assert(accepts(K) &&
@@ -49,14 +62,36 @@ double BenchmarkRunner::measureIpc(const Microkernel &K) {
   Microkernel Rounded =
       K.isIntegral() ? K : K.roundedToIntegers(Config.MaxDenominator);
 
-  // Whole-call lock: measurement is deterministic and the backend may not
-  // be reentrant, so serializing here is both safe and result-preserving.
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Cache.find(Rounded);
-  if (It != Cache.end())
-    return It->second;
+  Shard &S = shardFor(Rounded);
+  {
+    std::unique_lock<std::mutex> Lock(S.M);
+    for (;;) {
+      auto It = S.Done.find(Rounded);
+      if (It != S.Done.end())
+        return It->second;
+      if (!S.InFlight.count(Rounded))
+        break;
+      // Another worker is measuring this very kernel: wait and replay its
+      // result instead of burning a duplicate benchmark.
+      S.Cv.wait(Lock);
+    }
+    S.InFlight.insert(Rounded);
+  }
 
-  double Ipc = Backend.measureIpc(Rounded);
+  double Ipc;
+  try {
+    if (Backend.isThreadSafe()) {
+      Ipc = Backend.measureIpc(Rounded);
+    } else {
+      std::lock_guard<std::mutex> Lock(BackendMutex);
+      Ipc = Backend.measureIpc(Rounded);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.InFlight.erase(Rounded);
+    S.Cv.notify_all();
+    throw;
+  }
   if (Config.NoiseStdDev > 0.0) {
     Rng Noise(kernelHash(Rounded) ^ Config.NoiseSeed);
     double Factor = 1.0 + Config.NoiseStdDev * Noise.normal();
@@ -64,6 +99,10 @@ double BenchmarkRunner::measureIpc(const Microkernel &K) {
     Factor = std::min(std::max(Factor, 0.5), 1.5);
     Ipc *= Factor;
   }
-  Cache.emplace(std::move(Rounded), Ipc);
+
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.InFlight.erase(Rounded);
+  S.Done.emplace(std::move(Rounded), Ipc);
+  S.Cv.notify_all();
   return Ipc;
 }

@@ -8,10 +8,20 @@
 /// The measurement front door used by every mapping algorithm: wraps a
 /// backend oracle with (a) multiplicity rounding within the paper's 5%
 /// benchmark-coefficient tolerance (Sec. VI-A), (b) deterministic
-/// multiplicative measurement noise, (c) a result cache, and (d) the
-/// benchmark counter reported in Table II. Optionally rejects kernels
-/// mixing SSE and AVX, mirroring the paper's benchmark generator
+/// multiplicative measurement noise, (c) a concurrent result cache, and
+/// (d) the benchmark counter reported in Table II. Optionally rejects
+/// kernels mixing SSE and AVX, mirroring the paper's benchmark generator
 /// restriction.
+///
+/// Concurrency: the cache is sharded by a canonical kernel hash, so
+/// workers measuring different kernels rarely contend. A kernel being
+/// measured is marked in-flight in its shard; a second worker asking for
+/// the same kernel blocks until the first finishes and then replays the
+/// cached value, so every distinct kernel hits the backend exactly once
+/// regardless of the worker count. Measurement (rounding, backend, noise)
+/// is a deterministic function of the kernel, which makes every cached
+/// value — and the distinct-benchmark counter — independent of
+/// measurement order.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,9 +31,11 @@
 #include "machine/MachineModel.h"
 #include "sim/ThroughputOracle.h"
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 namespace palmed {
 
@@ -58,25 +70,36 @@ public:
 
   std::string name() const override { return "runner:" + Backend.name(); }
 
-  /// The cache (and the backend call) are guarded by an internal mutex,
-  /// so concurrent measurement is safe regardless of the backend.
+  /// The cache is sharded and in-flight measurements are deduplicated, so
+  /// concurrent measurement is safe regardless of the backend (a
+  /// non-thread-safe backend is additionally serialized behind one mutex).
   bool isThreadSafe() const override { return true; }
 
   /// Number of distinct microbenchmarks executed so far (Table II's
   /// "Gen. microbenchmarks").
-  size_t numDistinctBenchmarks() const {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    return Cache.size();
-  }
+  size_t numDistinctBenchmarks() const;
 
   const MachineModel &machine() const { return Machine; }
 
 private:
+  /// One cache shard: finished measurements plus the set of kernels some
+  /// worker is currently measuring. Waiters sleep on Cv.
+  struct Shard {
+    mutable std::mutex M;
+    std::condition_variable Cv;
+    std::map<Microkernel, double> Done;
+    std::set<Microkernel> InFlight;
+  };
+  static constexpr size_t NumShards = 16;
+
+  Shard &shardFor(const Microkernel &Rounded);
+
   const MachineModel &Machine;
   ThroughputOracle &Backend;
   BenchmarkConfig Config;
-  mutable std::mutex Mutex;
-  std::map<Microkernel, double> Cache;
+  Shard Shards[NumShards];
+  /// Serializes backend calls when the backend is not reentrant.
+  std::mutex BackendMutex;
 };
 
 } // namespace palmed

@@ -1,0 +1,112 @@
+//===- support/Executor.cpp - Shared worker pool --------------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace palmed;
+
+unsigned Executor::resolveThreadCount(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    return 4; // hardware_concurrency may legitimately return 0.
+  return std::min(Hw, MaxAutoThreads);
+}
+
+Executor::Executor(unsigned NumThreads)
+    : NumWorkers(NumThreads == 0 ? 1 : NumThreads) {}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Helpers)
+    T.join();
+}
+
+/// Claims and runs items off the current job until the queue drains. On an
+/// exception, records the first error and drains the queue so every worker
+/// stops quickly.
+void Executor::runItems(unsigned Worker) {
+  try {
+    for (size_t I = JobNext.fetch_add(1); I < JobNumItems;
+         I = JobNext.fetch_add(1))
+      (*JobFn)(I, Worker);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!JobError)
+        JobError = std::current_exception();
+    }
+    JobNext.store(JobNumItems); // Abandon the unclaimed items.
+  }
+}
+
+void Executor::helperLoop(unsigned Worker) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WakeCv.wait(Lock, [&] { return Stop || Generation != SeenGeneration; });
+      if (Stop)
+        return;
+      SeenGeneration = Generation;
+    }
+    runItems(Worker);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (--HelpersBusy == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void Executor::parallelFor(size_t NumItems, const WorkFn &Fn) {
+  if (NumItems == 0)
+    return;
+  if (NumWorkers <= 1 || NumItems == 1) {
+    for (size_t I = 0; I < NumItems; ++I)
+      Fn(I, 0);
+    return;
+  }
+
+  // Spawn the helpers on first use.
+  if (Helpers.empty()) {
+    Helpers.reserve(NumWorkers - 1);
+    for (unsigned W = 1; W < NumWorkers; ++W)
+      Helpers.emplace_back(&Executor::helperLoop, this, W);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    assert(HelpersBusy == 0 && "parallelFor is not reentrant");
+    JobFn = &Fn;
+    JobNumItems = NumItems;
+    JobNext.store(0);
+    JobError = nullptr;
+    HelpersBusy = static_cast<unsigned>(Helpers.size());
+    ++Generation;
+  }
+  WakeCv.notify_all();
+
+  runItems(0); // The caller is worker 0.
+
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCv.wait(Lock, [&] { return HelpersBusy == 0; });
+  JobFn = nullptr;
+  if (JobError) {
+    std::exception_ptr E = JobError;
+    JobError = nullptr;
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
+}

@@ -1,0 +1,98 @@
+//===- support/Executor.h - Shared worker pool -----------------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrency substrate shared by every parallel fan-out in the
+/// project (EvalSession lanes, selection benchmarks, LPAUX solves): a
+/// fixed-width worker pool with a single primitive, parallelFor.
+///
+/// Determinism contract: parallelFor imposes no order on the work items,
+/// so parallel-safe callers write each item's result into a pre-allocated,
+/// index-addressed slot and run every order-sensitive reduction serially
+/// on the calling thread afterwards. Code written that way produces
+/// bit-identical results for any worker count, including the inline
+/// serial path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SUPPORT_EXECUTOR_H
+#define PALMED_SUPPORT_EXECUTOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace palmed {
+
+/// A fixed pool of NumThreads workers (the calling thread counts as worker
+/// 0; NumThreads - 1 helper threads are spawned lazily on the first
+/// parallel call). Not reentrant: parallelFor must not be called from
+/// inside a work item, and only one thread may drive an Executor at a
+/// time.
+class Executor {
+public:
+  /// \p NumThreads is the total worker count and must already be resolved
+  /// (>= 1); use resolveThreadCount for the 0 = "auto" convention.
+  explicit Executor(unsigned NumThreads = 1);
+  ~Executor();
+
+  Executor(const Executor &) = delete;
+  Executor &operator=(const Executor &) = delete;
+
+  /// Resolves a requested thread count: 0 means "auto", i.e.
+  /// std::thread::hardware_concurrency() clamped to [1, MaxAutoThreads]
+  /// (hardware_concurrency may legitimately return 0, in which case the
+  /// historical default of 4 is used). Nonzero requests are taken as-is.
+  static unsigned resolveThreadCount(unsigned Requested);
+
+  /// Upper clamp of the "auto" thread count; explicit requests may exceed
+  /// it.
+  static constexpr unsigned MaxAutoThreads = 64;
+
+  /// Total worker count (>= 1), including the calling thread.
+  unsigned numWorkers() const { return NumWorkers; }
+
+  using WorkFn = std::function<void(size_t Index, unsigned Worker)>;
+
+  /// Runs Fn(Index, Worker) for every Index in [0, NumItems), in
+  /// unspecified order, with Worker in [0, numWorkers()). With one worker
+  /// (or one item) runs inline on the calling thread in index order. The
+  /// calling thread participates as a worker and the call returns only
+  /// after every claimed item finished. If any item throws, the remaining
+  /// unclaimed items are abandoned and the first exception is rethrown on
+  /// the calling thread.
+  void parallelFor(size_t NumItems, const WorkFn &Fn);
+
+private:
+  void helperLoop(unsigned Worker);
+  void runItems(unsigned Worker);
+
+  const unsigned NumWorkers;
+  std::vector<std::thread> Helpers;
+
+  std::mutex M;
+  std::condition_variable WakeCv; ///< Helpers sleep here between jobs.
+  std::condition_variable DoneCv; ///< parallelFor waits here for helpers.
+  bool Stop = false;
+  uint64_t Generation = 0;   ///< Bumped per job; helpers latch it.
+  unsigned HelpersBusy = 0;  ///< Helpers still inside the current job.
+
+  // Current-job state. Fn/NumItems are published under M before the
+  // generation bump; Next is claimed lock-free by the workers.
+  const WorkFn *JobFn = nullptr;
+  size_t JobNumItems = 0;
+  std::atomic<size_t> JobNext{0};
+  std::exception_ptr JobError;
+};
+
+} // namespace palmed
+
+#endif // PALMED_SUPPORT_EXECUTOR_H

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -35,6 +36,7 @@ struct RecordingObserver : PipelineObserver {
   std::vector<std::string> Events;
   int ShapeIterations = 0;
   size_t InstructionsMapped = 0;
+  size_t LastNumDone = 0;
   size_t LastNumTotal = 0;
 
   void onStageBegin(PipelineStage Stage) override {
@@ -47,8 +49,10 @@ struct RecordingObserver : PipelineObserver {
   void onShapeIteration(int, size_t, size_t, size_t) override {
     ++ShapeIterations;
   }
-  void onInstructionMapped(InstrId, size_t, size_t NumTotal) override {
+  void onInstructionMapped(InstrId, size_t NumDone,
+                           size_t NumTotal) override {
     ++InstructionsMapped;
+    LastNumDone = NumDone;
     LastNumTotal = NumTotal;
   }
 };
@@ -148,7 +152,11 @@ TEST(ApiPipeline, ObserverSeesLpauxProgressOnLargerMachine) {
   EXPECT_EQ(Obs.InstructionsMapped,
             R.Selection.Survivors.size() - R.Selection.Basic.size());
   EXPECT_GT(Obs.InstructionsMapped, 0u);
-  EXPECT_EQ(Obs.LastNumTotal, R.Selection.Survivors.size());
+  // Basics are excluded from the denominator, so progress runs 1..NumTotal
+  // without jumps and ends exactly at NumTotal.
+  EXPECT_EQ(Obs.LastNumTotal,
+            R.Selection.Survivors.size() - R.Selection.Basic.size());
+  EXPECT_EQ(Obs.LastNumDone, Obs.LastNumTotal);
 }
 
 TEST(ApiPipeline, StageOrderIsEnforced) {
@@ -214,6 +222,169 @@ TEST(ApiPipeline, CancellationFromObserverCallback) {
   EXPECT_FALSE(P.finished());
   EXPECT_EQ(P.nextStage(), PipelineStage::SolveCoreMapping);
   EXPECT_GT(P.stats().NumBasic, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel mapping pipeline.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+PalmedResult mapWith(const MachineModel &M, ExecutionPolicy Policy,
+                     PipelineObserver *Obs = nullptr) {
+  AnalyticOracle O(M);
+  BenchmarkRunner Runner(M, O);
+  PalmedConfig Cfg;
+  Cfg.Execution = Policy;
+  Pipeline P(Runner, Cfg);
+  if (Obs)
+    P.setObserver(Obs);
+  P.run();
+  return P.takeResult();
+}
+
+/// Full-outcome equality: mapping, shape, saturating kernels, selection,
+/// and every stats field that is not a timing or the thread counter.
+void expectBitIdenticalOutcome(const PalmedResult &A, const PalmedResult &B,
+                               const InstructionSet &Isa) {
+  EXPECT_EQ(A.Mapping.toText(Isa), B.Mapping.toText(Isa));
+  EXPECT_EQ(A.Shape.Resources, B.Shape.Resources);
+  EXPECT_EQ(A.SaturatingKernels, B.SaturatingKernels);
+  EXPECT_EQ(A.Selection.Survivors, B.Selection.Survivors);
+  EXPECT_EQ(A.Selection.Basic, B.Selection.Basic);
+  EXPECT_EQ(A.Selection.SoloIpc, B.Selection.SoloIpc);   // Bit-identical.
+  EXPECT_EQ(A.Selection.PairIpc, B.Selection.PairIpc);   // Bit-identical.
+  EXPECT_EQ(A.Stats.NumBenchmarks, B.Stats.NumBenchmarks);
+  EXPECT_EQ(A.Stats.NumResources, B.Stats.NumResources);
+  EXPECT_EQ(A.Stats.NumBasic, B.Stats.NumBasic);
+  EXPECT_EQ(A.Stats.NumMapped, B.Stats.NumMapped);
+  EXPECT_EQ(A.Stats.NumCoreKernels, B.Stats.NumCoreKernels);
+  EXPECT_EQ(A.Stats.NumShapeConstraints, B.Stats.NumShapeConstraints);
+  EXPECT_DOUBLE_EQ(A.Stats.CoreSlack, B.Stats.CoreSlack);
+  EXPECT_EQ(A.Stats.CoreLpSolves, B.Stats.CoreLpSolves);
+  EXPECT_EQ(A.Stats.CoreLpPivots, B.Stats.CoreLpPivots);
+  EXPECT_EQ(A.Stats.CompleteLpSolves, B.Stats.CompleteLpSolves);
+  EXPECT_EQ(A.Stats.CompleteLpPivots, B.Stats.CompleteLpPivots);
+  EXPECT_EQ(A.Stats.LpWarmStartAttempts, B.Stats.LpWarmStartAttempts);
+  EXPECT_EQ(A.Stats.LpWarmStartHits, B.Stats.LpWarmStartHits);
+}
+
+void expectPoliciesEquivalent(const MachineModel &M) {
+  PalmedResult Serial = mapWith(M, ExecutionPolicy::serial());
+  PalmedResult Par4 = mapWith(M, ExecutionPolicy::parallel(4));
+  PalmedResult Par11 = mapWith(M, ExecutionPolicy::parallel(11));
+  EXPECT_EQ(Serial.Stats.NumThreads, 1u);
+  EXPECT_EQ(Par4.Stats.NumThreads, 4u);
+  EXPECT_EQ(Par11.Stats.NumThreads, 11u);
+  expectBitIdenticalOutcome(Serial, Par4, M.isa());
+  expectBitIdenticalOutcome(Serial, Par11, M.isa());
+}
+
+/// A small-but-nontrivial stress profile so the three full pipeline runs
+/// stay fast in the test suite.
+StressIsaConfig testStressConfig() {
+  StressIsaConfig C;
+  C.NumPorts = 8;
+  C.NumCategories = 12;
+  C.VariantsPerCategory = 4;
+  C.MemVariantsPerCategory = 1;
+  C.NumExtensions = 3;
+  return C;
+}
+
+} // namespace
+
+TEST(ApiParallelPipeline, SklMappingBitIdenticalAcrossPolicies) {
+  expectPoliciesEquivalent(makeSklLike());
+}
+
+TEST(ApiParallelPipeline, ZenMappingBitIdenticalAcrossPolicies) {
+  expectPoliciesEquivalent(makeZenLike());
+}
+
+TEST(ApiParallelPipeline, StressIsaMappingBitIdenticalAcrossPolicies) {
+  expectPoliciesEquivalent(makeStressMachine(testStressConfig()));
+}
+
+TEST(ApiParallelPipeline, ObserverProgressIsMonotoneUnderParallelism) {
+  MachineModel M = makeSklLike();
+
+  // Callbacks are serialized by the pipeline (see Observer.h), so the
+  // recording below needs no locking of its own.
+  struct ProgressObserver : PipelineObserver {
+    std::vector<size_t> DoneSeq;
+    std::vector<InstrId> Ids;
+    size_t NumTotal = 0;
+    void onInstructionMapped(InstrId Id, size_t NumDone,
+                             size_t NumTotal_) override {
+      DoneSeq.push_back(NumDone);
+      Ids.push_back(Id);
+      NumTotal = NumTotal_;
+    }
+  } Obs;
+
+  PalmedResult R = mapWith(M, ExecutionPolicy::parallel(4), &Obs);
+  const size_t Expected =
+      R.Selection.Survivors.size() - R.Selection.Basic.size();
+  ASSERT_EQ(Obs.DoneSeq.size(), Expected);
+  EXPECT_EQ(Obs.NumTotal, Expected);
+  // NumDone takes each value 1..NumTotal exactly once, in order.
+  for (size_t I = 0; I < Obs.DoneSeq.size(); ++I)
+    EXPECT_EQ(Obs.DoneSeq[I], I + 1);
+  // Every instruction is reported exactly once.
+  std::vector<InstrId> Sorted = Obs.Ids;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_TRUE(std::adjacent_find(Sorted.begin(), Sorted.end()) ==
+              Sorted.end());
+}
+
+TEST(ApiParallelPipeline, CancellationUnderParallelismIsResumable) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle O(M);
+  BenchmarkRunner Runner(M, O);
+  PalmedConfig Cfg;
+  Cfg.Execution = ExecutionPolicy::parallel(4);
+  Pipeline P(Runner, Cfg);
+  CancellationToken Token;
+  P.setCancellationToken(&Token);
+
+  // Cancel after a few LPAUX instructions completed; the workers poll the
+  // token per item, so the stage aborts with CancelledError.
+  struct Canceller : PipelineObserver {
+    CancellationToken *Token;
+    void onInstructionMapped(InstrId, size_t NumDone, size_t) override {
+      if (NumDone == 3)
+        Token->requestCancel();
+    }
+  } Obs;
+  Obs.Token = &Token;
+  P.setObserver(&Obs);
+
+  P.selectBasics();
+  P.solveCoreMapping();
+  EXPECT_THROW(P.completeMapping(), CancelledError);
+  EXPECT_FALSE(P.finished());
+  EXPECT_EQ(P.nextStage(), PipelineStage::CompleteMapping);
+
+  // Clearing the token makes the stage re-runnable, and the result is
+  // still bit-identical to an uncancelled serial run.
+  P.setCancellationToken(nullptr);
+  P.setObserver(nullptr);
+  const PalmedResult &Resumed = P.completeMapping();
+  PalmedResult Serial = mapWith(M, ExecutionPolicy::serial());
+  expectSameMapping(Resumed.Mapping, Serial.Mapping, M.isa());
+}
+
+TEST(ApiParallelPipeline, AutoThreadPolicyResolvesAndIsRecorded) {
+  // parallel(0) = "auto" resolves to a concrete width in [1, 64] at
+  // policy-construction time, and the pipeline records the resolved width.
+  ExecutionPolicy Auto = ExecutionPolicy::parallel(0);
+  EXPECT_GE(Auto.NumThreads, 1u);
+  EXPECT_LE(Auto.NumThreads, 64u);
+
+  MachineModel M = makeFig1Machine();
+  PalmedResult R = mapWith(M, Auto);
+  EXPECT_EQ(R.Stats.NumThreads, Auto.NumThreads);
 }
 
 //===----------------------------------------------------------------------===//

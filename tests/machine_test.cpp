@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace palmed;
 
 TEST(PortMask, Basics) {
@@ -136,4 +138,68 @@ TEST(SyntheticIsa, RandomMachineIsValid) {
     EXPECT_TRUE(M.validate()) << "seed " << Seed;
     EXPECT_GE(M.numInstructions(), 3u);
   }
+}
+
+TEST(SyntheticIsa, StressMachineMatchesConfig) {
+  StressIsaConfig C;
+  C.Name = "stress-test";
+  C.NumPorts = 8;
+  C.NumCategories = 9;
+  C.VariantsPerCategory = 4;
+  C.MemVariantsPerCategory = 2;
+  C.NumExtensions = 3;
+  C.DecodeWidth = 5;
+  MachineModel M = makeStressMachine(C);
+  EXPECT_TRUE(M.validate());
+  EXPECT_EQ(M.name(), "stress-test");
+  EXPECT_EQ(M.numPorts(), 8u);
+  EXPECT_EQ(M.numInstructions(), 9u * (4u + 2u));
+
+  // All requested extension groups are populated.
+  size_t PerExt[3] = {0, 0, 0};
+  for (InstrId Id : M.isa().allIds())
+    ++PerExt[static_cast<size_t>(M.isa().info(Id).Ext)];
+  EXPECT_GT(PerExt[0], 0u);
+  EXPECT_GT(PerExt[1], 0u);
+  EXPECT_GT(PerExt[2], 0u);
+
+  // Memory variants carry the fused load µOP on the AGU pair (the last
+  // two ports).
+  InstrId Reg = M.isa().findByName("S0_0");
+  InstrId Mem = M.isa().findByName("S0_M0");
+  ASSERT_NE(Reg, InvalidInstr);
+  ASSERT_NE(Mem, InvalidInstr);
+  EXPECT_EQ(M.exec(Mem).MicroOps.size(), M.exec(Reg).MicroOps.size() + 1);
+  EXPECT_EQ(M.exec(Mem).MicroOps.back().Ports, portMask({6, 7}));
+}
+
+TEST(SyntheticIsa, StressMachineIsDeterministic) {
+  StressIsaConfig C;
+  C.NumCategories = 6;
+  C.VariantsPerCategory = 2;
+  MachineModel A = makeStressMachine(C);
+  MachineModel B = makeStressMachine(C);
+  ASSERT_EQ(A.numInstructions(), B.numInstructions());
+  for (InstrId Id : A.isa().allIds()) {
+    EXPECT_EQ(A.isa().info(Id).Name, B.isa().info(Id).Name);
+    ASSERT_EQ(A.exec(Id).MicroOps.size(), B.exec(Id).MicroOps.size());
+    for (size_t U = 0; U < A.exec(Id).MicroOps.size(); ++U) {
+      EXPECT_EQ(A.exec(Id).MicroOps[U].Ports, B.exec(Id).MicroOps[U].Ports);
+      EXPECT_EQ(A.exec(Id).MicroOps[U].Occupancy,
+                B.exec(Id).MicroOps[U].Occupancy);
+    }
+  }
+}
+
+TEST(SyntheticIsa, StressMachineRejectsBadConfigs) {
+  StressIsaConfig C;
+  C.NumPorts = 2; // Too few for the AGU pair.
+  EXPECT_THROW(makeStressMachine(C), std::invalid_argument);
+  C = StressIsaConfig();
+  C.NumExtensions = 5;
+  EXPECT_THROW(makeStressMachine(C), std::invalid_argument);
+  C = StressIsaConfig();
+  C.VariantsPerCategory = 0;
+  C.MemVariantsPerCategory = 0;
+  EXPECT_THROW(makeStressMachine(C), std::invalid_argument);
 }

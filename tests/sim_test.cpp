@@ -13,6 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 using namespace palmed;
 
 namespace {
@@ -213,4 +218,124 @@ TEST(BenchmarkRunner, RoundsFractionalKernels) {
   K.add(idOf(M, "BSR"), 1.0);
   // IPC is scale invariant, so rounding (x2) must not change the result.
   EXPECT_NEAR(Runner.measureIpc(K), O.measureIpc(K), 1e-9);
+}
+
+// --------------------------------------------- BenchmarkRunner concurrency
+
+namespace {
+
+/// Thread-safe backend that counts how often the runner actually reaches
+/// it, for asserting the concurrent cache's exactly-once guarantee.
+class CountingOracle : public ThroughputOracle {
+public:
+  explicit CountingOracle(const MachineModel &M) : Inner(M) {}
+  double measureIpc(const Microkernel &K) override {
+    Calls.fetch_add(1, std::memory_order_relaxed);
+    return Inner.measureIpc(K);
+  }
+  std::string name() const override { return "counting"; }
+  bool isThreadSafe() const override { return true; }
+  long calls() const { return Calls.load(); }
+
+private:
+  AnalyticOracle Inner;
+  std::atomic<long> Calls{0};
+};
+
+} // namespace
+
+TEST(BenchmarkRunnerConcurrency, HammerDedupesAndMatchesSerial) {
+  MachineModel M = makeSklLike();
+
+  // A few hundred overlapping kernels: solos plus same-extension pairs.
+  std::vector<Microkernel> Kernels;
+  const auto Ids = M.isa().allIds();
+  for (size_t I = 0; I < Ids.size(); I += 2)
+    Kernels.push_back(Microkernel::single(Ids[I]));
+  for (size_t I = 0; I + 7 < Ids.size(); I += 5) {
+    Microkernel K;
+    K.add(Ids[I], 2.0);
+    K.add(Ids[I + 7], 1.0);
+    Microkernel Probe;
+    Probe.add(Ids[I], 1.0);
+    Probe.add(Ids[I + 7], 1.0);
+    if (!M.kernelMixesExtensions(Probe))
+      Kernels.push_back(std::move(K));
+  }
+  ASSERT_GT(Kernels.size(), 100u);
+
+  // Serial reference values, with measurement noise enabled so the noisy
+  // path is covered too.
+  BenchmarkConfig Cfg;
+  Cfg.NoiseStdDev = 0.02;
+  std::vector<double> Reference(Kernels.size());
+  {
+    AnalyticOracle O(M);
+    BenchmarkRunner Serial(M, O, Cfg);
+    for (size_t K = 0; K < Kernels.size(); ++K)
+      Reference[K] = Serial.measureIpc(Kernels[K]);
+  }
+
+  // Hammer one runner from 8 threads, every thread measuring the full
+  // kernel list starting at a different offset so identical kernels are
+  // requested concurrently.
+  CountingOracle Backend(M);
+  BenchmarkRunner Runner(M, Backend, Cfg);
+  constexpr unsigned NumThreads = 8;
+  std::vector<std::vector<double>> Got(
+      NumThreads, std::vector<double>(Kernels.size()));
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (size_t I = 0; I < Kernels.size(); ++I) {
+        size_t K = (I + T * 37) % Kernels.size();
+        Got[T][K] = Runner.measureIpc(Kernels[K]);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Exactly-once backend traffic, bit-identical values on every thread.
+  EXPECT_EQ(Backend.calls(), static_cast<long>(Kernels.size()));
+  EXPECT_EQ(Runner.numDistinctBenchmarks(), Kernels.size());
+  for (unsigned T = 0; T < NumThreads; ++T)
+    for (size_t K = 0; K < Kernels.size(); ++K)
+      EXPECT_DOUBLE_EQ(Got[T][K], Reference[K]) << "thread " << T
+                                                << " kernel " << K;
+}
+
+TEST(BenchmarkRunnerConcurrency, SerializesNonThreadSafeBackends) {
+  MachineModel M = makeFig1Machine();
+
+  // A backend that detects concurrent entry.
+  class TouchyOracle : public ThroughputOracle {
+  public:
+    explicit TouchyOracle(const MachineModel &M) : Inner(M) {}
+    double measureIpc(const Microkernel &K) override {
+      EXPECT_FALSE(Busy.exchange(true)) << "backend entered concurrently";
+      double Ipc = Inner.measureIpc(K);
+      Busy.store(false);
+      return Ipc;
+    }
+    std::string name() const override { return "touchy"; }
+    bool isThreadSafe() const override { return false; }
+
+  private:
+    AnalyticOracle Inner;
+    std::atomic<bool> Busy{false};
+  } Backend(M);
+
+  BenchmarkRunner Runner(M, Backend);
+  const auto Ids = M.isa().allIds();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 6; ++T)
+    Threads.emplace_back([&, T] {
+      for (int Round = 0; Round < 20; ++Round)
+        for (InstrId Id : Ids)
+          Runner.measureIpc(
+              Microkernel::single(Id, 1.0 + ((Round + T) % 3)));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Runner.numDistinctBenchmarks(), Ids.size() * 3);
 }

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Executor.h"
 #include "support/Fraction.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
@@ -11,8 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 using namespace palmed;
 
@@ -228,4 +232,87 @@ TEST(Table, CsvEscapes) {
 TEST(Table, FormatHelpers) {
   EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::fmt(int64_t{42}), "42");
+}
+
+// ------------------------------------------------------------------ Executor
+
+TEST(Executor, ResolveThreadCount) {
+  EXPECT_EQ(Executor::resolveThreadCount(3), 3u);
+  EXPECT_EQ(Executor::resolveThreadCount(1), 1u);
+  // 0 = auto: a concrete width in [1, MaxAutoThreads], whatever the host.
+  unsigned Auto = Executor::resolveThreadCount(0);
+  EXPECT_GE(Auto, 1u);
+  EXPECT_LE(Auto, Executor::MaxAutoThreads);
+  // Explicit requests are taken as-is, even above the auto clamp.
+  EXPECT_EQ(Executor::resolveThreadCount(Executor::MaxAutoThreads + 7),
+            Executor::MaxAutoThreads + 7);
+}
+
+TEST(Executor, CoversEveryIndexExactlyOnce) {
+  Executor E(4);
+  EXPECT_EQ(E.numWorkers(), 4u);
+  constexpr size_t N = 4096;
+  // Each index is claimed exactly once, so unsynchronized per-slot writes
+  // are race-free; the join at the end of parallelFor publishes them.
+  std::vector<int> Hits(N, 0);
+  std::vector<unsigned> Worker(N, ~0u);
+  E.parallelFor(N, [&](size_t I, unsigned W) {
+    ++Hits[I];
+    Worker[I] = W;
+  });
+  for (size_t I = 0; I < N; ++I) {
+    EXPECT_EQ(Hits[I], 1) << I;
+    EXPECT_LT(Worker[I], 4u) << I;
+  }
+}
+
+TEST(Executor, SerialWidthRunsInlineInOrder) {
+  Executor E(1);
+  EXPECT_EQ(E.numWorkers(), 1u);
+  std::vector<size_t> Order;
+  E.parallelFor(5, [&](size_t I, unsigned W) {
+    EXPECT_EQ(W, 0u);
+    Order.push_back(I);
+  });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Executor, PropagatesFirstExceptionAndStaysUsable) {
+  Executor E(3);
+  std::atomic<int> Ran{0};
+  auto Boom = [&](size_t I, unsigned) {
+    if (I == 17)
+      throw std::runtime_error("boom");
+    ++Ran;
+  };
+  EXPECT_THROW(E.parallelFor(64, Boom), std::runtime_error);
+  // Unclaimed items were abandoned, claimed ones completed.
+  EXPECT_LT(Ran.load(), 64);
+
+  // The pool survives an exception and runs the next job normally.
+  std::atomic<int> Count{0};
+  E.parallelFor(100, [&](size_t, unsigned) { ++Count; });
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(Executor, ZeroAndSingleItemJobs) {
+  Executor E(4);
+  int Calls = 0;
+  E.parallelFor(0, [&](size_t, unsigned) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  E.parallelFor(1, [&](size_t I, unsigned W) {
+    EXPECT_EQ(I, 0u);
+    EXPECT_EQ(W, 0u); // Single items run inline on the caller.
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(Executor, BackToBackJobsReuseThePool) {
+  Executor E(4);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<size_t> Sum{0};
+    E.parallelFor(257, [&](size_t I, unsigned) { Sum += I; });
+    EXPECT_EQ(Sum.load(), 257u * 256u / 2u);
+  }
 }

@@ -42,8 +42,8 @@ void usage() {
       stderr,
       "palmed_cli %s\n"
       "usage:\n"
-      "  palmed_cli map     --machine skl|zen|fig1 [--noise S] [--out F]\n"
-      "                     [--progress]\n"
+      "  palmed_cli map     --machine skl|zen|fig1|stress [--noise S]\n"
+      "                     [--out F] [--threads N] [--progress]\n"
       "  palmed_cli predict --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli analyze --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli eval    --machine M [--threads N] [--blocks N]\n"
@@ -51,7 +51,8 @@ void usage() {
       "  palmed_cli dual    --machine M\n"
       "KERNEL is e.g. \"ADD_0^2 LOAD_0\" (instruction names with optional\n"
       "^multiplicity). Machines: skl (Skylake-like), zen (Zen1-like),\n"
-      "fig1 (the paper's running example).\n",
+      "fig1 (the paper's running example), stress (large synthetic ISA).\n"
+      "--threads 0 resolves to the hardware thread count.\n",
       versionString());
 }
 
@@ -62,8 +63,17 @@ std::optional<MachineModel> makeMachine(const std::string &Name) {
     return makeZenLike();
   if (Name == "fig1")
     return makeFig1Machine();
+  if (Name == "stress")
+    return makeStressMachine(StressIsaConfig());
   std::fprintf(stderr, "error: unknown machine '%s'\n", Name.c_str());
   return std::nullopt;
+}
+
+/// The CLI threading convention shared by map and eval: 1 = serial
+/// (default), 0 = auto (hardware concurrency), N = that many workers.
+ExecutionPolicy policyFor(unsigned Threads) {
+  return Threads == 1 ? ExecutionPolicy::serial()
+                      : ExecutionPolicy::parallel(Threads);
 }
 
 struct Options {
@@ -169,10 +179,10 @@ const char *bwpModeName(BwpMode Mode) {
 void printConfigBanner(const PalmedConfig &Cfg, const Options &O) {
   std::fprintf(stderr,
                "palmed %s | machine=%s epsilon=%g M=%d L=%d mode=%s "
-               "max-iter=%d noise=%g\n",
+               "max-iter=%d noise=%g threads=%u\n",
                versionString(), O.Machine.c_str(), Cfg.Epsilon, Cfg.MRepeat,
                Cfg.LSat, bwpModeName(Cfg.Mode), Cfg.MaxShapeIterations,
-               O.Noise);
+               O.Noise, Cfg.Execution.NumThreads);
 }
 
 /// Stage-progress printer for `map --progress`.
@@ -205,6 +215,7 @@ int cmdMap(const Options &O) {
   BenchmarkRunner Runner(*Machine, Oracle, BCfg);
 
   PalmedConfig Cfg;
+  Cfg.Execution = policyFor(O.Threads);
   printConfigBanner(Cfg, O);
   std::fprintf(stderr, "inferring mapping for '%s'...\n",
                Machine->name().c_str());
@@ -340,9 +351,7 @@ int cmdEval(const Options &O) {
   Ctx.Runner = &Runner;
   Ctx.PalmedMapping = &R.Mapping;
 
-  EvalSession Session(Oracle, O.Threads > 1
-                                  ? ExecutionPolicy::parallel(O.Threads)
-                                  : ExecutionPolicy::serial());
+  EvalSession Session(Oracle, policyFor(O.Threads));
   Session.setReferenceTool("palmed");
   std::vector<std::string> Added;
   for (const std::string &Tool : Tools) {
