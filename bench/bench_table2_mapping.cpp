@@ -15,6 +15,12 @@
 // speedup (map.serial_s / map.parallel_s / map.speedup_x) and verify the
 // outcomes are bit-identical.
 //
+// A fourth column maps the "huge" profile (2048 instructions / 24 ports /
+// 6 extension groups, past the historical 32-basic wall) with the
+// cluster-first selection pruning on, recording map.pair_benchmarks vs
+// map.pair_benchmarks_quadratic — the quadratic→pruned reduction that
+// makes thousand-instruction ISAs tractable.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
@@ -37,7 +43,8 @@ struct Row {
 };
 
 Row runOn(const MachineModel &M, const std::string &Name,
-          ExecutionPolicy Policy = ExecutionPolicy::serial()) {
+          ExecutionPolicy Policy = ExecutionPolicy::serial(),
+          bool PrunePairs = false) {
   Row R;
   R.Name = Name;
   R.Instructions = M.numInstructions();
@@ -45,6 +52,7 @@ Row runOn(const MachineModel &M, const std::string &Name,
   BenchmarkRunner Runner(M, O);
   PalmedConfig Cfg;
   Cfg.Execution = Policy;
+  Cfg.Selection.ClusterPairPruning = PrunePairs;
   // Drive the stages explicitly: Table II's row split (benchmarking vs LP
   // solving) is exactly the stage split of the public pipeline.
   auto T0 = std::chrono::steady_clock::now();
@@ -67,30 +75,49 @@ int main() {
   std::cout << "TABLE II: main features of the obtained mappings\n\n";
   MachineModel SklM = makeSklLike(), ZenM = makeZenLike();
   MachineModel StressM = makeStressMachine(StressIsaConfig());
+  MachineModel HugeM = makeStressMachine(hugeStressConfig());
   Row Skl = runOn(SklM, "SKL-SP-like");
   Row Zen = runOn(ZenM, "ZEN1-like");
   Row Stress = runOn(StressM, "stress");
   Row StressPar = runOn(StressM, "stress-par4", ExecutionPolicy::parallel(4));
   const bool Identical = Stress.MappingText == StressPar.MappingText;
+  // The huge column runs with the cluster-first selection pruning on; the
+  // unpruned quadratic sweep at this size is exactly the wall this bench
+  // exists to show torn down.
+  Row Huge = runOn(HugeM, "huge", ExecutionPolicy::serial(),
+                   /*PrunePairs=*/true);
 
-  TextTable T({"", Skl.Name, Zen.Name, Stress.Name});
+  TextTable T({"", Skl.Name, Zen.Name, Stress.Name, Huge.Name});
   auto N = [](size_t V) { return TextTable::fmt(static_cast<int64_t>(V)); };
   T.addRow({"ISA instructions", N(Skl.Instructions), N(Zen.Instructions),
-            N(Stress.Instructions)});
+            N(Stress.Instructions), N(Huge.Instructions)});
   T.addRow({"Gen. microbenchmarks", N(Skl.Stats.NumBenchmarks),
-            N(Zen.Stats.NumBenchmarks), N(Stress.Stats.NumBenchmarks)});
+            N(Zen.Stats.NumBenchmarks), N(Stress.Stats.NumBenchmarks),
+            N(Huge.Stats.NumBenchmarks)});
   T.addRow({"Basic instructions", N(Skl.Stats.NumBasic),
-            N(Zen.Stats.NumBasic), N(Stress.Stats.NumBasic)});
+            N(Zen.Stats.NumBasic), N(Stress.Stats.NumBasic),
+            N(Huge.Stats.NumBasic)});
   T.addRow({"Resources found", N(Skl.Stats.NumResources),
-            N(Zen.Stats.NumResources), N(Stress.Stats.NumResources)});
+            N(Zen.Stats.NumResources), N(Stress.Stats.NumResources),
+            N(Huge.Stats.NumResources)});
   T.addRow({"Instructions mapped", N(Skl.Stats.NumMapped),
-            N(Zen.Stats.NumMapped), N(Stress.Stats.NumMapped)});
+            N(Zen.Stats.NumMapped), N(Stress.Stats.NumMapped),
+            N(Huge.Stats.NumMapped)});
   T.addRow({"Core LP kernels", N(Skl.Stats.NumCoreKernels),
-            N(Zen.Stats.NumCoreKernels), N(Stress.Stats.NumCoreKernels)});
+            N(Zen.Stats.NumCoreKernels), N(Stress.Stats.NumCoreKernels),
+            N(Huge.Stats.NumCoreKernels)});
+  T.addRow({"Quadratic pair benchmarks", N(Skl.Stats.PairBenchmarks),
+            N(Zen.Stats.PairBenchmarks), N(Stress.Stats.PairBenchmarks),
+            N(Huge.Stats.PairBenchmarks)});
+  T.addRow({"  (unpruned would need)", N(Skl.Stats.PairBenchmarksQuadratic),
+            N(Zen.Stats.PairBenchmarksQuadratic),
+            N(Stress.Stats.PairBenchmarksQuadratic),
+            N(Huge.Stats.PairBenchmarksQuadratic)});
   T.addRow({"Benchmarking time (s)",
             TextTable::fmt(Skl.Stats.SelectionSeconds, 2),
             TextTable::fmt(Zen.Stats.SelectionSeconds, 2),
-            TextTable::fmt(Stress.Stats.SelectionSeconds, 2)});
+            TextTable::fmt(Stress.Stats.SelectionSeconds, 2),
+            TextTable::fmt(Huge.Stats.SelectionSeconds, 2)});
   T.addRow({"LP solving time (s)",
             TextTable::fmt(Skl.Stats.CoreMappingSeconds +
                                Skl.Stats.CompleteMappingSeconds,
@@ -100,25 +127,33 @@ int main() {
                            2),
             TextTable::fmt(Stress.Stats.CoreMappingSeconds +
                                Stress.Stats.CompleteMappingSeconds,
+                           2),
+            TextTable::fmt(Huge.Stats.CoreMappingSeconds +
+                               Huge.Stats.CompleteMappingSeconds,
                            2)});
   T.addRow({"Core fit slack (sum 1-S_K)",
             TextTable::fmt(Skl.Stats.CoreSlack, 2),
             TextTable::fmt(Zen.Stats.CoreSlack, 2),
-            TextTable::fmt(Stress.Stats.CoreSlack, 2)});
+            TextTable::fmt(Stress.Stats.CoreSlack, 2),
+            TextTable::fmt(Huge.Stats.CoreSlack, 2)});
   T.addRow({"LP solves (core+aux)",
             N(static_cast<size_t>(Skl.Stats.CoreLpSolves +
                                   Skl.Stats.CompleteLpSolves)),
             N(static_cast<size_t>(Zen.Stats.CoreLpSolves +
                                   Zen.Stats.CompleteLpSolves)),
             N(static_cast<size_t>(Stress.Stats.CoreLpSolves +
-                                  Stress.Stats.CompleteLpSolves))});
+                                  Stress.Stats.CompleteLpSolves)),
+            N(static_cast<size_t>(Huge.Stats.CoreLpSolves +
+                                  Huge.Stats.CompleteLpSolves))});
   T.addRow({"Simplex pivots",
             N(static_cast<size_t>(Skl.Stats.CoreLpPivots +
                                   Skl.Stats.CompleteLpPivots)),
             N(static_cast<size_t>(Zen.Stats.CoreLpPivots +
                                   Zen.Stats.CompleteLpPivots)),
             N(static_cast<size_t>(Stress.Stats.CoreLpPivots +
-                                  Stress.Stats.CompleteLpPivots))});
+                                  Stress.Stats.CompleteLpPivots)),
+            N(static_cast<size_t>(Huge.Stats.CoreLpPivots +
+                                  Huge.Stats.CompleteLpPivots))});
   T.print(std::cout);
   std::cout << "\nPaper reference (real HW): ~1,000,000 benchmarks, 17 "
                "resources,\n2586/2596 instructions mapped, 8h/6h "
@@ -130,10 +165,11 @@ int main() {
                                       : 0.0,
               Identical ? "identical" : "DIFFER");
 
-  for (const Row *R : {&Skl, &Zen, &Stress}) {
+  for (const Row *R : {&Skl, &Zen, &Stress, &Huge}) {
     std::string P = R->Name == "SKL-SP-like" ? "skl."
                     : R->Name == "ZEN1-like" ? "zen."
-                                             : "stress.";
+                    : R->Name == "stress"    ? "stress."
+                                             : "huge.";
     Report.addMetric(P + "instructions",
                      static_cast<double>(R->Instructions));
     Report.addMetric(P + "benchmarks",
@@ -172,5 +208,27 @@ int main() {
   Report.addMetric("map.threads",
                    static_cast<double>(StressPar.Stats.NumThreads));
   Report.addMetric("map.outcomes_identical", Identical ? 1.0 : 0.0);
+
+  // Quadratic->pruned pair-benchmark trajectory on the huge profile.
+  Report.addMetric("map.pair_benchmarks",
+                   static_cast<double>(Huge.Stats.PairBenchmarks));
+  Report.addMetric("map.pair_benchmarks_quadratic",
+                   static_cast<double>(Huge.Stats.PairBenchmarksQuadratic));
+  Report.addMetric("map.pair_reduction_x",
+                   Huge.Stats.PairBenchmarks > 0
+                       ? static_cast<double>(
+                             Huge.Stats.PairBenchmarksQuadratic) /
+                             static_cast<double>(Huge.Stats.PairBenchmarks)
+                       : 0.0);
+  Report.addMetric("map.huge_s", Huge.Seconds, "s");
+  std::printf("\nHuge profile (%zu instructions, pruned selection): "
+              "%zu of %zu quadratic pairs (%.1fx reduction), %.1fs\n",
+              Huge.Instructions, Huge.Stats.PairBenchmarks,
+              Huge.Stats.PairBenchmarksQuadratic,
+              Huge.Stats.PairBenchmarks > 0
+                  ? static_cast<double>(Huge.Stats.PairBenchmarksQuadratic) /
+                        static_cast<double>(Huge.Stats.PairBenchmarks)
+                  : 0.0,
+              Huge.Seconds);
   return Report.write();
 }

@@ -27,7 +27,7 @@ int main() {
       std::printf(" uop{");
       bool First = true;
       for (unsigned P = 0; P < M.numPorts(); ++P)
-        if (Op.Ports & (PortMask{1} << P)) {
+        if (Op.Ports.test(P)) {
           std::printf("%s%s", First ? "" : ",", M.portName(P).c_str());
           First = false;
         }

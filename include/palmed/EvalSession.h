@@ -72,10 +72,13 @@ private:
   std::string ReferenceTool = "palmed";
   std::vector<Predictor *> Lanes;
   std::vector<std::unique_ptr<Predictor>> Owned;
-  /// Worker pool, created on the first parallel run and reused by every
-  /// later run (mutable: the pool is scheduling state, not part of the
-  /// session's logical configuration).
-  mutable std::unique_ptr<Executor> Exec;
+  /// Worker pool under a parallel policy (null when serial), built in
+  /// the constructor so it never races a lazy first-use init, and reused
+  /// by every run. Executor::parallelFor is not reentrant, so concurrent
+  /// run() calls on one *parallel* session are still unsupported —
+  /// callers wanting concurrent evaluation use one session per thread
+  /// (serial-policy sessions are safe to share).
+  std::unique_ptr<Executor> Exec;
 };
 
 } // namespace palmed

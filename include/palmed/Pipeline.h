@@ -62,6 +62,11 @@ struct PalmedConfig {
 /// Run statistics (feeds the Table II reproduction).
 struct PalmedStats {
   size_t NumBenchmarks = 0;       ///< Distinct microbenchmarks executed.
+  /// Stage-1 quadratic pair benchmarks actually measured, and the count
+  /// the full O(n²) sweep would have needed (equal unless
+  /// SelectionConfig::ClusterPairPruning trimmed the sweep).
+  size_t PairBenchmarks = 0;
+  size_t PairBenchmarksQuadratic = 0;
   size_t NumResources = 0;        ///< Abstract resources found.
   size_t NumBasic = 0;            ///< Basic instructions selected.
   size_t NumMapped = 0;           ///< Instructions mapped.

@@ -53,9 +53,9 @@ PortMask randomMask(Rng &R, unsigned NumPorts, unsigned PreferredCount) {
     Count = 1 + static_cast<unsigned>(R.uniformInt(4)) %
                     std::max(1u, NumPorts);
   Count = std::min(std::max(Count, 1u), NumPorts);
-  PortMask Mask = 0;
+  PortMask Mask;
   while (portCount(Mask) < Count)
-    Mask |= PortMask{1} << R.uniformInt(NumPorts);
+    Mask.set(R.uniformInt(NumPorts));
   return Mask;
 }
 
@@ -92,9 +92,9 @@ void mutate(Rng &R, Genome &G, const PMEvoConfig &Config) {
     if (Action < 0.6) {
       // Toggle one port bit of one µOP, keeping the set non-empty.
       auto &Mask = MicroOps[R.uniformInt(MicroOps.size())];
-      PortMask Bit = PortMask{1} << R.uniformInt(Config.NumPorts);
-      PortMask Next = Mask ^ Bit;
-      if (Next != 0)
+      PortMask Next = Mask;
+      Next.flip(R.uniformInt(Config.NumPorts));
+      if (Next.any())
         Mask = Next;
     } else if (Action < 0.8 &&
                static_cast<int>(MicroOps.size()) < Config.MaxMicroOps) {

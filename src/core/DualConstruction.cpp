@@ -31,8 +31,8 @@ palmed::computeResourceClosure(const MachineModel &Machine,
     std::vector<PortMask> Current(Closure.begin(), Closure.end());
     for (size_t I = 0; I < Current.size() && !Changed; ++I) {
       for (size_t J = I + 1; J < Current.size(); ++J) {
-        PortMask A = Current[I], B = Current[J];
-        if ((A & B) == 0)
+        const PortMask &A = Current[I], &B = Current[J];
+        if (!A.intersects(B))
           continue;
         PortMask U = A | B;
         if (Closure.insert(U).second) {
@@ -52,7 +52,7 @@ double palmed::optimalPortCycles(
   // Merge duplicate masks.
   std::map<PortMask, double> ByMask;
   for (const auto &[Mask, Demand] : Demands) {
-    assert(Mask != 0 && "µOP with empty port set");
+    assert(Mask.any() && "µOP with empty port set");
     assert(Demand >= 0.0 && "negative demand");
     ByMask[Mask] += Demand;
   }
@@ -66,17 +66,17 @@ double palmed::optimalPortCycles(
     std::vector<PortMask> Current(Closure.begin(), Closure.end());
     for (size_t I = 0; I < Current.size() && !Changed; ++I)
       for (size_t J = I + 1; J < Current.size(); ++J)
-        if ((Current[I] & Current[J]) != 0 &&
+        if (Current[I].intersects(Current[J]) &&
             Closure.insert(Current[I] | Current[J]).second) {
           Changed = true;
           break;
         }
   }
   double Best = 0.0;
-  for (PortMask J : Closure) {
+  for (const PortMask &J : Closure) {
     double Inside = 0.0;
     for (const auto &[Mask, Demand] : ByMask)
-      if ((Mask & ~J) == 0)
+      if (Mask.isSubsetOf(J))
         Inside += Demand;
     Best = std::max(Best, Inside / portCount(J));
   }
@@ -88,20 +88,19 @@ ResourceMapping palmed::buildDualMapping(const MachineModel &Machine,
   std::vector<PortMask> Masks =
       computeResourceClosure(Machine, Options.MaxResources);
   // Deterministic, human-friendly order: few ports first, then numeric.
-  std::sort(Masks.begin(), Masks.end(), [](PortMask A, PortMask B) {
-    unsigned CA = portCount(A), CB = portCount(B);
-    if (CA != CB)
-      return CA < CB;
-    return A < B;
-  });
+  std::sort(Masks.begin(), Masks.end(),
+            [](const PortMask &A, const PortMask &B) {
+              unsigned CA = portCount(A), CB = portCount(B);
+              if (CA != CB)
+                return CA < CB;
+              return A < B;
+            });
 
   ResourceMapping M(Machine.numInstructions());
   std::vector<ResourceId> MaskResource(Masks.size());
   for (size_t I = 0; I < Masks.size(); ++I) {
     std::string Name = "r";
-    for (unsigned P = 0; P < Machine.numPorts(); ++P)
-      if (Masks[I] & (PortMask{1} << P))
-        Name += std::to_string(P);
+    Masks[I].forEachSetBit([&](size_t P) { Name += std::to_string(P); });
     MaskResource[I] =
         M.addResource(std::move(Name), static_cast<double>(portCount(Masks[I])));
   }
@@ -114,12 +113,12 @@ ResourceMapping palmed::buildDualMapping(const MachineModel &Machine,
   for (InstrId Id = 0; Id < Machine.numInstructions(); ++Id) {
     const InstrExec &E = Machine.exec(Id);
     for (size_t I = 0; I < Masks.size(); ++I) {
-      PortMask J = Masks[I];
+      const PortMask &J = Masks[I];
       // Usage of r_J: demand of all µOPs whose port set fits inside J,
       // normalized by the resource's throughput |J| (paper Def. A.5).
       double Use = 0.0;
       for (const MicroOpDesc &Op : E.MicroOps)
-        if ((Op.Ports & ~J) == 0)
+        if (Op.Ports.isSubsetOf(J))
           Use += Options.IncludeOccupancy ? Op.Occupancy : 1.0;
       if (Use > 0.0)
         M.setUsage(Id, MaskResource[I],

@@ -6,6 +6,8 @@
 
 #include "core/MappingAnalysis.h"
 
+#include "support/Approx.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
@@ -13,7 +15,7 @@
 using namespace palmed;
 
 BottleneckReport palmed::analyzeKernel(const ResourceMapping &Mapping,
-                                       const Microkernel &K) {
+                                       const Microkernel &K, double Eps) {
   BottleneckReport Report;
   if (!Mapping.supports(K) || K.empty())
     return Report;
@@ -40,8 +42,13 @@ BottleneckReport palmed::analyzeKernel(const ResourceMapping &Mapping,
               return A.Resource < B.Resource;
             });
   double Bottleneck = Report.Loads.front().Load;
-  for (ResourceLoad &L : Report.Loads)
+  for (ResourceLoad &L : Report.Loads) {
     L.RelativeToBottleneck = L.Load / Bottleneck;
+    // Shared epsilon comparison (support/Approx.h): a resource whose load
+    // is indistinguishable from the bottleneck's co-limits the kernel.
+    if (approxEqual(L.Load, Bottleneck, Eps))
+      ++Report.NumCoBottlenecks;
+  }
 
   Report.PredictedCycles = Bottleneck;
   Report.PredictedIpc = K.size() / Bottleneck;

@@ -56,14 +56,19 @@ struct BottleneckReport {
   /// Relative slack of the second-most-loaded resource: reducing the
   /// bottleneck's load by more than this fraction shifts the bottleneck.
   double HeadroomToNextResource = 0.0;
+  /// Number of resources whose load ties the bottleneck within the
+  /// measurement tolerance (>= 1 when valid): a tuner shaving the top
+  /// contributor must relieve all of them to gain anything.
+  size_t NumCoBottlenecks = 0;
 
   bool valid() const { return !Loads.empty(); }
 };
 
 /// Analyzes \p K against \p Mapping. Returns an empty (invalid) report if
-/// the mapping does not support the kernel.
+/// the mapping does not support the kernel. \p Eps is the relative
+/// tolerance of the co-bottleneck tie test (the pipeline-wide 5% default).
 BottleneckReport analyzeKernel(const ResourceMapping &Mapping,
-                               const Microkernel &K);
+                               const Microkernel &K, double Eps = 0.05);
 
 /// Pretty-prints a report ("performance-debugging view"): bottleneck
 /// resource, top contributors, and the load profile.

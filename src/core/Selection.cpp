@@ -6,11 +6,13 @@
 
 #include "core/Selection.h"
 
+#include "support/Approx.h"
 #include "support/Executor.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <set>
 
 using namespace palmed;
 
@@ -23,26 +25,12 @@ Microkernel palmed::makePairKernel(InstrId A, double IpcA, InstrId B,
   return K;
 }
 
-bool palmed::isAdditivePair(double Combined, double IpcA, double IpcB,
-                            double Eps) {
-  double Expected = IpcA + IpcB;
-  return std::abs(Combined - Expected) <= Eps * Expected;
-}
-
 double SelectionResult::pairIpc(InstrId A, InstrId B) const {
   auto It = PairIpc.find({std::min(A, B), std::max(A, B)});
   return It == PairIpc.end() ? -1.0 : It->second;
 }
 
 namespace {
-
-/// Relative difference, symmetric in its arguments.
-double relDiff(double X, double Y) {
-  double Scale = std::max(std::abs(X), std::abs(Y));
-  if (Scale == 0.0)
-    return 0.0;
-  return std::abs(X - Y) / Scale;
-}
 
 /// Greedy leader clustering: two candidates are equivalent when their solo
 /// IPC and their pairwise IPC against every common peer agree within Eps.
@@ -92,6 +80,148 @@ clusterEquivalent(const std::vector<InstrId> &Group,
   return Classes;
 }
 
+/// Batches the not-yet-measured pairs of \p Pairs through the executor and
+/// folds the results into R.PairIpc / R.PairBenchmarks. Measurements land
+/// in index-ordered slots and the map fill runs serially, so the outcome
+/// is policy-independent.
+void measurePairs(BenchmarkRunner &Runner, Executor &E, SelectionResult &R,
+                  std::vector<std::pair<InstrId, InstrId>> Pairs) {
+  // Normalize, dedupe, and drop already-measured pairs; keep first-seen
+  // order (it is deterministic and callers rely on no particular order).
+  {
+    std::vector<std::pair<InstrId, InstrId>> Fresh;
+    std::set<std::pair<InstrId, InstrId>> Seen;
+    for (auto [A, B] : Pairs) {
+      std::pair<InstrId, InstrId> Key{std::min(A, B), std::max(A, B)};
+      if (R.PairIpc.count(Key) || !Seen.insert(Key).second)
+        continue;
+      Fresh.push_back(Key);
+    }
+    Pairs = std::move(Fresh);
+  }
+  std::vector<double> Slots(Pairs.size());
+  std::vector<uint8_t> Measured(Pairs.size(), 0);
+  E.parallelFor(Pairs.size(), [&](size_t P, unsigned) {
+    auto [A, B] = Pairs[P];
+    Microkernel K = makePairKernel(A, R.SoloIpc.at(A), B, R.SoloIpc.at(B));
+    if (!Runner.accepts(K))
+      return;
+    Slots[P] = Runner.measureIpc(K);
+    Measured[P] = 1;
+  });
+  for (size_t P = 0; P < Pairs.size(); ++P)
+    if (Measured[P]) {
+      R.PairIpc[Pairs[P]] = Slots[P];
+      ++R.PairBenchmarks;
+    }
+}
+
+/// True when the measured pair of \p A and \p B fully serializes, i.e. the
+/// quadratic kernel takes the sum of the solo times — the direct evidence
+/// clusterEquivalent demands before merging two candidates.
+bool fullySerializes(const SelectionResult &R, InstrId A, InstrId B,
+                     double Eps) {
+  double Direct = R.pairIpc(A, B);
+  if (Direct < 0.0)
+    return false;
+  double PairT = (R.SoloIpc.at(A) + R.SoloIpc.at(B)) / Direct;
+  return PairT >= 2.0 * (1.0 - Eps);
+}
+
+/// Cluster-first pruned clustering of one extension group (see the header
+/// file comment). Instead of the O(n²) sweep, members are benchmarked only
+/// against cluster representatives: a member joins the first representative
+/// of its solo-IPC bucket whose pair with it fully serializes, and seeds a
+/// new cluster once every representative of its bucket has been refuted.
+/// Representative-vs-representative pairs are always measured (the derived
+/// very-basic / most-greedy decisions need them), giving ~n + k² + f·k
+/// pair benchmarks for k clusters and f refuted join attempts.
+std::vector<std::vector<InstrId>>
+clusterPruned(const std::vector<InstrId> &Group, BenchmarkRunner &Runner,
+              Executor &E, SelectionResult &R, double Eps) {
+  // Solo-IPC buckets (greedy leader in group order): candidates whose solo
+  // IPC differs by more than Eps can never be equivalent, so clusters only
+  // ever form within a bucket.
+  std::vector<std::vector<InstrId>> Buckets;
+  for (InstrId A : Group) {
+    size_t Placed = Buckets.size();
+    for (size_t B = 0; B < Buckets.size(); ++B)
+      if (relDiff(R.SoloIpc.at(A), R.SoloIpc.at(Buckets[B].front())) <=
+          Eps) {
+        Placed = B;
+        break;
+      }
+    if (Placed == Buckets.size())
+      Buckets.push_back({});
+    Buckets[Placed].push_back(A);
+  }
+
+  // One cluster per bucket to start; members join or split on demand.
+  struct Cluster {
+    InstrId Rep;
+    std::vector<InstrId> Members; // Rep first.
+  };
+  std::vector<Cluster> Clusters;            // Global creation order.
+  std::vector<std::vector<size_t>> ByBucket(Buckets.size());
+  struct Pending {
+    InstrId Id;
+    size_t Bucket;
+    size_t NextCandidate = 0; // Index into ByBucket[Bucket].
+  };
+  std::vector<Pending> Unassigned;
+  for (size_t B = 0; B < Buckets.size(); ++B) {
+    ByBucket[B].push_back(Clusters.size());
+    Clusters.push_back({Buckets[B].front(), {Buckets[B].front()}});
+    for (size_t M = 1; M < Buckets[B].size(); ++M)
+      Unassigned.push_back({Buckets[B][M], B, 0});
+  }
+
+  while (!Unassigned.empty()) {
+    // Batch this round's measurements: every missing rep×rep pair plus one
+    // candidate probe per unassigned member.
+    std::vector<std::pair<InstrId, InstrId>> Round;
+    for (size_t I = 0; I < Clusters.size(); ++I)
+      for (size_t J = I + 1; J < Clusters.size(); ++J)
+        Round.push_back({Clusters[I].Rep, Clusters[J].Rep});
+    for (const Pending &P : Unassigned)
+      Round.push_back(
+          {P.Id, Clusters[ByBucket[P.Bucket][P.NextCandidate]].Rep});
+    measurePairs(Runner, E, R, std::move(Round));
+
+    // Serial assignment in member order (deterministic).
+    std::vector<Pending> Still;
+    for (Pending P : Unassigned) {
+      size_t ClusterIdx = ByBucket[P.Bucket][P.NextCandidate];
+      if (fullySerializes(R, P.Id, Clusters[ClusterIdx].Rep, Eps)) {
+        Clusters[ClusterIdx].Members.push_back(P.Id);
+        continue;
+      }
+      if (++P.NextCandidate < ByBucket[P.Bucket].size()) {
+        Still.push_back(P); // Probe the bucket's next cluster next round.
+        continue;
+      }
+      // Refuted by every representative of its bucket: new cluster.
+      ByBucket[P.Bucket].push_back(Clusters.size());
+      Clusters.push_back({P.Id, {P.Id}});
+    }
+    Unassigned = std::move(Still);
+  }
+
+  // Rep×rep pairs involving clusters created in the final round.
+  {
+    std::vector<std::pair<InstrId, InstrId>> Round;
+    for (size_t I = 0; I < Clusters.size(); ++I)
+      for (size_t J = I + 1; J < Clusters.size(); ++J)
+        Round.push_back({Clusters[I].Rep, Clusters[J].Rep});
+    measurePairs(Runner, E, R, std::move(Round));
+  }
+
+  std::vector<std::vector<InstrId>> Classes;
+  for (Cluster &C : Clusters)
+    Classes.push_back(std::move(C.Members));
+  return Classes;
+}
+
 } // namespace
 
 SelectionResult
@@ -127,12 +257,18 @@ palmed::selectBasicInstructions(BenchmarkRunner &Runner,
       continue; // Low-IPC: mapped later by LPAUX, never basic.
     Groups[Isa.info(Id).Ext].push_back(Id);
   }
+  for (const auto &[Ext, Group] : Groups) {
+    (void)Ext;
+    R.PairBenchmarksQuadratic += Group.size() * (Group.size() - 1) / 2;
+  }
 
-  // --- Quadratic benchmarks, all groups at once. ---
+  // --- Quadratic benchmarks (full mode): all groups at once. ---
   // The pair list is deterministic (group iteration order is fixed), every
   // measurement writes its own slot, and the PairIpc map is keyed — so the
-  // fill order cannot affect the outcome.
-  {
+  // fill order cannot affect the outcome. Under ClusterPairPruning the
+  // sweep is skipped; clusterPruned measures its own (much sparser) pair
+  // set per group below.
+  if (!Config.ClusterPairPruning) {
     std::vector<std::pair<InstrId, InstrId>> Pairs;
     for (auto &[Ext, Group] : Groups) {
       (void)Ext;
@@ -140,28 +276,16 @@ palmed::selectBasicInstructions(BenchmarkRunner &Runner,
         for (size_t J = I + 1; J < Group.size(); ++J)
           Pairs.push_back({Group[I], Group[J]});
     }
-    std::vector<double> PairSlots(Pairs.size());
-    std::vector<uint8_t> Measured(Pairs.size(), 0);
-    E.parallelFor(Pairs.size(), [&](size_t P, unsigned) {
-      auto [A, B] = Pairs[P];
-      Microkernel K = makePairKernel(A, R.SoloIpc.at(A), B, R.SoloIpc.at(B));
-      if (!Runner.accepts(K))
-        return;
-      PairSlots[P] = Runner.measureIpc(K);
-      Measured[P] = 1;
-    });
-    for (size_t P = 0; P < Pairs.size(); ++P)
-      if (Measured[P])
-        R.PairIpc[{std::min(Pairs[P].first, Pairs[P].second),
-                   std::max(Pairs[P].first, Pairs[P].second)}] =
-            PairSlots[P];
+    measurePairs(Runner, E, R, std::move(Pairs));
   }
 
   for (auto &[Ext, Group] : Groups) {
     (void)Ext;
     // --- Equivalence classes; keep representatives. ---
     std::vector<std::vector<InstrId>> Classes =
-        clusterEquivalent(Group, R, Eps);
+        Config.ClusterPairPruning
+            ? clusterPruned(Group, Runner, E, R, Eps)
+            : clusterEquivalent(Group, R, Eps);
     std::vector<InstrId> Reps;
     for (auto &Class : Classes) {
       Reps.push_back(Class.front());

@@ -25,38 +25,35 @@ palmed::deriveKernelConstraints(const KernelObservation &Obs,
   assert(Obs.Ipc > 0.0 && "observation with non-positive IPC");
   double T = Obs.K.size() / Obs.Ipc;
 
-  InstrIndexMask Members = 0;
+  InstrIndexMask Members;
   for (const auto &[Id, Mult] : Obs.K.terms()) {
     auto It = IndexOf.find(Id);
     assert(It != IndexOf.end() && "kernel contains a non-basic instruction");
-    Members |= InstrIndexMask{1} << It->second;
+    Members.set(It->second);
   }
 
   // Saturating instructions: execution time of the whole kernel equals the
   // time this instruction alone would need (paper: cycles(i_a) = cycles(k)).
-  InstrIndexMask Saturating = 0;
+  InstrIndexMask Saturating;
   for (const auto &[Id, Mult] : Obs.K.terms()) {
     size_t Index = IndexOf.at(Id);
     double TAlone = Mult / SoloIpc[Index];
     if (std::abs(TAlone - T) <= Eps * T)
-      Saturating |= InstrIndexMask{1} << Index;
+      Saturating.set(Index);
   }
 
-  if (Saturating == 0) {
+  if (Saturating.none()) {
     // No saturating instruction: some resource is shared by every
     // instruction of the kernel (Algo 3 line 7).
-    Out.push_back({Members, 0, -1});
+    Out.push_back({Members, {}, -1});
     return Out;
   }
   // Each saturating instruction owns a resource unused by the kernel's
   // other instructions (Algo 3 lines 9-10).
-  for (size_t I = 0; I < MaxBasicInstructions; ++I) {
-    InstrIndexMask Bit = InstrIndexMask{1} << I;
-    if (!(Saturating & Bit))
-      continue;
-    Out.push_back({Bit, static_cast<InstrIndexMask>(Members & ~Bit),
-                   static_cast<int>(I)});
-  }
+  Saturating.forEachSetBit([&](size_t I) {
+    InstrIndexMask Bit = InstrIndexMask::bit(I);
+    Out.push_back({Bit, Members.without(Bit), static_cast<int>(I)});
+  });
   return Out;
 }
 
@@ -85,9 +82,9 @@ palmed::expandOwnerForbidden(std::vector<ShapeConstraint> Constraints,
         continue;
       ShareKind S = Shares[O][J];
       if (S == ShareKind::Additive || S == ShareKind::Unknown)
-        C.Forbidden |= InstrIndexMask{1} << J;
+        C.Forbidden.set(J);
     }
-    assert((C.Required & C.Forbidden) == 0 &&
+    assert(!C.Required.intersects(C.Forbidden) &&
            "owner constraint contradicts its own members");
   }
   return Constraints;
@@ -108,8 +105,8 @@ palmed::simplifyConstraints(std::vector<ShapeConstraint> Constraints) {
       if (I == J)
         continue;
       const ShapeConstraint &C1 = Constraints[I], &C2 = Constraints[J];
-      bool SubReq = (C1.Required & ~C2.Required) == 0;
-      bool SubForb = (C1.Forbidden & ~C2.Forbidden) == 0;
+      bool SubReq = C1.Required.isSubsetOf(C2.Required);
+      bool SubForb = C1.Forbidden.isSubsetOf(C2.Forbidden);
       bool OwnerOk = C1.Owner == -1 || C1.Owner == C2.Owner;
       bool Strictly = !(C1 == C2);
       // Ties (identical) were removed by unique(); guard against the
@@ -151,8 +148,8 @@ public:
     for (const Group &G : Best)
       Shape.Resources.push_back(G.Required);
     std::sort(Shape.Resources.begin(), Shape.Resources.end(),
-              [](InstrIndexMask A, InstrIndexMask B) {
-                unsigned CA = popCount(A), CB = popCount(B);
+              [](const InstrIndexMask &A, const InstrIndexMask &B) {
+                size_t CA = A.count(), CB = B.count();
                 if (CA != CB)
                   return CA < CB;
                 return A < B;
@@ -162,16 +159,18 @@ public:
 
 private:
   struct Group {
-    InstrIndexMask Required = 0;
-    InstrIndexMask Forbidden = 0;
+    InstrIndexMask Required;
+    InstrIndexMask Forbidden;
     /// Owners of member constraints (at most a handful in practice).
     std::vector<int> Owners;
   };
 
   bool compatible(const Group &G, const ShapeConstraint &C) const {
-    InstrIndexMask Req = G.Required | C.Required;
-    InstrIndexMask Forb = G.Forbidden | C.Forbidden;
-    if ((Req & Forb) != 0)
+    // (G.Required | C.Required) must avoid (G.Forbidden | C.Forbidden);
+    // the groups' own invariants cover the two same-side intersections.
+    if (G.Required.intersects(C.Forbidden) ||
+        C.Required.intersects(G.Forbidden) ||
+        C.Required.intersects(C.Forbidden))
       return false;
     if (C.Owner >= 0)
       for (int O : G.Owners)
@@ -264,7 +263,7 @@ palmed::solveShapeExact(const std::vector<ShapeConstraint> &Constraints,
   std::vector<ShapeConstraint> Expanded =
       expandOwnerForbidden(Constraints, Shares);
   for (const ShapeConstraint &C : Expanded) {
-    assert((C.Required & C.Forbidden) == 0 &&
+    assert(!C.Required.intersects(C.Forbidden) &&
            "individually unsatisfiable constraint");
     (void)C;
   }
@@ -278,7 +277,6 @@ palmed::solveShapeMilp(const std::vector<ShapeConstraint> &Constraints,
                        const ShareMatrix &Shares) {
   std::vector<ShapeConstraint> Cs =
       simplifyConstraints(expandOwnerForbidden(Constraints, Shares));
-  assert(NumInstructions <= MaxBasicInstructions && "too many instructions");
 
   lp::Model M;
   // Edge variables rho[i][r] in {0,1}.
@@ -314,12 +312,11 @@ palmed::solveShapeMilp(const std::vector<ShapeConstraint> &Constraints,
       Witness[C].push_back(Y);
       AnyWitness.add(Y, 1.0);
       for (size_t I = 0; I < NumInstructions; ++I) {
-        InstrIndexMask Bit = InstrIndexMask{1} << I;
-        if (Cs[C].Required & Bit) {
+        if (Cs[C].Required.test(I)) {
           lp::LinearExpr E;
           E.add(Y, 1.0).add(Rho[I][R], -1.0);
           M.addConstraint(std::move(E), lp::Sense::LE, 0.0);
-        } else if (Cs[C].Forbidden & Bit) {
+        } else if (Cs[C].Forbidden.test(I)) {
           lp::LinearExpr E;
           E.add(Y, 1.0).add(Rho[I][R], 1.0);
           M.addConstraint(std::move(E), lp::Sense::LE, 1.0);
@@ -356,16 +353,16 @@ palmed::solveShapeMilp(const std::vector<ShapeConstraint> &Constraints,
   for (size_t R = 0; R < MaxResources; ++R) {
     if (Sol.value(Used[R]) < 0.5)
       continue;
-    InstrIndexMask Members = 0;
+    InstrIndexMask Members;
     for (size_t I = 0; I < NumInstructions; ++I)
       if (Sol.value(Rho[I][R]) > 0.5)
-        Members |= InstrIndexMask{1} << I;
-    if (Members != 0)
-      Shape.Resources.push_back(Members);
+        Members.set(I);
+    if (Members.any())
+      Shape.Resources.push_back(std::move(Members));
   }
   std::sort(Shape.Resources.begin(), Shape.Resources.end(),
-            [](InstrIndexMask A, InstrIndexMask B) {
-              unsigned CA = popCount(A), CB = popCount(B);
+            [](const InstrIndexMask &A, const InstrIndexMask &B) {
+              size_t CA = A.count(), CB = B.count();
               if (CA != CB)
                 return CA < CB;
               return A < B;

@@ -24,8 +24,8 @@
 ///  * solveShapeExact: branch-and-bound partition of the (deduplicated)
 ///    constraints into compatible groups — a group is satisfiable by one
 ///    resource iff the union of its Required sets avoids the union of its
-///    Forbidden sets. This is the default; it is exact and fast at
-///    Palmed's sizes (<= 32 basic instructions).
+///    Forbidden sets. This is the default; it is exact (up to a node
+///    budget) and fast at Palmed's sizes.
 ///  * solveShapeMilp: the paper's 0/1 ILP formulation (witness variables
 ///    per constraint, resource-used indicators, symmetry breaking) solved
 ///    by the bundled branch-and-bound. Used by tests to certify the exact
@@ -37,6 +37,7 @@
 #define PALMED_CORE_SHAPESOLVER_H
 
 #include "isa/Microkernel.h"
+#include "support/BitSet.h"
 
 #include <cstdint>
 #include <map>
@@ -44,11 +45,11 @@
 
 namespace palmed {
 
-/// Bit set over basic-instruction indices (not InstrIds).
-using InstrIndexMask = uint32_t;
-
-/// Maximum number of basic instructions the shape stage supports.
-constexpr size_t MaxBasicInstructions = 32;
+/// Bit set over basic-instruction indices (not InstrIds). A dynamic
+/// BitSet: shape problems are no longer capped at 32 basic instructions
+/// (the ordering semantics of BitSet keep sub-64-bit problems
+/// bit-identical to the historical uint32_t masks).
+using InstrIndexMask = BitSet;
 
 /// One existence constraint on some resource r (as a member set):
 /// Required subset of r and r disjoint from Forbidden. When Owner >= 0,
@@ -57,8 +58,8 @@ constexpr size_t MaxBasicInstructions = 32;
 /// loads it to capacity alone. That extra weight semantics is what makes
 /// owner constraints only conditionally mergeable (see ShareKind).
 struct ShapeConstraint {
-  InstrIndexMask Required = 0;
-  InstrIndexMask Forbidden = 0;
+  InstrIndexMask Required;
+  InstrIndexMask Forbidden;
   /// Basic-instruction index of the saturating owner, or -1.
   int Owner = -1;
 
@@ -109,7 +110,7 @@ struct MappingShape {
 
   size_t numResources() const { return Resources.size(); }
   bool instrUses(size_t InstrIndex, size_t R) const {
-    return (Resources[R] >> InstrIndex) & 1;
+    return Resources[R].test(InstrIndex);
   }
 };
 

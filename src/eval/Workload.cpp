@@ -67,12 +67,17 @@ palmed::generateWorkload(const MachineModel &Machine,
     const InstrInfo &Info = Isa.info(Id);
     switch (Info.Ext) {
     case ExtClass::Base:
+    case ExtClass::Mmx:
+    case ExtClass::X87:
+      // Legacy classes ride the scalar bucket: no mixing rule applies and
+      // the workload profiles only distinguish scalar vs SSE vs AVX mixes.
       Scalar[Info.Category].push_back(Id);
       break;
     case ExtClass::Sse:
       Sse[Info.Category].push_back(Id);
       break;
     case ExtClass::Avx:
+    case ExtClass::Avx512:
       Avx[Info.Category].push_back(Id);
       break;
     }

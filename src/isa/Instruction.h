@@ -28,12 +28,21 @@ constexpr InstrId InvalidInstr = ~InstrId{0};
 
 /// Vector-extension class. The microbenchmark generator refuses kernels
 /// mixing Sse and Avx instructions, mirroring the paper's mitigation for
-/// cross-extension transition penalties.
+/// cross-extension transition penalties; the other classes carry no mixing
+/// rule and exist to partition large ISAs for selection (Algorithm 1 runs
+/// per extension group).
 enum class ExtClass : uint8_t {
-  Base, ///< Scalar integer / control flow / memory.
-  Sse,  ///< 128-bit vector class.
-  Avx,  ///< 256-bit vector class.
+  Base,   ///< Scalar integer / control flow / memory.
+  Sse,    ///< 128-bit vector class.
+  Avx,    ///< 256-bit vector class.
+  Avx512, ///< 512-bit vector class.
+  Mmx,    ///< 64-bit legacy vector class.
+  X87,    ///< Legacy scalar floating point.
 };
+
+/// Number of ExtClass values (the maximum extension-group count a
+/// synthetic ISA can spread selection over).
+constexpr unsigned NumExtClasses = 6;
 
 /// Broad functional category; drives workload generation profiles
 /// (SPEC-like vs PolyBench-like instruction mixes) and synthetic ISA

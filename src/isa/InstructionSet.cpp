@@ -50,6 +50,12 @@ const char *palmed::extClassName(ExtClass Ext) {
     return "sse";
   case ExtClass::Avx:
     return "avx";
+  case ExtClass::Avx512:
+    return "avx512";
+  case ExtClass::Mmx:
+    return "mmx";
+  case ExtClass::X87:
+    return "x87";
   }
   return "unknown";
 }

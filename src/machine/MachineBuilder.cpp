@@ -6,10 +6,11 @@
 
 #include "machine/MachineBuilder.h"
 
+#include <stdexcept>
+
 using namespace palmed;
 
 unsigned MachineBuilder::addPort(std::string PortName) {
-  assert(Ports.size() < MaxPorts && "too many ports");
   Ports.push_back(std::move(PortName));
   return static_cast<unsigned>(Ports.size() - 1);
 }
@@ -17,6 +18,22 @@ unsigned MachineBuilder::addPort(std::string PortName) {
 InstrId MachineBuilder::addInstruction(InstrInfo Info,
                                        std::vector<MicroOpDesc> MicroOps) {
   assert(!MicroOps.empty() && "instruction needs at least one micro-op");
+  // Reject out-of-range port references loudly (historically a silent UB
+  // shift past the mask width, and in Release builds an invalid machine
+  // that only tripped downstream). Ports must be declared before the
+  // instructions that use them.
+  for (const MicroOpDesc &Op : MicroOps) {
+    if (Op.Ports.none())
+      throw std::invalid_argument("MachineBuilder: instruction '" +
+                                  Info.Name + "' has a µOP with an empty "
+                                  "port set");
+    if (size_t Last = Op.Ports.findLast(); Last >= Ports.size())
+      throw std::out_of_range(
+          "MachineBuilder: instruction '" + Info.Name +
+          "' references port " + std::to_string(Last) + " but only " +
+          std::to_string(Ports.size()) +
+          " ports are declared (declare ports before instructions)");
+  }
   InstrId Id = Isa.add(std::move(Info));
   InstrExec E;
   E.MicroOps = std::move(MicroOps);

@@ -41,10 +41,13 @@ public:
     return *this;
   }
 
-  /// Registers an instruction with its µOP decomposition.
+  /// Registers an instruction with its µOP decomposition. Ports must be
+  /// declared first: throws std::out_of_range when a µOP references a port
+  /// index >= numPorts(), and std::invalid_argument on an empty port set.
   InstrId addInstruction(InstrInfo Info, std::vector<MicroOpDesc> MicroOps);
 
   /// Convenience: single-µOP instruction on \p Ports with \p Occupancy.
+  /// Same port-range validation as addInstruction.
   InstrId addSimpleInstruction(InstrInfo Info, PortMask Ports,
                                double Occupancy = 1.0);
 

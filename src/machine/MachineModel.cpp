@@ -6,21 +6,24 @@
 
 #include "machine/MachineModel.h"
 
-#include "support/Compat.h"
+#include <stdexcept>
 
 using namespace palmed;
 
 PortMask palmed::portMask(std::initializer_list<unsigned> Ports) {
-  PortMask Mask = 0;
+  PortMask Mask;
   for (unsigned P : Ports) {
-    assert(P < MaxPorts && "port index out of range");
-    Mask |= PortMask{1} << P;
+    if (P >= MaxPortIndex)
+      throw std::out_of_range("portMask: port index " + std::to_string(P) +
+                              " out of range (max " +
+                              std::to_string(MaxPortIndex - 1) + ")");
+    Mask.set(P);
   }
   return Mask;
 }
 
-unsigned palmed::portCount(PortMask Mask) {
-  return popCount(Mask);
+unsigned palmed::portCount(const PortMask &Mask) {
+  return static_cast<unsigned>(Mask.count());
 }
 
 MachineModel::MachineModel(std::string Name,
@@ -46,17 +49,14 @@ bool MachineModel::kernelMixesExtensions(const Microkernel &K) const {
 }
 
 bool MachineModel::validate() const {
-  if (PortNames.empty() || PortNames.size() > MaxPorts)
+  if (PortNames.empty())
     return false;
-  PortMask AllPorts =
-      PortNames.size() == MaxPorts
-          ? ~PortMask{0}
-          : ((PortMask{1} << PortNames.size()) - 1);
+  PortMask AllPorts = BitSet::firstN(PortNames.size());
   for (const InstrExec &E : Execs) {
     if (E.MicroOps.empty())
       return false;
     for (const MicroOpDesc &U : E.MicroOps) {
-      if (U.Ports == 0 || (U.Ports & ~AllPorts) != 0)
+      if (U.Ports.none() || !U.Ports.isSubsetOf(AllPorts))
         return false;
       if (U.Occupancy <= 0.0)
         return false;

@@ -23,6 +23,7 @@
 
 #include "isa/InstructionSet.h"
 #include "isa/Microkernel.h"
+#include "support/BitSet.h"
 
 #include <cstdint>
 #include <string>
@@ -30,24 +31,29 @@
 
 namespace palmed {
 
-/// Bit set of execution ports; bit i corresponds to port i.
-using PortMask = uint32_t;
+/// Bit set of execution ports; bit i corresponds to port i. A dynamic
+/// BitSet: machines are no longer capped at 32 ports (sets of up to 64
+/// ports stay allocation-free in the small buffer).
+using PortMask = BitSet;
 
-/// Number of ports representable in a PortMask.
-constexpr unsigned MaxPorts = 32;
+/// Sanity bound on port indices accepted by portMask(); far above any
+/// plausible machine, it exists only to turn garbage indices (the old
+/// silent-UB shifts) into a loud error.
+constexpr unsigned MaxPortIndex = 4096;
 
-/// Returns a mask with the given port indices set.
+/// Returns a mask with the given port indices set. Throws
+/// std::out_of_range on indices >= MaxPortIndex.
 PortMask portMask(std::initializer_list<unsigned> Ports);
 
 /// Number of ports in \p Mask.
-unsigned portCount(PortMask Mask);
+unsigned portCount(const PortMask &Mask);
 
 /// One µOP: a set of admissible ports and the number of cycles the chosen
 /// port stays busy (1 for fully pipelined units; >1 models non-pipelined
 /// units such as dividers, paper Sec. II "non-pipelined instructions like
 /// division").
 struct MicroOpDesc {
-  PortMask Ports = 0;
+  PortMask Ports;
   double Occupancy = 1.0;
 };
 

@@ -38,14 +38,16 @@ void palmed::populateSyntheticIsa(MachineBuilder &B,
 MachineModel palmed::makeStressMachine(const StressIsaConfig &Config) {
   // StressIsaConfig is a public knob; reject bad values loudly even in
   // Release builds (the bounds below guard array indexing and the
-  // NumPorts - 2 AGU computation).
-  if (Config.NumPorts < 3 || Config.NumPorts > MaxPorts)
+  // NumPorts - 2 AGU computation). Port counts are uncapped now that
+  // PortMask is a dynamic BitSet; MaxPortIndex only fences off garbage.
+  if (Config.NumPorts < 3 || Config.NumPorts > MaxPortIndex)
     throw std::invalid_argument(
         "makeStressMachine: NumPorts must be in [3, " +
-        std::to_string(MaxPorts) + "]");
-  if (Config.NumExtensions < 1 || Config.NumExtensions > 3)
+        std::to_string(MaxPortIndex) + "]");
+  if (Config.NumExtensions < 1 || Config.NumExtensions > NumExtClasses)
     throw std::invalid_argument(
-        "makeStressMachine: NumExtensions must be in [1, 3]");
+        "makeStressMachine: NumExtensions must be in [1, " +
+        std::to_string(NumExtClasses) + "]");
   if (Config.NumCategories == 0 || Config.VariantsPerCategory < 0 ||
       Config.MemVariantsPerCategory < 0 ||
       Config.VariantsPerCategory + Config.MemVariantsPerCategory <= 0)
@@ -75,13 +77,17 @@ MachineModel palmed::makeStressMachine(const StressIsaConfig &Config) {
                                                            : 3);
     unsigned Start = static_cast<unsigned>(
         R.uniformIntIn(0, static_cast<int64_t>(Config.NumPorts) - 1));
-    PortMask Mask = 0;
+    PortMask Mask;
     for (unsigned W = 0; W < Width; ++W)
-      Mask |= PortMask{1} << ((Start + W) % Config.NumPorts);
+      Mask.set((Start + W) % Config.NumPorts);
     return Mask;
   };
 
-  const ExtClass Exts[] = {ExtClass::Base, ExtClass::Sse, ExtClass::Avx};
+  const ExtClass Exts[] = {ExtClass::Base,   ExtClass::Sse,
+                           ExtClass::Avx,    ExtClass::Avx512,
+                           ExtClass::Mmx,    ExtClass::X87};
+  static_assert(sizeof(Exts) / sizeof(Exts[0]) == NumExtClasses,
+                "extension roster out of sync with ExtClass");
   const InstrCategory Cats[] = {
       InstrCategory::IntAlu, InstrCategory::Shift,  InstrCategory::IntMul,
       InstrCategory::FpAdd,  InstrCategory::FpMul,  InstrCategory::VecInt,
@@ -114,10 +120,23 @@ MachineModel palmed::makeStressMachine(const StressIsaConfig &Config) {
   return B.build();
 }
 
+StressIsaConfig palmed::hugeStressConfig() {
+  StressIsaConfig C;
+  C.Name = "huge";
+  C.NumPorts = 24;
+  C.NumCategories = 128;
+  C.VariantsPerCategory = 12;
+  C.MemVariantsPerCategory = 4;
+  C.NumExtensions = NumExtClasses;
+  C.DecodeWidth = 8;
+  C.Seed = 0x8f1e5c01;
+  return C;
+}
+
 MachineModel palmed::makeRandomMachine(Rng &R, unsigned NumPorts,
                                        unsigned NumInstructions,
                                        bool AllowOccupancy) {
-  assert(NumPorts >= 1 && NumPorts <= MaxPorts && "bad port count");
+  assert(NumPorts >= 1 && "bad port count");
   MachineBuilder B("random");
   for (unsigned P = 0; P < NumPorts; ++P)
     B.addPort("p" + std::to_string(P));
@@ -126,17 +145,21 @@ MachineModel palmed::makeRandomMachine(Rng &R, unsigned NumPorts,
   if (R.chance(0.5))
     B.setDecodeWidth(static_cast<unsigned>(R.uniformIntIn(3, 6)));
 
-  PortMask AllPorts = NumPorts == MaxPorts
-                          ? ~PortMask{0}
-                          : ((PortMask{1} << NumPorts) - 1);
   for (unsigned I = 0; I < NumInstructions; ++I) {
     unsigned NumMicroOps = static_cast<unsigned>(R.uniformIntIn(1, 3));
     std::vector<MicroOpDesc> MicroOps;
     for (unsigned U = 0; U < NumMicroOps; ++U) {
       MicroOpDesc D;
       do {
-        D.Ports = static_cast<PortMask>(R.next()) & AllPorts;
-      } while (D.Ports == 0);
+        // One RNG draw per 64-port word, truncated to the port universe:
+        // for <= 32 ports this consumes the same draws and yields the same
+        // machines as the historical uint32_t cast.
+        PortMask Draw;
+        for (unsigned P = 0; P < NumPorts; P += 64)
+          Draw |= BitSet::fromWord(R.next(), std::min(64u, NumPorts - P))
+                  << P;
+        D.Ports = Draw;
+      } while (D.Ports.none());
       if (AllowOccupancy && R.chance(0.15))
         D.Occupancy = static_cast<double>(R.uniformIntIn(2, 6));
       MicroOps.push_back(D);

@@ -59,7 +59,8 @@ MachineModel makeRandomMachine(Rng &R, unsigned NumPorts,
 /// so two calls with equal configs produce identical machines.
 struct StressIsaConfig {
   std::string Name = "stress";
-  /// Execution ports (<= MaxPorts). The last two double as the load AGUs.
+  /// Execution ports (uncapped: PortMask is a dynamic BitSet). The last
+  /// two double as the load AGUs.
   unsigned NumPorts = 10;
   /// Distinct µOP decompositions (selection sees one equivalence class
   /// per category and extension).
@@ -68,9 +69,12 @@ struct StressIsaConfig {
   int VariantsPerCategory = 12;
   /// Additional variants with a fused load µOP per category.
   int MemVariantsPerCategory = 3;
-  /// Extension groups drawn from {Base, Sse, Avx}: 1 = Base only,
-  /// 2 = Base + Sse, 3 = all. Selection runs per group, so this scales
-  /// the number of independent quadratic-benchmark fan-outs.
+  /// Extension groups drawn from the ExtClass roster (Base, Sse, Avx,
+  /// Avx512, Mmx, X87), in that order: 1 = Base only, ...,
+  /// NumExtClasses = all. Selection runs per group, so this scales the
+  /// number of independent quadratic-benchmark fan-outs — and the basic
+  /// set (NumBasicPerGroup per group), which is what pushes shape
+  /// problems past the historical 32-basic wall.
   unsigned NumExtensions = 3;
   /// Front-end width; 0 disables the decode cap.
   unsigned DecodeWidth = 6;
@@ -83,8 +87,17 @@ struct StressIsaConfig {
 /// Instantiates the stress profile. Instruction count is
 /// NumCategories * (VariantsPerCategory + MemVariantsPerCategory).
 /// Throws std::invalid_argument on out-of-range configs (NumPorts outside
-/// [3, MaxPorts], NumExtensions outside [1, 3], or an empty ISA).
+/// [3, MaxPortIndex], NumExtensions outside [1, NumExtClasses], or an
+/// empty ISA).
 MachineModel makeStressMachine(const StressIsaConfig &Config);
+
+/// The "huge" profile: a thousand-instruction-class ISA (2048
+/// instructions over 128 µOP decompositions, 24 ports, all 6 extension
+/// groups) proving the lifted caps end to end — its 48 basic
+/// instructions exceed the historical 32-basic shape limit. Map it with
+/// SelectionConfig::ClusterPairPruning on; the full quadratic sweep at
+/// this size is the scaling bottleneck the pruning exists to remove.
+StressIsaConfig hugeStressConfig();
 
 } // namespace palmed
 

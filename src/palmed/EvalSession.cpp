@@ -21,7 +21,13 @@
 using namespace palmed;
 
 EvalSession::EvalSession(ThroughputOracle &Native, ExecutionPolicy Policy)
-    : Native(Native), Policy(Policy) {}
+    : Native(Native), Policy(Policy) {
+  // Eager pool construction keeps run() const safe to call from several
+  // threads (a lazy first-use init would race on the pointer); helper
+  // threads still spawn lazily inside the Executor itself.
+  if (Policy.NumThreads > 1)
+    Exec = std::make_unique<Executor>(Policy.NumThreads);
+}
 
 EvalSession::~EvalSession() = default;
 EvalSession::EvalSession(EvalSession &&) noexcept = default;
@@ -72,10 +78,6 @@ EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
     return Out;
   }
 
-  // The pool is created once and reused by every later run (helper
-  // threads themselves spawn lazily inside the Executor).
-  if (!Exec)
-    Exec = std::make_unique<Executor>(Policy.NumThreads);
   const unsigned NumWorkers = Exec->numWorkers();
 
   // Per-lane concurrency strategy (lane 0 = native oracle).

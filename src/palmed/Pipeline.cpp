@@ -207,10 +207,10 @@ void Pipeline::Impl::selectBasics() {
                                              Config.Selection, &Exec);
   const SelectionResult &Sel = Result.Selection;
   Result.Stats.SelectionSeconds = secondsSince(T0);
+  Result.Stats.PairBenchmarks = Sel.PairBenchmarks;
+  Result.Stats.PairBenchmarksQuadratic = Sel.PairBenchmarksQuadratic;
 
   const std::vector<InstrId> &Basic = Sel.Basic;
-  assert(Basic.size() <= MaxBasicInstructions &&
-         "too many basic instructions for the shape stage");
   assert(!Basic.empty() && "selection produced no basic instructions");
   Result.Stats.NumBasic = Basic.size();
 
@@ -272,15 +272,14 @@ void Pipeline::Impl::solveCoreMapping() {
     for (InstrId Id : Sel.VeryBasic) {
       if (!IndexOf.count(Id))
         continue;
-      VbMaskByExt[Machine.isa().info(Id).Ext] |= InstrIndexMask{1}
-                                                 << IndexOf.at(Id);
+      VbMaskByExt[Machine.isa().info(Id).Ext].set(IndexOf.at(Id));
     }
     for (InstrId Id : Sel.VeryBasic) {
       if (!IndexOf.count(Id))
         continue;
-      InstrIndexMask Bit = InstrIndexMask{1} << IndexOf.at(Id);
+      InstrIndexMask Bit = InstrIndexMask::bit(IndexOf.at(Id));
       InstrIndexMask Others =
-          VbMaskByExt[Machine.isa().info(Id).Ext] & ~Bit;
+          VbMaskByExt[Machine.isa().info(Id).Ext].without(Bit);
       FixedConstraints.push_back(
           {Bit, Others, static_cast<int>(IndexOf.at(Id))});
     }
@@ -288,7 +287,7 @@ void Pipeline::Impl::solveCoreMapping() {
     for (InstrId Id : Sel.MostGreedy) {
       if (!IndexOf.count(Id))
         continue;
-      InstrIndexMask Req = InstrIndexMask{1} << IndexOf.at(Id);
+      InstrIndexMask Req = InstrIndexMask::bit(IndexOf.at(Id));
       for (InstrId Peer : Basic) {
         if (Peer == Id)
           continue;
@@ -296,9 +295,9 @@ void Pipeline::Impl::solveCoreMapping() {
         if (Pair < 0.0)
           continue;
         if (!isAdditivePair(Pair, Sel.soloIpc(Id), Sel.soloIpc(Peer), Eps))
-          Req |= InstrIndexMask{1} << IndexOf.at(Peer);
+          Req.set(IndexOf.at(Peer));
       }
-      FixedConstraints.push_back({Req, 0, -1});
+      FixedConstraints.push_back({Req, {}, -1});
     }
   }
 
@@ -346,7 +345,7 @@ void Pipeline::Impl::solveCoreMapping() {
     Constraints =
         simplifyConstraints(expandOwnerForbidden(Constraints, Shares));
     Shape = solveShapeExact(Constraints, Shares);
-    for (InstrIndexMask Forced : ForcedResources)
+    for (const InstrIndexMask &Forced : ForcedResources)
       if (!std::count(Shape.Resources.begin(), Shape.Resources.end(),
                       Forced))
         Shape.Resources.push_back(Forced);
@@ -367,18 +366,16 @@ void Pipeline::Impl::solveCoreMapping() {
                                             EnrichSets.end());
         for (size_t A = 0; A < Current.size() && !Grew; ++A)
           for (size_t B = A + 1; B < Current.size(); ++B)
-            if ((Current[A] & Current[B]) != 0 &&
+            if (Current[A].intersects(Current[B]) &&
                 EnrichSets.insert(Current[A] | Current[B]).second) {
               Grew = true;
               break;
             }
       }
     }
-    for (InstrIndexMask Members : EnrichSets) {
+    for (const InstrIndexMask &Members : EnrichSets) {
       std::vector<InstrId> Ids;
-      for (size_t I = 0; I < Basic.size(); ++I)
-        if (Members & (InstrIndexMask{1} << I))
-          Ids.push_back(Basic[I]);
+      Members.forEachSetBit([&](size_t I) { Ids.push_back(Basic[I]); });
       for (const Microkernel &K :
            makeEnrichmentKernels(Ids, BasicSolo, Machine))
         AddKernel(K);
@@ -405,7 +402,7 @@ void Pipeline::Impl::solveCoreMapping() {
       for (const KernelObservation &Obs : Observations) {
         double T = Obs.K.size() / Obs.Ipc;
         double MaxLoad = 0.0;
-        InstrIndexMask Members = 0;
+        InstrIndexMask Members;
         for (size_t R = 0; R < Shape.numResources(); ++R) {
           double Load = 0.0;
           for (const auto &[Id, Mult] : Obs.K.terms())
@@ -413,7 +410,7 @@ void Pipeline::Impl::solveCoreMapping() {
           MaxLoad = std::max(MaxLoad, Load);
         }
         for (const auto &[Id, Mult] : Obs.K.terms())
-          Members |= InstrIndexMask{1} << IndexOf.at(Id);
+          Members.set(IndexOf.at(Id));
         if (MaxLoad < (1.0 - 2.0 * Eps) * T &&
             !std::count(ForcedResources.begin(), ForcedResources.end(),
                         Members) &&
@@ -423,8 +420,8 @@ void Pipeline::Impl::solveCoreMapping() {
       }
       std::sort(Candidates.begin(), Candidates.end(),
                 [](const Candidate &A, const Candidate &B) {
-                  unsigned CA = portCount(A.Members);
-                  unsigned CB = portCount(B.Members);
+                  size_t CA = A.Members.count();
+                  size_t CB = B.Members.count();
                   if (CA != CB)
                     return CA > CB; // Largest member sets first.
                   return A.Slack > B.Slack;

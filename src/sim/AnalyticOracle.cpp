@@ -32,7 +32,7 @@ double AnalyticOracle::portCycles(const Microkernel &K) const {
       const MicroOpDesc &Op = E.MicroOps[U];
       lp::LinearExpr Routed;
       for (unsigned P = 0; P < NumPorts; ++P) {
-        if (!(Op.Ports & (PortMask{1} << P)))
+        if (!Op.Ports.test(P))
           continue;
         lp::VarId X = M.addVar("x", 0.0, lp::Infinity);
         Routed.add(X, 1.0);

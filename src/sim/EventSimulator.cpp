@@ -22,7 +22,7 @@ namespace {
 
 /// A µOP instance waiting to issue.
 struct PendingOp {
-  PortMask Ports = 0;
+  PortMask Ports;
   double Occupancy = 1.0;
   unsigned Flexibility = 0; ///< Number of admissible ports (cached).
 };
@@ -95,7 +95,7 @@ long simulateIssueCycles(const MachineModel &Machine,
     for (auto It = Pool.begin(); It != Pool.end();) {
       unsigned BestPort = NumPorts;
       for (unsigned P = 0; P < NumPorts; ++P) {
-        if (!(It->Ports & (PortMask{1} << P)))
+        if (!It->Ports.test(P))
           continue;
         if (PortBusyUntil[P] > static_cast<double>(Cycle))
           continue;

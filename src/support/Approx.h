@@ -1,0 +1,48 @@
+//===- support/Approx.h - Shared epsilon comparisons -----------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relative-tolerance comparisons every measurement-driven decision in
+/// the pipeline shares (the paper constrains measurement error to 5%).
+/// Centralized here so selection, mapping analysis, and the pruned
+/// clustering all agree on what "equal within eps" means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SUPPORT_APPROX_H
+#define PALMED_SUPPORT_APPROX_H
+
+#include <algorithm>
+#include <cmath>
+
+namespace palmed {
+
+/// Relative difference |X - Y| / max(|X|, |Y|), symmetric in its
+/// arguments; 0 when both are 0.
+inline double relDiff(double X, double Y) {
+  double Scale = std::max(std::abs(X), std::abs(Y));
+  if (Scale == 0.0)
+    return 0.0;
+  return std::abs(X - Y) / Scale;
+}
+
+/// True when X and Y agree within the relative tolerance \p Eps.
+inline bool approxEqual(double X, double Y, double Eps) {
+  return relDiff(X, Y) <= Eps;
+}
+
+/// True if \p Combined is additive, i.e. IPC(aabb) = IPC(a) + IPC(b)
+/// within the relative tolerance \p Eps — the paper's "disjoint" test for
+/// a quadratic pair benchmark.
+inline bool isAdditivePair(double Combined, double IpcA, double IpcB,
+                           double Eps) {
+  double Expected = IpcA + IpcB;
+  return std::abs(Combined - Expected) <= Eps * Expected;
+}
+
+} // namespace palmed
+
+#endif // PALMED_SUPPORT_APPROX_H

@@ -15,8 +15,7 @@
 namespace palmed {
 
 /// Number of set bits in \p Mask. Portable stand-in for C++20
-/// std::popcount over the unsigned mask types used throughout the repo
-/// (PortMask, InstrIndexMask).
+/// std::popcount over raw words (BitSet builds its count() on it).
 constexpr unsigned popCount(uint64_t Mask) {
 #if defined(__GNUC__) || defined(__clang__)
   return static_cast<unsigned>(__builtin_popcountll(Mask));

@@ -7,6 +7,7 @@
 #include "core/DualConstruction.h"
 #include "core/MappingAnalysis.h"
 #include "machine/StandardMachines.h"
+#include "support/Approx.h"
 
 #include <gtest/gtest.h>
 
@@ -71,6 +72,26 @@ TEST(MappingAnalysis, LoadsSortedAndNormalized) {
   for (size_t I = 1; I < R.Loads.size(); ++I)
     EXPECT_LE(R.Loads[I].Load, R.Loads[I - 1].Load);
   EXPECT_DOUBLE_EQ(R.Loads.front().RelativeToBottleneck, 1.0);
+}
+
+TEST(MappingAnalysis, CoBottlenecksCountTies) {
+  Fixture F;
+  Microkernel K;
+  K.add(F.id("DIVPS"), 1.0);
+  K.add(F.id("JMP"), 1.0);
+  BottleneckReport R = analyzeKernel(F.Dual, K);
+  ASSERT_TRUE(R.valid());
+  // The count uses the shared relDiff tolerance: at least the bottleneck
+  // itself, and exactly the loads within 5% of it.
+  ASSERT_GE(R.NumCoBottlenecks, 1u);
+  size_t Expected = 0;
+  for (const ResourceLoad &L : R.Loads)
+    if (relDiff(L.Load, R.Loads.front().Load) <= 0.05)
+      ++Expected;
+  EXPECT_EQ(R.NumCoBottlenecks, Expected);
+  // A tighter epsilon can only shrink the count.
+  EXPECT_LE(analyzeKernel(F.Dual, K, 1e-9).NumCoBottlenecks,
+            R.NumCoBottlenecks);
 }
 
 TEST(MappingAnalysis, HeadroomMatchesSecondResource) {

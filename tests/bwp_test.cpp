@@ -21,7 +21,7 @@ struct PairFixture {
   std::map<InstrId, size_t> IndexOf = {{10, 0}, {20, 1}};
 
   PairFixture() {
-    Shape.Resources = {0b11, 0b10};
+    Shape.Resources = {BitSet::fromWord(0b11), BitSet::fromWord(0b10)};
   }
 
   static Microkernel kernel(double A, double B) {
@@ -142,7 +142,7 @@ TEST(AuxWeights, LowIpcInstructionGetsLargeRho) {
   // A divider-like instruction with solo IPC 1/4 on a single resource:
   // rho must come out ~4 (above the [0,1] range of core edges).
   MappingShape Shape;
-  Shape.Resources = {0b1};
+  Shape.Resources = {BitSet::fromWord(0b1)};
   std::map<InstrId, size_t> IndexOf = {{10, 0}};
   std::vector<std::vector<double>> Frozen = {{1.0}};
 

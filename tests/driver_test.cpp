@@ -336,3 +336,41 @@ TEST_P(PalmedRandomOccupancy, PipelineCompletes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PalmedRandomOccupancy,
                          ::testing::Range(uint64_t{20}, uint64_t{30}));
+
+TEST(PalmedBeyondThirtyTwoBasics, SixGroupPipelineEndToEnd) {
+  // A six-extension-group synthetic machine drives selection to
+  // 6 x NumBasicPerGroup = 48 basic instructions — a shape problem the
+  // historical uint32_t InstrIndexMask could not represent. The whole
+  // pipeline (shape, weights, LPAUX) must run through it and produce an
+  // accurate mapping, with the pruned selection keeping the quadratic
+  // sweep in check.
+  StressIsaConfig C;
+  C.Name = "six-ext";
+  C.NumPorts = 12;
+  C.NumCategories = 36;
+  C.VariantsPerCategory = 2;
+  C.MemVariantsPerCategory = 1;
+  C.NumExtensions = NumExtClasses;
+  MachineModel M = makeStressMachine(C);
+  AnalyticOracle Oracle(M);
+  BenchmarkRunner Runner(M, Oracle);
+  PalmedConfig Cfg;
+  Cfg.Selection.ClusterPairPruning = true;
+  PalmedResult R = Pipeline(Runner, Cfg).run();
+
+  EXPECT_GT(R.Stats.NumBasic, 32u)
+      << "profile failed to cross the historical basic-instruction wall";
+  EXPECT_EQ(R.Stats.NumMapped, M.numInstructions());
+  EXPECT_GT(R.Stats.NumResources, 0u);
+  EXPECT_LT(R.Stats.PairBenchmarks, R.Stats.PairBenchmarksQuadratic);
+
+  // Spot-check prediction quality on solo kernels of every extension
+  // group (the coarse guarantee: the mapping is usable, not just built).
+  RunningStats Err;
+  for (InstrId Id : M.isa().allIds())
+    if (Id % 17 == 0) {
+      Microkernel K = Microkernel::single(Id, 1.0);
+      Err.add(relError(R.Mapping, Oracle, K));
+    }
+  EXPECT_LT(Err.mean(), 0.10) << "mean solo-kernel error too high";
+}

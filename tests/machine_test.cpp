@@ -16,9 +16,21 @@
 using namespace palmed;
 
 TEST(PortMask, Basics) {
-  EXPECT_EQ(portMask({0, 2}), 0b101u);
-  EXPECT_EQ(portCount(0b101u), 2u);
-  EXPECT_EQ(portCount(0), 0u);
+  EXPECT_EQ(portMask({0, 2}), BitSet::fromWord(0b101));
+  EXPECT_EQ(portCount(BitSet::fromWord(0b101)), 2u);
+  EXPECT_EQ(portCount(PortMask()), 0u);
+  EXPECT_THROW(portMask({MaxPortIndex}), std::out_of_range);
+}
+
+TEST(PortMask, BeyondThirtyTwoPorts) {
+  // The historical uint32_t cap is gone: masks address arbitrary ports.
+  PortMask M = portMask({0, 31, 32, 40, 63});
+  EXPECT_EQ(portCount(M), 5u);
+  EXPECT_TRUE(M.test(40));
+  PortMask Wide = portMask({100});
+  EXPECT_TRUE(Wide.test(100));
+  EXPECT_EQ(portCount(Wide), 1u);
+  EXPECT_LT(M, Wide); // Integer-value order extends past one word.
 }
 
 TEST(MachineBuilder, BuildsValidMachine) {
@@ -105,7 +117,7 @@ TEST(StandardMachines, ZenLikeSplitPipelines) {
   ASSERT_NE(Fp, InvalidInstr);
   PortMask IntPorts = M.exec(Add).MicroOps[0].Ports;
   PortMask FpPorts = M.exec(Fp).MicroOps[0].Ports;
-  EXPECT_EQ(IntPorts & FpPorts, 0u);
+  EXPECT_FALSE(IntPorts.intersects(FpPorts));
   // AVX splits into two µOPs on Zen1.
   InstrId Vadd = M.isa().findByName("VADDPS_0");
   ASSERT_NE(Vadd, InvalidInstr);
@@ -191,12 +203,72 @@ TEST(SyntheticIsa, StressMachineIsDeterministic) {
   }
 }
 
+TEST(MachineBuilder, RejectsOutOfRangePorts) {
+  MachineBuilder B("bad");
+  B.addPort("p0");
+  B.addPort("p1");
+  // Port 2 is undeclared: loud error instead of the historical silent UB
+  // shift / invalid machine.
+  EXPECT_THROW(B.addSimpleInstruction(
+                   {"ADD", ExtClass::Base, InstrCategory::IntAlu},
+                   portMask({0, 2})),
+               std::out_of_range);
+  // Empty port sets are rejected too.
+  EXPECT_THROW(B.addInstruction(
+                   {"NOP", ExtClass::Base, InstrCategory::Other},
+                   {{PortMask(), 1.0}}),
+               std::invalid_argument);
+  // The builder survives the rejection and still builds a valid machine.
+  B.addSimpleInstruction({"ADD", ExtClass::Base, InstrCategory::IntAlu},
+                         portMask({0, 1}));
+  EXPECT_TRUE(B.build().validate());
+}
+
+TEST(MachineBuilder, BuildsWidePortMachine) {
+  // 40 ports: past the historical 32-port wall.
+  MachineBuilder B("wide");
+  for (unsigned P = 0; P < 40; ++P)
+    B.addPort("p" + std::to_string(P));
+  InstrId Hi = B.addSimpleInstruction(
+      {"HI", ExtClass::Base, InstrCategory::IntAlu}, portMask({38, 39}));
+  MachineModel M = B.build();
+  EXPECT_EQ(M.numPorts(), 40u);
+  EXPECT_TRUE(M.validate());
+  EXPECT_TRUE(M.exec(Hi).MicroOps[0].Ports.test(39));
+}
+
+TEST(SyntheticIsa, HugeProfileShape) {
+  StressIsaConfig C = hugeStressConfig();
+  EXPECT_GE(C.NumCategories * (C.VariantsPerCategory +
+                               C.MemVariantsPerCategory),
+            2000u);
+  EXPECT_EQ(C.NumPorts, 24u);
+  EXPECT_EQ(C.NumExtensions, NumExtClasses);
+  MachineModel M = makeStressMachine(C);
+  EXPECT_TRUE(M.validate());
+  EXPECT_EQ(M.name(), "huge");
+  EXPECT_EQ(M.numPorts(), 24u);
+  EXPECT_GE(M.numInstructions(), 2000u);
+  // All six extension groups are populated (this is what pushes the basic
+  // set past the historical 32-basic shape cap: 8 basics per group).
+  size_t PerExt[NumExtClasses] = {};
+  for (InstrId Id : M.isa().allIds())
+    ++PerExt[static_cast<size_t>(M.isa().info(Id).Ext)];
+  for (size_t E = 0; E < NumExtClasses; ++E)
+    EXPECT_GT(PerExt[E], 0u) << extClassName(static_cast<ExtClass>(E));
+  // Deterministic like every stress profile.
+  MachineModel M2 = makeStressMachine(C);
+  EXPECT_EQ(M.numInstructions(), M2.numInstructions());
+  for (InstrId Id : {InstrId{0}, InstrId{1000}, InstrId{2000}})
+    EXPECT_EQ(M.isa().info(Id).Name, M2.isa().info(Id).Name);
+}
+
 TEST(SyntheticIsa, StressMachineRejectsBadConfigs) {
   StressIsaConfig C;
   C.NumPorts = 2; // Too few for the AGU pair.
   EXPECT_THROW(makeStressMachine(C), std::invalid_argument);
   C = StressIsaConfig();
-  C.NumExtensions = 5;
+  C.NumExtensions = NumExtClasses + 1;
   EXPECT_THROW(makeStressMachine(C), std::invalid_argument);
   C = StressIsaConfig();
   C.VariantsPerCategory = 0;

@@ -7,6 +7,7 @@
 #include "core/Selection.h"
 #include "machine/MachineBuilder.h"
 #include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
 #include "sim/AnalyticOracle.h"
 
 #include <gtest/gtest.h>
@@ -178,4 +179,89 @@ TEST(Selection, DisjointnessDrivesVeryBasic) {
           << Isa.name(A) << " vs " << Isa.name(B);
     }
   }
+}
+
+// ------------------------------------------------- Cluster-first pruning
+
+TEST(Selection, PrunedMatchesFullOnFig1) {
+  // On a small machine the pruned mode must reach the same selection (the
+  // six fig1 instructions are pairwise distinguishable by direct pairs).
+  Fixture Full(makeFig1Machine()), Pruned(makeFig1Machine());
+  SelectionConfig Cfg;
+  SelectionResult RF =
+      selectBasicInstructions(Full.Runner, Full.M.isa().allIds(), Cfg);
+  Cfg.ClusterPairPruning = true;
+  SelectionResult RP =
+      selectBasicInstructions(Pruned.Runner, Pruned.M.isa().allIds(), Cfg);
+  EXPECT_EQ(RF.Basic, RP.Basic);
+  EXPECT_EQ(RF.Candidates, RP.Candidates);
+  EXPECT_LE(RP.PairBenchmarks, RF.PairBenchmarks);
+  EXPECT_EQ(RF.PairBenchmarksQuadratic, RP.PairBenchmarksQuadratic);
+  EXPECT_EQ(RF.PairBenchmarks, RF.PairBenchmarksQuadratic);
+}
+
+TEST(Selection, PrunedCollapsesSklVariantsWithFewerPairs) {
+  // SKL's large variant classes are exactly what the pruning exploits:
+  // every variant fully serializes with its class representative, so the
+  // measured pair count drops well below the quadratic sweep. Pruned
+  // classes may be slightly coarser than the full sweep's (the documented
+  // approximation: only representative pairs are measured, so peer-vector
+  // differences between fully-serializing candidates go unseen), but they
+  // must stay internally consistent.
+  Fixture Full(makeSklLike()), Pruned(makeSklLike());
+  SelectionConfig Cfg;
+  SelectionResult RF =
+      selectBasicInstructions(Full.Runner, Full.M.isa().allIds(), Cfg);
+  Cfg.ClusterPairPruning = true;
+  SelectionResult RP =
+      selectBasicInstructions(Pruned.Runner, Pruned.M.isa().allIds(), Cfg);
+
+  EXPECT_EQ(RF.Survivors, RP.Survivors);
+  // Coarser is allowed, finer is not — and the collapse must stay in the
+  // same ballpark (SKL's variant classes are unambiguous).
+  EXPECT_LE(RP.Classes.size(), RF.Classes.size());
+  EXPECT_GE(RP.Classes.size(), RF.Classes.size() - 3);
+  EXPECT_FALSE(RP.Basic.empty());
+  EXPECT_LT(RP.PairBenchmarks, RF.PairBenchmarks / 2);
+  EXPECT_EQ(RF.PairBenchmarks, RF.PairBenchmarksQuadratic);
+  // Every class member fully serializes with its representative at equal
+  // solo IPC — the join criterion, re-checked from the recorded data.
+  for (const auto &Class : RP.Classes) {
+    InstrId Rep = Class.front();
+    for (InstrId A : Class) {
+      if (A == Rep)
+        continue;
+      EXPECT_LE(relDiff(RP.soloIpc(A), RP.soloIpc(Rep)), 0.05);
+      double Direct = RP.pairIpc(A, Rep);
+      ASSERT_GE(Direct, 0.0);
+      double PairT = (RP.soloIpc(A) + RP.soloIpc(Rep)) / Direct;
+      EXPECT_GE(PairT, 2.0 * 0.95);
+    }
+  }
+  // Every measured pair the pruned mode kept agrees with the full sweep
+  // (same runner determinism, sparser key set).
+  for (const auto &[Key, Ipc] : RP.PairIpc) {
+    auto It = RF.PairIpc.find(Key);
+    ASSERT_NE(It, RF.PairIpc.end());
+    EXPECT_DOUBLE_EQ(It->second, Ipc);
+  }
+}
+
+TEST(Selection, PrunedScalesOnStressIsa) {
+  // The deterministic stress profile: pruning must stay well under the
+  // quadratic count while still filling every group's basic budget.
+  Fixture Pruned(makeStressMachine(StressIsaConfig()));
+  SelectionConfig Cfg;
+  Cfg.ClusterPairPruning = true;
+  SelectionResult RP =
+      selectBasicInstructions(Pruned.Runner, Pruned.M.isa().allIds(), Cfg);
+  // Coarser pruned classes can leave a group a representative or two
+  // short of its budget; the aggregate must stay close to full.
+  EXPECT_LE(RP.Basic.size(), 3u * Cfg.NumBasicPerGroup);
+  EXPECT_GE(RP.Basic.size(), 3u * Cfg.NumBasicPerGroup - 3u);
+  EXPECT_GE(RP.PairBenchmarksQuadratic, 5 * RP.PairBenchmarks)
+      << "pruning lost its >=5x headroom";
+  // Basics are drawn from the candidate representatives.
+  for (InstrId Id : RP.Basic)
+    EXPECT_TRUE(contains(RP.Candidates, Id));
 }

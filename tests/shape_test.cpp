@@ -16,21 +16,23 @@ using namespace palmed;
 
 namespace {
 
+InstrIndexMask mask(uint64_t Bits) { return BitSet::fromWord(Bits); }
+
 ShapeConstraint sharedAll(std::initializer_list<unsigned> Members) {
   ShapeConstraint C;
   for (unsigned I : Members)
-    C.Required |= InstrIndexMask{1} << I;
+    C.Required.set(I);
   return C;
 }
 
 ShapeConstraint privateWithin(unsigned Owner,
                               std::initializer_list<unsigned> Others) {
   ShapeConstraint C;
-  C.Required = InstrIndexMask{1} << Owner;
+  C.Required = InstrIndexMask::bit(Owner);
   C.Owner = static_cast<int>(Owner);
   for (unsigned I : Others)
     if (I != Owner)
-      C.Forbidden |= InstrIndexMask{1} << I;
+      C.Forbidden.set(I);
   return C;
 }
 
@@ -50,13 +52,13 @@ shareMatrix(size_t N,
   return M;
 }
 
-bool hasResource(const MappingShape &S, InstrIndexMask Members) {
+bool hasResource(const MappingShape &S, const InstrIndexMask &Members) {
   return std::count(S.Resources.begin(), S.Resources.end(), Members) != 0;
 }
 
 bool satisfies(const MappingShape &S, const ShapeConstraint &C) {
-  for (InstrIndexMask R : S.Resources)
-    if ((C.Required & ~R) == 0 && (R & C.Forbidden) == 0)
+  for (const InstrIndexMask &R : S.Resources)
+    if (C.Required.isSubsetOf(R) && !R.intersects(C.Forbidden))
       return true;
   return false;
 }
@@ -73,8 +75,8 @@ TEST(ShapeConstraints, DeriveSharedWhenNothingSaturates) {
   K.add(20, 1.0);
   auto Cs = deriveKernelConstraints({K, 2.0}, IndexOf, Solo, 0.05);
   ASSERT_EQ(Cs.size(), 1u);
-  EXPECT_EQ(Cs[0].Required, 0b11u);
-  EXPECT_EQ(Cs[0].Forbidden, 0u);
+  EXPECT_EQ(Cs[0].Required, mask(0b11));
+  EXPECT_TRUE(Cs[0].Forbidden.none());
 }
 
 TEST(ShapeConstraints, DerivePrivateWhenSaturating) {
@@ -87,8 +89,8 @@ TEST(ShapeConstraints, DerivePrivateWhenSaturating) {
   K.add(20, 1.0);
   auto Cs = deriveKernelConstraints({K, 5.0 / 4.0}, IndexOf, Solo, 0.05);
   ASSERT_EQ(Cs.size(), 1u);
-  EXPECT_EQ(Cs[0].Required, 0b01u);
-  EXPECT_EQ(Cs[0].Forbidden, 0b10u);
+  EXPECT_EQ(Cs[0].Required, mask(0b01));
+  EXPECT_EQ(Cs[0].Forbidden, mask(0b10));
 }
 
 TEST(ShapeConstraints, AdditivePairSaturatesBoth) {
@@ -115,7 +117,7 @@ TEST(ShapeConstraints, SimplifyDropsImplied) {
 TEST(ShapeSolver, SingleSharedResource) {
   MappingShape S = solveShapeExact({sharedAll({0, 1, 2})});
   EXPECT_EQ(S.numResources(), 1u);
-  EXPECT_TRUE(hasResource(S, 0b111));
+  EXPECT_TRUE(hasResource(S, mask(0b111)));
 }
 
 TEST(ShapeSolver, PrivateForcesSplit) {
@@ -134,7 +136,7 @@ TEST(ShapeSolver, MergesCompatibleConstraints) {
   // Shared {0,1} and shared {1,2} can share one resource {0,1,2}.
   MappingShape S = solveShapeExact({sharedAll({0, 1}), sharedAll({1, 2})});
   EXPECT_EQ(S.numResources(), 1u);
-  EXPECT_TRUE(hasResource(S, 0b111));
+  EXPECT_TRUE(hasResource(S, mask(0b111)));
 }
 
 TEST(ShapeSolver, ForbiddenBlocksMerge) {
@@ -196,9 +198,9 @@ TEST(ShapeSolver, Fig1PaperStructure) {
   EXPECT_EQ(S.numResources(), 6u);
   // The port-exclusive instructions keep dedicated resources:
   // r0 = {DIVPS}, r1 = {BSR}, r6 = {JMP}.
-  EXPECT_TRUE(hasResource(S, 0b00001));
-  EXPECT_TRUE(hasResource(S, 0b00010));
-  EXPECT_TRUE(hasResource(S, 0b00100));
+  EXPECT_TRUE(hasResource(S, mask(0b00001)));
+  EXPECT_TRUE(hasResource(S, mask(0b00010)));
+  EXPECT_TRUE(hasResource(S, mask(0b00100)));
   // Every constraint holds (after owner expansion, as the solver sees it).
   for (const ShapeConstraint &C : expandOwnerForbidden(Cs, Shares))
     EXPECT_TRUE(satisfies(S, C));
@@ -219,7 +221,7 @@ TEST(ShapeSolver, OwnerRulesBlockDegenerateMerges) {
   MappingShape Strict = solveShapeExact(Cs, Shares);
   // The private resource of 0 must exclude both 1 (explicit) and 2
   // (additive partner): it is the singleton {0}.
-  EXPECT_TRUE(hasResource(Strict, 0b001));
+  EXPECT_TRUE(hasResource(Strict, mask(0b001)));
   for (const ShapeConstraint &C : expandOwnerForbidden(Cs, Shares))
     EXPECT_TRUE(satisfies(Strict, C));
 }
@@ -263,6 +265,95 @@ TEST(ShapeSolver, MilpAgreesOnFig1) {
   }
 }
 
+// The regressions below exercise shape problems the historical 32-bit
+// InstrIndexMask could not even represent (indices >= 32); they pin the
+// tentpole guarantee that the dynamic BitSet lifted the basic-instruction
+// wall without changing the solver's semantics.
+
+TEST(ShapeSolver, BeyondThirtyTwoBasics) {
+  // 40 port-exclusive basics: every instruction owns a resource private
+  // from all the others, so the minimal shape is 40 singletons.
+  const unsigned N = 40;
+  std::vector<ShapeConstraint> Cs;
+  for (unsigned I = 0; I < N; ++I) {
+    ShapeConstraint C;
+    C.Required = InstrIndexMask::bit(I);
+    C.Forbidden = BitSet::firstN(N).without(C.Required);
+    C.Owner = static_cast<int>(I);
+    Cs.push_back(C);
+  }
+  MappingShape S = solveShapeExact(Cs);
+  EXPECT_EQ(S.numResources(), N);
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_TRUE(hasResource(S, InstrIndexMask::bit(I))) << I;
+}
+
+TEST(ShapeSolver, MergesAcrossHighIndices) {
+  // Shared constraints straddling the old 32-bit boundary merge into one
+  // resource exactly like their low-index counterparts.
+  MappingShape S =
+      solveShapeExact({sharedAll({30, 35}), sharedAll({35, 40})});
+  EXPECT_EQ(S.numResources(), 1u);
+  InstrIndexMask Merged;
+  Merged.set(30);
+  Merged.set(35);
+  Merged.set(40);
+  EXPECT_TRUE(hasResource(S, Merged));
+  // A private constraint keeping 30 and 40 apart forces the split.
+  MappingShape Split = solveShapeExact(
+      {sharedAll({30, 35}), sharedAll({35, 40}), privateWithin(30, {40})});
+  EXPECT_EQ(Split.numResources(), 2u);
+}
+
+TEST(ShapeConstraints, DeriveAtHighIndices) {
+  // A saturating instruction sitting at basic index 33 derives a
+  // PrivateWithin whose Required bit the old mask could not hold.
+  std::map<InstrId, size_t> IndexOf;
+  std::vector<double> Solo(34, 1.0);
+  for (InstrId Id = 0; Id < 34; ++Id)
+    IndexOf[Id] = Id;
+  Microkernel K;
+  K.add(33, 4.0); // Saturates: t = 4, alone = 4.
+  K.add(7, 1.0);
+  auto Cs = deriveKernelConstraints({K, 5.0 / 4.0}, IndexOf, Solo, 0.05);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].Required, InstrIndexMask::bit(33));
+  EXPECT_EQ(Cs[0].Forbidden, InstrIndexMask::bit(7));
+  EXPECT_EQ(Cs[0].Owner, 33);
+}
+
+TEST(ShapeSolver, FortyBasicRandomSystemsSatisfiable) {
+  // Random satisfiable systems over 40 basics: the solver must satisfy
+  // every constraint and never beat the trivially-optimal lower bound
+  // (each pairwise-incompatible owner needs its own resource).
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Rng R(Seed);
+    const unsigned N = 33 + static_cast<unsigned>(R.uniformInt(16));
+    std::vector<ShapeConstraint> Cs;
+    for (unsigned C = 0; C < 12; ++C) {
+      ShapeConstraint S;
+      if (R.chance(0.5)) {
+        unsigned Count = 2 + static_cast<unsigned>(R.uniformInt(3));
+        while (S.Required.count() < Count)
+          S.Required.set(R.uniformInt(N));
+      } else {
+        unsigned Owner = static_cast<unsigned>(R.uniformInt(N));
+        S.Required = InstrIndexMask::bit(Owner);
+        for (unsigned O = 0; O < 3; ++O) {
+          unsigned X = static_cast<unsigned>(R.uniformInt(N));
+          if (X != Owner)
+            S.Forbidden.set(X);
+        }
+      }
+      Cs.push_back(S);
+    }
+    MappingShape S = solveShapeExact(Cs);
+    for (const ShapeConstraint &C : Cs)
+      EXPECT_TRUE(satisfies(S, C)) << "seed " << Seed;
+    EXPECT_LE(S.numResources(), Cs.size()) << "seed " << Seed;
+  }
+}
+
 /// Property: exact solver and MILP find the same minimum on random
 /// satisfiable systems, and both satisfy every constraint.
 class ShapeProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -277,16 +368,16 @@ TEST_P(ShapeProperty, ExactMatchesMilp) {
     if (R.chance(0.5)) {
       // SharedAll over 2-3 members.
       unsigned Count = 2 + static_cast<unsigned>(R.uniformInt(2));
-      while (portCount(S.Required) < Count)
-        S.Required |= InstrIndexMask{1} << R.uniformInt(N);
+      while (S.Required.count() < Count)
+        S.Required.set(R.uniformInt(N));
     } else {
       unsigned Owner = static_cast<unsigned>(R.uniformInt(N));
-      S.Required = InstrIndexMask{1} << Owner;
+      S.Required = InstrIndexMask::bit(Owner);
       unsigned Others = 1 + static_cast<unsigned>(R.uniformInt(2));
       for (unsigned O = 0; O < Others; ++O) {
         unsigned X = static_cast<unsigned>(R.uniformInt(N));
         if (X != Owner)
-          S.Forbidden |= InstrIndexMask{1} << X;
+          S.Forbidden.set(X);
       }
     }
     Cs.push_back(S);

@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Approx.h"
+#include "support/BitSet.h"
 #include "support/Executor.h"
 #include "support/Fraction.h"
 #include "support/Rng.h"
@@ -12,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <sstream>
@@ -19,6 +22,220 @@
 #include <vector>
 
 using namespace palmed;
+
+// -------------------------------------------------------------------- BitSet
+
+TEST(BitSet, EmptyAndSingleBit) {
+  BitSet S;
+  EXPECT_TRUE(S.none());
+  EXPECT_FALSE(S.any());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_FALSE(S.test(0));
+  EXPECT_FALSE(S.test(1000));
+
+  S.set(5);
+  EXPECT_TRUE(S.any());
+  EXPECT_TRUE(S.test(5));
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.findFirst(), 5u);
+  EXPECT_EQ(S.findLast(), 5u);
+  EXPECT_EQ(S, BitSet::bit(5));
+  S.reset(5);
+  EXPECT_TRUE(S.none());
+  EXPECT_EQ(S, BitSet());
+}
+
+TEST(BitSet, WordBoundarySizes) {
+  // The sizes that historically broke fixed-width masks: around the old
+  // 32-bit cap and around the inline 64-bit word.
+  for (size_t N : {31u, 32u, 33u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    BitSet S = BitSet::firstN(N);
+    EXPECT_EQ(S.count(), N) << N;
+    EXPECT_EQ(S.findFirst(), 0u) << N;
+    EXPECT_EQ(S.findLast(), N - 1) << N;
+    EXPECT_FALSE(S.test(N)) << N;
+
+    BitSet Top = BitSet::bit(N - 1);
+    EXPECT_TRUE(Top.isSubsetOf(S)) << N;
+    EXPECT_TRUE(S.intersects(Top)) << N;
+    BitSet Without = S.without(Top);
+    EXPECT_EQ(Without.count(), N - 1) << N;
+    EXPECT_FALSE(Without.test(N - 1)) << N;
+    EXPECT_EQ(Without | Top, S) << N;
+    EXPECT_EQ(S & Top, Top) << N;
+    EXPECT_EQ(S ^ Top, Without) << N;
+    // Crossing the boundary by one more bit.
+    BitSet Grown = S;
+    Grown.set(N);
+    EXPECT_EQ(Grown.count(), N + 1) << N;
+    EXPECT_EQ(Grown.findLast(), N) << N;
+    EXPECT_TRUE(S.isSubsetOf(Grown)) << N;
+    EXPECT_LT(S, Grown) << N;
+  }
+}
+
+TEST(BitSet, IntegerValueOrdering) {
+  // Ordering must match the underlying integer value — the property that
+  // keeps ordered containers iterating exactly like the old uint32_t
+  // masks.
+  std::vector<uint64_t> Values = {0, 1, 2, 3, 7, 8, 0x80, 0xff00ff,
+                                  0x8000000000000000ull};
+  for (uint64_t A : Values)
+    for (uint64_t B : Values) {
+      EXPECT_EQ(BitSet::fromWord(A) < BitSet::fromWord(B), A < B);
+      EXPECT_EQ(BitSet::fromWord(A) == BitSet::fromWord(B), A == B);
+    }
+  // Multi-word values sort above any single-word value.
+  EXPECT_LT(BitSet::fromWord(~uint64_t{0}), BitSet::bit(64));
+  EXPECT_LT(BitSet::bit(64), BitSet::bit(64) | BitSet::bit(0));
+  EXPECT_LT(BitSet::bit(64) | BitSet::bit(0), BitSet::bit(65));
+}
+
+TEST(BitSet, ShiftBasics) {
+  BitSet S = BitSet::fromWord(0b1011);
+  EXPECT_EQ(S << 2, BitSet::fromWord(0b101100));
+  EXPECT_EQ(S >> 1, BitSet::fromWord(0b101));
+  EXPECT_EQ(S >> 4, BitSet());
+  // Shifting across the inline-word boundary and back.
+  BitSet Wide = S << 62;
+  EXPECT_EQ(Wide.count(), 3u);
+  EXPECT_EQ(Wide.findLast(), 65u);
+  EXPECT_EQ(Wide >> 62, S);
+  EXPECT_EQ(BitSet::bit(0) << 200, BitSet::bit(200));
+  EXPECT_EQ(BitSet::bit(200) >> 200, BitSet::bit(0));
+}
+
+TEST(BitSet, IterationAndIndices) {
+  BitSet S;
+  std::vector<size_t> Expected = {0, 31, 32, 63, 64, 65, 200};
+  for (size_t I : Expected)
+    S.set(I);
+  EXPECT_EQ(S.toIndices(), Expected);
+  EXPECT_EQ(S.str(), "{0, 31, 32, 63, 64, 65, 200}");
+}
+
+TEST(BitSet, HashingEqualValuesAgree) {
+  // Same value reached via different construction histories (including a
+  // spill to the heap and back) must hash identically.
+  BitSet A = BitSet::fromWord(0b1010);
+  BitSet B;
+  B.set(1);
+  B.set(3);
+  B.set(100);
+  B.reset(100); // Shrinks back to one word.
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_EQ(std::hash<BitSet>()(A), A.hash());
+  EXPECT_NE(BitSet::bit(64).hash(), BitSet::bit(63).hash());
+}
+
+/// Property: BitSet agrees with a std::vector<bool> reference model under
+/// random set/reset/union/intersection/difference/shift/subset ops.
+class BitSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+namespace {
+
+std::vector<bool> refModel(const BitSet &S, size_t N) {
+  std::vector<bool> Out(N, false);
+  S.forEachSetBit([&](size_t I) { Out[I] = true; });
+  return Out;
+}
+
+} // namespace
+
+TEST_P(BitSetProperty, MatchesVectorBoolModel) {
+  Rng R(GetParam());
+  // Universe straddling two words keeps every op crossing the boundary.
+  const size_t N = 65 + R.uniformInt(80);
+  BitSet A, B;
+  std::vector<bool> RefA(N, false), RefB(N, false);
+  for (int Op = 0; Op < 200; ++Op) {
+    size_t I = R.uniformInt(N);
+    switch (R.uniformInt(6)) {
+    case 0:
+      A.set(I);
+      RefA[I] = true;
+      break;
+    case 1:
+      A.reset(I);
+      RefA[I] = false;
+      break;
+    case 2:
+      B.set(I);
+      RefB[I] = true;
+      break;
+    case 3:
+      B.flip(I);
+      RefB[I] = !RefB[I];
+      break;
+    case 4: { // Shift A left by a small amount within the universe.
+      size_t Sh = R.uniformInt(5);
+      if (A.any() && A.findLast() + Sh < N) {
+        A <<= Sh;
+        std::vector<bool> Next(N, false);
+        for (size_t X = 0; X + Sh < N; ++X)
+          if (RefA[X])
+            Next[X + Sh] = true;
+        RefA = Next;
+      }
+      break;
+    }
+    case 5: { // Shift B right.
+      size_t Sh = R.uniformInt(70);
+      B >>= Sh;
+      std::vector<bool> Next(N, false);
+      for (size_t X = Sh; X < N; ++X)
+        if (RefB[X])
+          Next[X - Sh] = true;
+      RefB = Next;
+      break;
+    }
+    }
+
+    ASSERT_EQ(refModel(A, N), RefA);
+    ASSERT_EQ(refModel(B, N), RefB);
+
+    // Derived ops against the model.
+    std::vector<bool> RefOr(N), RefAnd(N), RefDiff(N);
+    bool RefIntersects = false, RefSubset = true;
+    size_t RefCount = 0;
+    for (size_t X = 0; X < N; ++X) {
+      RefOr[X] = RefA[X] || RefB[X];
+      RefAnd[X] = RefA[X] && RefB[X];
+      RefDiff[X] = RefA[X] && !RefB[X];
+      RefIntersects |= RefA[X] && RefB[X];
+      RefSubset &= !RefA[X] || RefB[X];
+      RefCount += RefA[X];
+    }
+    ASSERT_EQ(refModel(A | B, N), RefOr);
+    ASSERT_EQ(refModel(A & B, N), RefAnd);
+    ASSERT_EQ(refModel(A.without(B), N), RefDiff);
+    ASSERT_EQ(A.intersects(B), RefIntersects);
+    ASSERT_EQ(A.isSubsetOf(B), RefSubset);
+    ASSERT_EQ(A.count(), RefCount);
+    ASSERT_EQ((A ^ B) ^ B, A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitSetProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// -------------------------------------------------------------------- Approx
+
+TEST(Approx, RelDiff) {
+  EXPECT_DOUBLE_EQ(relDiff(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relDiff(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(relDiff(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relDiff(2.0, 1.0), 0.5); // Symmetric.
+  EXPECT_TRUE(approxEqual(1.0, 1.04, 0.05));
+  EXPECT_FALSE(approxEqual(1.0, 1.06, 0.05));
+}
+
+TEST(Approx, IsAdditivePair) {
+  EXPECT_TRUE(isAdditivePair(3.0, 1.0, 2.0, 0.05));
+  EXPECT_TRUE(isAdditivePair(2.9, 1.0, 2.0, 0.05));
+  EXPECT_FALSE(isAdditivePair(2.0, 1.0, 2.0, 0.05));
+}
 
 // ---------------------------------------------------------------- Statistics
 

@@ -37,13 +37,29 @@ using namespace palmed;
 
 namespace {
 
+/// Machine roster shared by construction, the usage text, and the
+/// unknown-name error message.
+constexpr const char *MachineNames[] = {"skl", "zen", "fig1", "stress",
+                                        "huge"};
+
+std::string machineNameList() {
+  std::string Out;
+  for (const char *Name : MachineNames) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Name;
+  }
+  return Out;
+}
+
 void usage() {
   std::fprintf(
       stderr,
       "palmed_cli %s\n"
       "usage:\n"
-      "  palmed_cli map     --machine skl|zen|fig1|stress [--noise S]\n"
-      "                     [--out F] [--threads N] [--progress]\n"
+      "  palmed_cli map     --machine MACHINE [--noise S] [--out F]\n"
+      "                     [--threads N] [--progress]\n"
+      "                     [--prune-pairs | --no-prune-pairs]\n"
       "  palmed_cli predict --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli analyze --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli eval    --machine M [--threads N] [--blocks N]\n"
@@ -51,8 +67,10 @@ void usage() {
       "  palmed_cli dual    --machine M\n"
       "KERNEL is e.g. \"ADD_0^2 LOAD_0\" (instruction names with optional\n"
       "^multiplicity). Machines: skl (Skylake-like), zen (Zen1-like),\n"
-      "fig1 (the paper's running example), stress (large synthetic ISA).\n"
-      "--threads 0 resolves to the hardware thread count.\n",
+      "fig1 (the paper's running example), stress (large synthetic ISA),\n"
+      "huge (2048-instruction / 24-port synthetic ISA).\n"
+      "--threads 0 resolves to the hardware thread count. --prune-pairs\n"
+      "enables the cluster-first selection pruning (default for huge).\n",
       versionString());
 }
 
@@ -65,7 +83,10 @@ std::optional<MachineModel> makeMachine(const std::string &Name) {
     return makeFig1Machine();
   if (Name == "stress")
     return makeStressMachine(StressIsaConfig());
-  std::fprintf(stderr, "error: unknown machine '%s'\n", Name.c_str());
+  if (Name == "huge")
+    return makeStressMachine(hugeStressConfig());
+  std::fprintf(stderr, "error: unknown machine '%s' (valid machines: %s)\n",
+               Name.c_str(), machineNameList().c_str());
   return std::nullopt;
 }
 
@@ -88,6 +109,9 @@ struct Options {
   unsigned Threads = 1;
   size_t Blocks = 300;
   bool Progress = false;
+  /// Cluster-first selection pruning: unset = default (on for huge, off
+  /// otherwise), overridable with --prune-pairs / --no-prune-pairs.
+  std::optional<bool> PrunePairs;
 };
 
 std::optional<Options> parseArgs(int Argc, char **Argv) {
@@ -143,6 +167,10 @@ std::optional<Options> parseArgs(int Argc, char **Argv) {
         return std::nullopt;
     } else if (Arg == "--progress") {
       O.Progress = true;
+    } else if (Arg == "--prune-pairs") {
+      O.PrunePairs = true;
+    } else if (Arg == "--no-prune-pairs") {
+      O.PrunePairs = false;
     } else if (!Arg.empty() && Arg[0] != '-') {
       O.Kernel = Arg;
     } else {
@@ -179,10 +207,11 @@ const char *bwpModeName(BwpMode Mode) {
 void printConfigBanner(const PalmedConfig &Cfg, const Options &O) {
   std::fprintf(stderr,
                "palmed %s | machine=%s epsilon=%g M=%d L=%d mode=%s "
-               "max-iter=%d noise=%g threads=%u\n",
+               "max-iter=%d noise=%g threads=%u prune-pairs=%d\n",
                versionString(), O.Machine.c_str(), Cfg.Epsilon, Cfg.MRepeat,
                Cfg.LSat, bwpModeName(Cfg.Mode), Cfg.MaxShapeIterations,
-               O.Noise, Cfg.Execution.NumThreads);
+               O.Noise, Cfg.Execution.NumThreads,
+               Cfg.Selection.ClusterPairPruning ? 1 : 0);
 }
 
 /// Stage-progress printer for `map --progress`.
@@ -216,6 +245,10 @@ int cmdMap(const Options &O) {
 
   PalmedConfig Cfg;
   Cfg.Execution = policyFor(O.Threads);
+  // The huge profile's full quadratic sweep is the wall the pruning
+  // removes; everywhere else the paper's full sweep stays the default.
+  Cfg.Selection.ClusterPairPruning =
+      O.PrunePairs.value_or(O.Machine == "huge");
   printConfigBanner(Cfg, O);
   std::fprintf(stderr, "inferring mapping for '%s'...\n",
                Machine->name().c_str());
@@ -225,10 +258,11 @@ int cmdMap(const Options &O) {
     P.setObserver(&Observer);
   const PalmedResult &R = P.run();
   std::fprintf(stderr,
-               "%zu resources, %zu instructions mapped, %zu benchmarks, "
-               "%.1fs total\n",
+               "%zu resources, %zu instructions mapped, %zu benchmarks "
+               "(%zu of %zu quadratic pairs), %.1fs total\n",
                R.Stats.NumResources, R.Stats.NumMapped,
-               R.Stats.NumBenchmarks,
+               R.Stats.NumBenchmarks, R.Stats.PairBenchmarks,
+               R.Stats.PairBenchmarksQuadratic,
                R.Stats.SelectionSeconds + R.Stats.CoreMappingSeconds +
                    R.Stats.CompleteMappingSeconds);
 
