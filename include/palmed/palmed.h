@@ -47,4 +47,9 @@
 #include "core/MappingAnalysis.h"
 #include "eval/Workload.h"
 
+// Serving substrate: mapping (de)serialization and the prediction daemon.
+#include "serve/Client.h"
+#include "serve/MappingIO.h"
+#include "serve/Server.h"
+
 #endif // PALMED_PALMED_PALMED_H

@@ -51,7 +51,11 @@ def main(argv):
         if not name.endswith(suffix):
             continue
         if name not in new:
-            failures.append(f"{name}: missing from the new report")
+            # Benches come and go across PRs; a metric present in only one
+            # of the two reports is not comparable, so it is skipped rather
+            # than failed. The checked==0 guard still catches a report that
+            # shares nothing with the baseline.
+            print(f"{name}: only in the baseline, skipped")
             continue
         checked += 1
         limit = old_value * factor
@@ -62,8 +66,11 @@ def main(argv):
             failures.append(
                 f"{name}: {new[name]:.3f} > {factor}x baseline "
                 f"{old_value:.3f}")
+    for name in new:
+        if name.endswith(suffix) and name not in old:
+            print(f"{name}: only in the new report, skipped")
     if checked == 0:
-        failures.append(f"no {suffix} metrics found in the baseline")
+        failures.append(f"no common {suffix} metrics between the reports")
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the serving stack, shared by ctest (cli.serve_smoke)
+# and CI: infer + save a binary mapping, start palmed_serve on it, run a
+# batched query round-trip, assert a nonzero connection QPS and cache hits
+# on re-query, then check the daemon exits 0 on SIGTERM.
+#
+# usage: serve_smoke.sh WORKDIR
+# env:   PALMED_CLI, PALMED_SERVE  — tool paths (default: on $PATH)
+#        PALMED_SMOKE_MACHINE      — machine profile (default: skl)
+set -euo pipefail
+
+WORKDIR=${1:?usage: serve_smoke.sh WORKDIR}
+CLI=${PALMED_CLI:-palmed_cli}
+SERVE=${PALMED_SERVE:-palmed_serve}
+MACHINE=${PALMED_SMOKE_MACHINE:-skl}
+
+case "$MACHINE" in
+  fig1) KERNELS=("ADDSS" "ADDSS^2 VCVTT" "BSR ADDSS") ;;
+  *)    KERNELS=("ADD_0" "ADD_0^2 LOAD_0" "STORE_0 LOAD_0") ;;
+esac
+
+mkdir -p "$WORKDIR"
+MAPFILE="$WORKDIR/$MACHINE.palmedmap"
+SOCK="$WORKDIR/serve.sock"
+rm -f "$MAPFILE" "$SOCK"
+
+echo "== map --machine $MACHINE --save $MAPFILE"
+"$CLI" map --machine "$MACHINE" --save "$MAPFILE"
+test -s "$MAPFILE"
+
+echo "== starting palmed_serve"
+"$SERVE" --socket "$SOCK" --load "$MACHINE=$MAPFILE" &
+SERVE_PID=$!
+trap 'kill -9 $SERVE_PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 $SERVE_PID 2>/dev/null || { echo "FAIL: server died"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: server socket never appeared"; exit 1; }
+
+echo "== batched query round-trip"
+OUT1=$("$CLI" query --socket "$SOCK" --machine "$MACHINE" "${KERNELS[@]}")
+echo "$OUT1"
+ANSWERS=$(printf '%s\n' "$OUT1" | grep -c "ipc=")
+[ "$ANSWERS" -eq "${#KERNELS[@]}" ] || {
+  echo "FAIL: expected ${#KERNELS[@]} answers, got $ANSWERS"; exit 1; }
+
+echo "== re-query (cache hits) + stats"
+OUT2=$("$CLI" query --socket "$SOCK" --machine "$MACHINE" \
+  "${KERNELS[@]}" --stats --list)
+echo "$OUT2"
+QPS=$(printf '%s\n' "$OUT2" | awk '$1 == "conn.qps" {print $2}')
+awk -v q="${QPS:-0}" 'BEGIN { exit !(q > 0) }' || {
+  echo "FAIL: conn.qps not positive (got '${QPS:-}')"; exit 1; }
+HITS=$(printf '%s\n' "$OUT2" | awk '$1 == "server.cache_hits" {print $2}')
+awk -v h="${HITS:-0}" 'BEGIN { exit !(h > 0) }' || {
+  echo "FAIL: re-query produced no cache hits (got '${HITS:-}')"; exit 1; }
+printf '%s\n' "$OUT2" | grep -q "^$MACHINE " || {
+  echo "FAIL: --list did not report machine '$MACHINE'"; exit 1; }
+
+echo "== SIGTERM shutdown"
+kill -TERM $SERVE_PID
+RC=0
+wait $SERVE_PID || RC=$?
+trap - EXIT
+[ "$RC" -eq 0 ] || { echo "FAIL: server exited $RC on SIGTERM"; exit 1; }
+[ ! -e "$SOCK" ] || { echo "FAIL: socket file left behind"; exit 1; }
+
+echo "PASS: serve smoke ($MACHINE, ${#KERNELS[@]}-kernel batch, qps=$QPS)"

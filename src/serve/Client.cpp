@@ -1,0 +1,122 @@
+//===- serve/Client.cpp - Synchronous serving-protocol client -------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace palmed;
+using namespace palmed::serve;
+
+Client::~Client() { disconnect(); }
+
+Client::Client(Client &&O) noexcept : Fd(O.Fd), Error(std::move(O.Error)) {
+  O.Fd = -1;
+}
+
+Client &Client::operator=(Client &&O) noexcept {
+  if (this != &O) {
+    disconnect();
+    Fd = O.Fd;
+    Error = std::move(O.Error);
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+void Client::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::fail(std::string Message) {
+  Error = std::move(Message);
+  return false;
+}
+
+bool Client::connect(const std::string &SocketPath) {
+  disconnect();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path))
+    return fail("socket path '" + SocketPath +
+                "' is empty or too long for AF_UNIX");
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return fail(std::string("socket(): ") + std::strerror(errno));
+  int R;
+  do {
+    R = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (R < 0 && errno == EINTR);
+  if (R < 0) {
+    int E = errno;
+    disconnect();
+    return fail("connect to '" + SocketPath + "': " + std::strerror(E));
+  }
+  Error.clear();
+  return true;
+}
+
+bool Client::roundTrip(const std::string &Request, std::string &Response) {
+  if (Fd < 0)
+    return fail("not connected");
+  if (!writeFrame(Fd, Request))
+    return fail("request write failed (server gone?)");
+  if (!readFrame(Fd, Response))
+    return fail("response read failed (server gone?)");
+  if (auto Err = decodeErrorResponse(Response))
+    return fail("server error: " + Err->Message);
+  return true;
+}
+
+std::optional<QueryResponse>
+Client::query(const std::string &Machine,
+              const std::vector<std::string> &Kernels) {
+  QueryRequest Req;
+  Req.Machine = Machine;
+  Req.Kernels = Kernels;
+  std::string Response;
+  if (!roundTrip(encodeQueryRequest(Req), Response))
+    return std::nullopt;
+  auto Msg = decodeQueryResponse(Response);
+  if (!Msg) {
+    fail("malformed query response");
+    return std::nullopt;
+  }
+  if (Msg->Answers.size() != Kernels.size()) {
+    fail("query response answer count mismatch");
+    return std::nullopt;
+  }
+  return Msg;
+}
+
+std::optional<StatsResponse> Client::stats() {
+  std::string Response;
+  if (!roundTrip(encodeStatsRequest(), Response))
+    return std::nullopt;
+  auto Msg = decodeStatsResponse(Response);
+  if (!Msg)
+    fail("malformed stats response");
+  return Msg;
+}
+
+std::optional<ListResponse> Client::list() {
+  std::string Response;
+  if (!roundTrip(encodeListRequest(), Response))
+    return std::nullopt;
+  auto Msg = decodeListResponse(Response);
+  if (!Msg)
+    fail("malformed list response");
+  return Msg;
+}

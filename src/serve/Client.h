@@ -1,0 +1,74 @@
+//===- serve/Client.h - Synchronous serving-protocol client ----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small synchronous client for the palmed_serve protocol: one AF_UNIX
+/// connection, blocking request/response. Every call either returns the
+/// decoded response or fails with a message in lastError() — including the
+/// case where the server answered with an ErrorResponse frame (its text
+/// becomes the error message).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SERVE_CLIENT_H
+#define PALMED_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace palmed {
+namespace serve {
+
+/// Blocking client over one connection. Not thread-safe: callers issue one
+/// request at a time (open one Client per thread for concurrency).
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&O) noexcept;
+  Client &operator=(Client &&O) noexcept;
+
+  /// Connects to the server's AF_UNIX socket. Returns false (and sets
+  /// lastError()) on failure.
+  bool connect(const std::string &SocketPath);
+
+  bool connected() const { return Fd >= 0; }
+  void disconnect();
+
+  /// Batched prediction query: one IPC + bottleneck answer per kernel, in
+  /// request order. nullopt on transport/protocol/server error.
+  std::optional<QueryResponse> query(const std::string &Machine,
+                                     const std::vector<std::string> &Kernels);
+
+  /// Per-connection + server-wide counters.
+  std::optional<StatsResponse> stats();
+
+  /// Machines the server is willing to answer for.
+  std::optional<ListResponse> list();
+
+  const std::string &lastError() const { return Error; }
+
+private:
+  /// Sends \p Request and reads one response frame into \p Response.
+  /// Handles ErrorResponse frames by failing with the server's message.
+  bool roundTrip(const std::string &Request, std::string &Response);
+
+  bool fail(std::string Message);
+
+  int Fd = -1;
+  std::string Error;
+};
+
+} // namespace serve
+} // namespace palmed
+
+#endif // PALMED_SERVE_CLIENT_H

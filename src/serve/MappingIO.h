@@ -1,0 +1,112 @@
+//===- serve/MappingIO.h - Versioned on-disk mapping format ----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serialization layer of the serving subsystem: a versioned binary
+/// on-disk format for inferred resource mappings. A mapping is computed
+/// once (minutes of pipeline work) and queried millions of times, so the
+/// format is built for integrity, not editing:
+///
+///   magic "PLMDMAPB" | u32 format version | machine name | u64 machine
+///   digest | u32 payload size | u32 CRC32(payload) | payload
+///
+/// The payload stores every rho coefficient as raw IEEE-754 bits, so a
+/// save/load round trip is *bit-identical*: the reloaded mapping's
+/// predictions are byte-equal to the in-memory mapping's. The machine
+/// digest (a stable hash of the machine name, port roster, and ISA) ties
+/// a file to the machine it was inferred on; loading it against a
+/// different machine fails with a typed error instead of mis-indexing
+/// instruction ids.
+///
+/// Every rejection path is a typed MappingIOStatus — Truncated,
+/// BadChecksum, BadVersion, MachineMismatch, ... — so callers (CLI,
+/// palmed_serve) can report precisely why a file was refused.
+/// loadMappingAuto() additionally accepts the legacy line-oriented text
+/// format (ResourceMapping::toText) for backward compatibility.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SERVE_MAPPINGIO_H
+#define PALMED_SERVE_MAPPINGIO_H
+
+#include "core/ResourceMapping.h"
+#include "machine/MachineModel.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace palmed {
+namespace serve {
+
+/// Why a mapping file was accepted or refused.
+enum class MappingIOStatus {
+  Ok = 0,
+  IoError,         ///< Cannot open/read/write the file.
+  BadMagic,        ///< Not a binary mapping file.
+  BadVersion,      ///< Binary mapping of an unsupported format version.
+  Truncated,       ///< File ends before the declared payload does.
+  BadChecksum,     ///< Payload CRC32 mismatch (corrupted file).
+  MachineMismatch, ///< File was saved for a different machine/ISA.
+  Malformed,       ///< Structurally invalid payload (or unparseable text).
+};
+
+/// Stable lower-case name of \p Status, for error messages and tests.
+const char *mappingIOStatusName(MappingIOStatus Status);
+
+/// Typed load/save error: the status plus a human-readable sentence.
+struct MappingIOError {
+  MappingIOStatus Status = MappingIOStatus::Ok;
+  std::string Message;
+
+  bool ok() const { return Status == MappingIOStatus::Ok; }
+};
+
+/// Current binary format version (bumped on layout changes).
+constexpr uint32_t MappingFormatVersion = 1;
+
+/// Stable digest of the machine identity a mapping is valid for: machine
+/// name, port roster, and the ISA's instruction names in id order (the id
+/// space is what the payload's instruction indices mean).
+uint64_t machineDigest(const MachineModel &Machine);
+
+/// Serializes \p Mapping to the full binary file image (header +
+/// checksummed payload). Never fails: any mapping over \p Machine's ISA
+/// is representable.
+std::string serializeMapping(const ResourceMapping &Mapping,
+                             const MachineModel &Machine);
+
+/// Parses a binary file image produced by serializeMapping. On failure
+/// returns nullopt and fills \p Err (when non-null) with the typed reason.
+std::optional<ResourceMapping>
+deserializeMapping(const std::string &Bytes, const MachineModel &Machine,
+                   MappingIOError *Err = nullptr);
+
+/// Writes \p Mapping to \p Path in the binary format. Returns false and
+/// fills \p Err on I/O failure.
+bool saveMapping(const std::string &Path, const ResourceMapping &Mapping,
+                 const MachineModel &Machine, MappingIOError *Err = nullptr);
+
+/// Reads a binary mapping file. Rejections are typed (see MappingIOStatus).
+std::optional<ResourceMapping>
+loadMapping(const std::string &Path, const MachineModel &Machine,
+            MappingIOError *Err = nullptr);
+
+/// Like loadMapping, but falls back to the legacy text format when the
+/// file does not start with the binary magic. Text files that fail to
+/// parse report Malformed.
+std::optional<ResourceMapping>
+loadMappingAuto(const std::string &Path, const MachineModel &Machine,
+                MappingIOError *Err = nullptr);
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320) over \p Size bytes; the
+/// checksum guarding the payload. Exposed for tests.
+uint32_t crc32(const void *Data, size_t Size);
+
+} // namespace serve
+} // namespace palmed
+
+#endif // PALMED_SERVE_MAPPINGIO_H

@@ -1,0 +1,142 @@
+//===- serve/Protocol.h - Length-prefixed serving protocol -----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol between palmed_serve and its clients: length-prefixed
+/// binary frames over a local (AF_UNIX) stream socket.
+///
+///   frame   := u32 payload-length | payload
+///   payload := u8 message-type | body
+///
+/// All integers are little-endian; doubles travel as their raw IEEE-754
+/// bits (predictions read back byte-equal to what the server computed).
+/// Requests carry kernels as text ("ADD_0^2 LOAD_0"); the server parses
+/// them against the target machine's ISA, so clients need no ISA tables.
+///
+/// Messages:
+///   QueryRequest   machine name + batch of kernel strings
+///   QueryResponse  per-kernel status, IPC, bottleneck resource names
+///   StatsRequest   -> StatsResponse: named f64 counters (latency, QPS,
+///                  cache hits) for the connection and the whole server
+///   ListRequest    -> ListResponse: served machines (name, digest, sizes)
+///   ErrorResponse  request-level failure (unknown machine, bad frame)
+///
+/// Encode/decode here is pure byte shuffling shared by Server and Client;
+/// the frame I/O helpers at the bottom do the read()/write() loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_SERVE_PROTOCOL_H
+#define PALMED_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace palmed {
+namespace serve {
+
+/// Message type tag, first byte of every frame payload.
+enum class MsgType : uint8_t {
+  QueryRequest = 1,
+  QueryResponse = 2,
+  StatsRequest = 3,
+  StatsResponse = 4,
+  ListRequest = 5,
+  ListResponse = 6,
+  ErrorResponse = 7,
+};
+
+/// Frames larger than this are refused on both sides (a corrupted length
+/// prefix must not turn into a multi-gigabyte allocation).
+constexpr size_t MaxFrameBytes = 64u << 20;
+
+/// Batched throughput/bottleneck query for one machine.
+struct QueryRequest {
+  std::string Machine;
+  std::vector<std::string> Kernels;
+};
+
+/// Per-kernel answer within a QueryResponse.
+struct KernelAnswer {
+  enum class Status : uint8_t {
+    Ok = 0,          ///< Ipc and Bottlenecks are valid.
+    ParseError = 1,  ///< Kernel text did not parse against the ISA.
+    Unsupported = 2, ///< Mapping does not cover the kernel.
+  };
+  Status S = Status::Ok;
+  double Ipc = 0.0;
+  /// Co-bottleneck abstract-resource names, most loaded first.
+  std::vector<std::string> Bottlenecks;
+};
+
+struct QueryResponse {
+  std::vector<KernelAnswer> Answers;
+};
+
+/// Named counters (latency percentiles, QPS, cache hit rates, ...).
+struct StatsResponse {
+  std::vector<std::pair<std::string, double>> Counters;
+};
+
+/// One served machine in a ListResponse.
+struct MachineInfo {
+  std::string Name;
+  uint64_t Digest = 0;
+  uint32_t NumResources = 0;
+  uint32_t NumMapped = 0;
+};
+
+struct ListResponse {
+  std::vector<MachineInfo> Machines;
+};
+
+struct ErrorResponse {
+  std::string Message;
+};
+
+/// Encoders produce a full frame payload (type byte included).
+std::string encodeQueryRequest(const QueryRequest &Msg);
+std::string encodeQueryResponse(const QueryResponse &Msg);
+
+/// Appends one KernelAnswer record (the per-kernel unit inside a
+/// QueryResponse body) to \p Out. The server caches these pre-encoded
+/// records so a batch slot is served by a single append.
+void appendKernelAnswer(std::string &Out, const KernelAnswer &Answer);
+
+/// Appends the QueryResponse header (type byte + answer count); the body
+/// is \p NumAnswers appendKernelAnswer records.
+void appendQueryResponseHeader(std::string &Out, uint32_t NumAnswers);
+std::string encodeStatsRequest();
+std::string encodeStatsResponse(const StatsResponse &Msg);
+std::string encodeListRequest();
+std::string encodeListResponse(const ListResponse &Msg);
+std::string encodeErrorResponse(const ErrorResponse &Msg);
+
+/// Type tag of an encoded payload; nullopt when empty or unknown.
+std::optional<MsgType> peekType(const std::string &Payload);
+
+/// Decoders check the type byte and full body; nullopt on any mismatch.
+std::optional<QueryRequest> decodeQueryRequest(const std::string &Payload);
+std::optional<QueryResponse> decodeQueryResponse(const std::string &Payload);
+std::optional<StatsResponse> decodeStatsResponse(const std::string &Payload);
+std::optional<ListResponse> decodeListResponse(const std::string &Payload);
+std::optional<ErrorResponse> decodeErrorResponse(const std::string &Payload);
+
+/// Writes one length-prefixed frame to \p Fd (full write loop). Returns
+/// false on I/O error or oversized payload.
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one length-prefixed frame from \p Fd into \p Payload. Returns
+/// false on EOF, I/O error, or a length prefix beyond MaxFrameBytes.
+bool readFrame(int Fd, std::string &Payload);
+
+} // namespace serve
+} // namespace palmed
+
+#endif // PALMED_SERVE_PROTOCOL_H

@@ -1,0 +1,422 @@
+//===- serve/Server.cpp - Batched mapping prediction daemon ---------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "core/MappingAnalysis.h"
+#include "serve/MappingIO.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <poll.h>
+#include <stdexcept>
+#include <string_view>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <unordered_map>
+
+using namespace palmed;
+using namespace palmed::serve;
+
+Server::Server(ServerConfig C)
+    : Config(std::move(C)), Exec(std::max(1u, Config.NumThreads)) {}
+
+Server::~Server() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Config.SocketPath.c_str());
+  }
+}
+
+void Server::addMachine(std::string Name, MachineModel Machine,
+                        ResourceMapping Mapping) {
+  for (const auto &M : Machines)
+    if (M->Name == Name)
+      throw std::invalid_argument("machine '" + Name +
+                                  "' is already being served");
+  Machines.push_back(std::make_unique<ServedMachine>(
+      std::move(Name), std::move(Machine), std::move(Mapping)));
+}
+
+Server::ServedMachine *Server::findMachine(const std::string &Name) {
+  for (const auto &M : Machines)
+    if (M->Name == Name)
+      return M.get();
+  return nullptr;
+}
+
+ServerTotals Server::totals() const {
+  ServerTotals T;
+  T.Connections = TotalConnections.load(std::memory_order_relaxed);
+  T.Requests = TotalRequests.load(std::memory_order_relaxed);
+  T.Kernels = TotalKernels.load(std::memory_order_relaxed);
+  T.CacheHits = TotalCacheHits.load(std::memory_order_relaxed);
+  T.CacheMisses = TotalCacheMisses.load(std::memory_order_relaxed);
+  return T;
+}
+
+Prediction Server::predictOne(ServedMachine &M,
+                              const std::string &KernelText) {
+  Prediction P;
+  auto K = Microkernel::parse(KernelText, M.Machine.isa());
+  if (!K) {
+    P.S = Prediction::Status::ParseError;
+  } else if (auto Ipc = M.Mapping.predictIpc(*K)) {
+    P.Ipc = *Ipc;
+    BottleneckReport Report = analyzeKernel(M.Mapping, *K);
+    size_t N = std::min(Report.NumCoBottlenecks, Report.Loads.size());
+    P.Bottlenecks.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      P.Bottlenecks.push_back(
+          static_cast<uint32_t>(Report.Loads[I].Resource));
+  } else {
+    P.S = Prediction::Status::Unsupported;
+  }
+
+  // Pre-encode the answer record once; cache hits just append the bytes.
+  KernelAnswer A;
+  A.S = static_cast<KernelAnswer::Status>(P.S);
+  A.Ipc = P.Ipc;
+  A.Bottlenecks.reserve(P.Bottlenecks.size());
+  for (uint32_t R : P.Bottlenecks)
+    A.Bottlenecks.push_back(M.Mapping.resourceName(R));
+  appendKernelAnswer(P.Wire, A);
+  return P;
+}
+
+std::optional<std::string> Server::evaluateWire(const QueryRequest &Request,
+                                                uint64_t *Hits,
+                                                uint64_t *Misses,
+                                                std::string *Error) {
+  ServedMachine *M = findMachine(Request.Machine);
+  if (!M) {
+    if (Error) {
+      std::string Names;
+      for (const auto &S : Machines)
+        Names += (Names.empty() ? "" : ", ") + S->Name;
+      *Error = "unknown machine '" + Request.Machine +
+               "' (serving: " + Names + ")";
+    }
+    return std::nullopt;
+  }
+  size_t N = Request.Kernels.size();
+  if (N > Config.MaxBatchKernels) {
+    if (Error)
+      *Error = "batch of " + std::to_string(N) +
+               " kernels exceeds the limit of " +
+               std::to_string(Config.MaxBatchKernels);
+    return std::nullopt;
+  }
+
+  // Hit path: one shard probe per kernel, then a byte append below. The
+  // pointers stay valid — cache entries are never erased or mutated.
+  std::vector<const Prediction *> Per(N, nullptr);
+  std::vector<size_t> MissPos;
+  uint64_t BatchHits = 0, BatchMisses = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Per[I] = M->Cache->lookupPtr(Request.Kernels[I]);
+    if (Per[I])
+      ++BatchHits;
+    else
+      MissPos.push_back(I);
+  }
+
+  if (!MissPos.empty()) {
+    // Dedupe the missing texts; each distinct one is computed once.
+    std::unordered_map<std::string_view, uint64_t> Count;
+    std::vector<const std::string *> Distinct;
+    for (size_t I : MissPos) {
+      auto [It, Inserted] = Count.try_emplace(
+          std::string_view(Request.Kernels[I]), 0);
+      if (Inserted)
+        Distinct.push_back(&Request.Kernels[I]);
+      ++It->second;
+    }
+    std::vector<char> WasHit(Distinct.size(), 0);
+    auto Work = [&](size_t I, unsigned) {
+      bool H = false;
+      M->Cache->getOrCompute(
+          *Distinct[I], [&] { return predictOne(*M, *Distinct[I]); }, &H);
+      WasHit[I] = H ? 1 : 0;
+    };
+    if (Distinct.size() == 1 || Exec.numWorkers() == 1) {
+      for (size_t I = 0; I < Distinct.size(); ++I)
+        Work(I, 0);
+    } else {
+      // The executor is single-driver: one batch fan-out at a time.
+      std::lock_guard<std::mutex> Lock(ExecMutex);
+      Exec.parallelFor(Distinct.size(), Work);
+    }
+    for (size_t D = 0; D < Distinct.size(); ++D) {
+      uint64_t Occ = Count[std::string_view(*Distinct[D])];
+      if (WasHit[D]) {
+        // Raced with another connection computing the same kernel.
+        BatchHits += Occ;
+      } else {
+        BatchMisses += 1;
+        BatchHits += Occ - 1; // In-batch duplicates of a computed kernel.
+      }
+    }
+    for (size_t I : MissPos)
+      Per[I] = M->Cache->lookupPtr(Request.Kernels[I]);
+  }
+
+  std::string Out;
+  size_t Bytes = 5; // Header: type byte + u32 answer count.
+  for (const Prediction *P : Per)
+    Bytes += P->Wire.size();
+  Out.reserve(Bytes);
+  appendQueryResponseHeader(Out, static_cast<uint32_t>(N));
+  for (const Prediction *P : Per)
+    Out += P->Wire;
+
+  if (Hits)
+    *Hits += BatchHits;
+  if (Misses)
+    *Misses += BatchMisses;
+  TotalRequests.fetch_add(1, std::memory_order_relaxed);
+  TotalKernels.fetch_add(N, std::memory_order_relaxed);
+  TotalCacheHits.fetch_add(BatchHits, std::memory_order_relaxed);
+  TotalCacheMisses.fetch_add(BatchMisses, std::memory_order_relaxed);
+  if (Error)
+    Error->clear();
+  return Out;
+}
+
+QueryResponse Server::evaluate(const QueryRequest &Request, uint64_t *Hits,
+                               uint64_t *Misses, std::string *Error) {
+  auto Wire = evaluateWire(Request, Hits, Misses, Error);
+  if (!Wire)
+    return {};
+  auto Decoded = decodeQueryResponse(*Wire);
+  return Decoded ? std::move(*Decoded) : QueryResponse{};
+}
+
+void Server::bind() {
+  if (Machines.empty())
+    throw std::runtime_error("refusing to serve zero machines");
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Config.SocketPath.empty() ||
+      Config.SocketPath.size() >= sizeof(Addr.sun_path))
+    throw std::runtime_error("socket path '" + Config.SocketPath +
+                             "' is empty or too long for AF_UNIX");
+  std::memcpy(Addr.sun_path, Config.SocketPath.c_str(),
+              Config.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    throw std::runtime_error(std::string("socket(): ") +
+                             std::strerror(errno));
+  ::unlink(Config.SocketPath.c_str()); // Stale socket from a dead server.
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, 64) < 0) {
+    int E = errno;
+    ::close(ListenFd);
+    ListenFd = -1;
+    throw std::runtime_error("bind/listen on '" + Config.SocketPath +
+                             "': " + std::strerror(E));
+  }
+}
+
+namespace {
+
+/// Latency percentile over an (unsorted) sample buffer, in the samples'
+/// unit. Q in (0, 1]; nearest-rank definition.
+double percentile(std::vector<double> Samples, double Q) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  double Rank = std::ceil(Q * static_cast<double>(Samples.size()));
+  size_t Idx = Rank <= 1.0 ? 0 : static_cast<size_t>(Rank) - 1;
+  return Samples[std::min(Idx, Samples.size() - 1)];
+}
+
+} // namespace
+
+void Server::handleConnection(Connection &Conn) {
+  using Clock = std::chrono::steady_clock;
+  struct Counters {
+    uint64_t Queries = 0;
+    uint64_t Kernels = 0;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    /// Query-latency ring, microseconds.
+    std::vector<double> LatencyUs;
+    uint64_t LatencySeen = 0;
+  } C;
+  const Clock::time_point Opened = Clock::now();
+
+  std::string Payload;
+  while (!stopRequested() && readFrame(Conn.Fd, Payload)) {
+    auto Type = peekType(Payload);
+    if (!Type) {
+      if (!writeFrame(Conn.Fd,
+                      encodeErrorResponse({"unrecognized message type"})))
+        break;
+      continue;
+    }
+    bool WriteOk = true;
+    switch (*Type) {
+    case MsgType::QueryRequest: {
+      Clock::time_point T0 = Clock::now();
+      auto Req = decodeQueryRequest(Payload);
+      if (!Req) {
+        WriteOk = writeFrame(
+            Conn.Fd, encodeErrorResponse({"malformed query request"}));
+        break;
+      }
+      std::string Error;
+      auto Resp = evaluateWire(*Req, &C.Hits, &C.Misses, &Error);
+      if (!Resp) {
+        WriteOk = writeFrame(Conn.Fd, encodeErrorResponse({Error}));
+        break;
+      }
+      WriteOk = writeFrame(Conn.Fd, *Resp);
+      ++C.Queries;
+      C.Kernels += Req->Kernels.size();
+      double Us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                            T0)
+                      .count();
+      if (C.LatencyUs.size() < Config.MaxLatencySamples)
+        C.LatencyUs.push_back(Us);
+      else
+        C.LatencyUs[C.LatencySeen % Config.MaxLatencySamples] = Us;
+      ++C.LatencySeen;
+      break;
+    }
+    case MsgType::StatsRequest: {
+      double UptimeS =
+          std::chrono::duration<double>(Clock::now() - Opened).count();
+      uint64_t ConnLookups = C.Hits + C.Misses;
+      ServerTotals T = totals();
+      uint64_t ServerLookups = T.CacheHits + T.CacheMisses;
+      StatsResponse S;
+      S.Counters = {
+          {"conn.requests", static_cast<double>(C.Queries)},
+          {"conn.kernels", static_cast<double>(C.Kernels)},
+          {"conn.cache_hits", static_cast<double>(C.Hits)},
+          {"conn.cache_misses", static_cast<double>(C.Misses)},
+          {"conn.cache_hit_rate",
+           ConnLookups ? static_cast<double>(C.Hits) /
+                             static_cast<double>(ConnLookups)
+                       : 0.0},
+          {"conn.qps",
+           UptimeS > 0.0 ? static_cast<double>(C.Queries) / UptimeS : 0.0},
+          {"conn.kernels_per_s",
+           UptimeS > 0.0 ? static_cast<double>(C.Kernels) / UptimeS : 0.0},
+          {"conn.p50_us", percentile(C.LatencyUs, 0.50)},
+          {"conn.p99_us", percentile(C.LatencyUs, 0.99)},
+          {"conn.uptime_s", UptimeS},
+          {"server.machines", static_cast<double>(Machines.size())},
+          {"server.threads", static_cast<double>(Exec.numWorkers())},
+          {"server.connections", static_cast<double>(T.Connections)},
+          {"server.requests", static_cast<double>(T.Requests)},
+          {"server.kernels", static_cast<double>(T.Kernels)},
+          {"server.cache_hits", static_cast<double>(T.CacheHits)},
+          {"server.cache_misses", static_cast<double>(T.CacheMisses)},
+          {"server.cache_hit_rate",
+           ServerLookups ? static_cast<double>(T.CacheHits) /
+                               static_cast<double>(ServerLookups)
+                         : 0.0},
+      };
+      WriteOk = writeFrame(Conn.Fd, encodeStatsResponse(S));
+      break;
+    }
+    case MsgType::ListRequest: {
+      ListResponse L;
+      L.Machines.reserve(Machines.size());
+      for (const auto &M : Machines) {
+        MachineInfo Info;
+        Info.Name = M->Name;
+        Info.Digest = machineDigest(M->Machine);
+        Info.NumResources = static_cast<uint32_t>(M->Mapping.numResources());
+        Info.NumMapped =
+            static_cast<uint32_t>(M->Mapping.numMappedInstructions());
+        L.Machines.push_back(std::move(Info));
+      }
+      WriteOk = writeFrame(Conn.Fd, encodeListResponse(L));
+      break;
+    }
+    default:
+      WriteOk = writeFrame(
+          Conn.Fd, encodeErrorResponse({"unexpected message type"}));
+      break;
+    }
+    if (!WriteOk)
+      break;
+  }
+  Conn.Finished.store(true, std::memory_order_release);
+}
+
+void Server::reapFinishedConnections() {
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  for (auto It = Connections.begin(); It != Connections.end();) {
+    Connection &C = **It;
+    if (C.Finished.load(std::memory_order_acquire)) {
+      C.Handler.join();
+      ::close(C.Fd);
+      It = Connections.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void Server::serve() {
+  if (ListenFd < 0)
+    throw std::logic_error("serve() requires a successful bind()");
+
+  while (!stopRequested()) {
+    pollfd P{};
+    P.fd = ListenFd;
+    P.events = POLLIN;
+    int R = ::poll(&P, 1, /*timeout ms=*/100);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue; // A signal (e.g. SIGTERM) — the loop re-checks the flag.
+      break;
+    }
+    reapFinishedConnections();
+    if (R == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      break;
+    }
+    TotalConnections.fetch_add(1, std::memory_order_relaxed);
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Connection *Raw = Conn.get();
+    Conn->Handler = std::thread([this, Raw] { handleConnection(*Raw); });
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Connections.push_back(std::move(Conn));
+  }
+
+  // Graceful wind-down: stop accepting, wake every blocked reader, join.
+  ::close(ListenFd);
+  ListenFd = -1;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (const auto &C : Connections)
+      if (!C->Finished.load(std::memory_order_acquire))
+        ::shutdown(C->Fd, SHUT_RDWR);
+  }
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  for (const auto &C : Connections) {
+    C->Handler.join();
+    ::close(C->Fd);
+  }
+  Connections.clear();
+  ::unlink(Config.SocketPath.c_str());
+}

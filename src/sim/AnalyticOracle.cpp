@@ -7,6 +7,7 @@
 #include "sim/AnalyticOracle.h"
 
 #include "lp/Simplex.h"
+#include "support/Executor.h"
 
 #include <cassert>
 #include <cmath>
@@ -60,6 +61,19 @@ double AnalyticOracle::portCycles(const Microkernel &K) const {
   assert(Sol.Status == lp::SolveStatus::Optimal &&
          "port scheduling LP must be feasible and bounded");
   return Sol.value(T);
+}
+
+std::vector<double>
+AnalyticOracle::measureIpcBatch(const std::vector<Microkernel> &Kernels,
+                                Executor *Exec) {
+  std::vector<double> Ipcs(Kernels.size());
+  auto Work = [&](size_t I, unsigned) { Ipcs[I] = measureIpc(Kernels[I]); };
+  if (Exec && Exec->numWorkers() > 1 && Kernels.size() > 1)
+    Exec->parallelFor(Kernels.size(), Work);
+  else
+    for (size_t I = 0; I < Kernels.size(); ++I)
+      Work(I, 0);
+  return Ipcs;
 }
 
 double AnalyticOracle::measureIpc(const Microkernel &K) {

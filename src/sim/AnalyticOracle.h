@@ -21,7 +21,11 @@
 #include "machine/MachineModel.h"
 #include "sim/ThroughputOracle.h"
 
+#include <vector>
+
 namespace palmed {
+
+class Executor;
 
 /// LP-based optimal-schedule oracle.
 class AnalyticOracle : public ThroughputOracle {
@@ -30,6 +34,13 @@ public:
   explicit AnalyticOracle(const MachineModel &Machine) : Machine(Machine) {}
 
   double measureIpc(const Microkernel &K) override;
+
+  /// Batch entry point: one LP per kernel, fanned over \p Exec when given
+  /// (the oracle is stateless, so the kernels solve independently).
+  /// Results are in input order and bit-identical to serial measureIpc
+  /// calls. Pass Exec = nullptr (or a one-worker executor) to run inline.
+  std::vector<double> measureIpcBatch(const std::vector<Microkernel> &Kernels,
+                                      Executor *Exec = nullptr);
 
   std::string name() const override { return "analytic"; }
 

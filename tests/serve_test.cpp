@@ -1,0 +1,523 @@
+//===- tests/serve_test.cpp - Serving subsystem tests ---------------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the serving subsystem end to end: the versioned binary mapping
+// format (bit-identical round trips, typed rejection of every corruption
+// mode), the wire protocol codecs, the sharded prediction cache, and the
+// daemon itself over a real AF_UNIX socket with concurrent client
+// sessions against multiple machines. Concurrency tests carry "Serve" in
+// the suite name so the CI TSan job picks them up by regex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DualConstruction.h"
+#include "eval/Workload.h"
+#include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
+#include "serve/Client.h"
+#include "serve/MappingIO.h"
+#include "serve/PredictionCache.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+using namespace palmed;
+using namespace palmed::serve;
+
+namespace {
+
+/// Kernels with single instructions, pairs, and fractional multiplicities
+/// over the first few instructions of \p M's ISA.
+std::vector<Microkernel> probeKernels(const MachineModel &M) {
+  std::vector<Microkernel> Out;
+  size_t N = std::min<size_t>(M.isa().size(), 8);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Microkernel::single(static_cast<InstrId>(I)));
+  for (size_t I = 0; I + 1 < N; ++I) {
+    Microkernel K;
+    K.add(static_cast<InstrId>(I), 2.0);
+    K.add(static_cast<InstrId>(I + 1), 0.5);
+    Out.push_back(K);
+  }
+  return Out;
+}
+
+/// Exact-bits comparison: the round-trip criterion is byte equality of
+/// predictions, not approximate equality.
+bool sameBits(double A, double B) {
+  uint64_t Ba, Bb;
+  std::memcpy(&Ba, &A, sizeof(Ba));
+  std::memcpy(&Bb, &B, sizeof(Bb));
+  return Ba == Bb;
+}
+
+std::string tempPath(const std::string &Leaf) {
+  return testing::TempDir() + "/" + Leaf;
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(OS.is_open());
+  OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MappingIO: the binary format.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeMappingIO, Crc32KnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(ServeMappingIO, RoundTripIsBitIdentical) {
+  // skl, zen, and stress duals: fractional rhos, hundreds of
+  // instructions, multi-µop entries.
+  std::vector<MachineModel> Machines;
+  Machines.push_back(makeSklLike());
+  Machines.push_back(makeZenLike());
+  Machines.push_back(makeStressMachine(StressIsaConfig()));
+  for (const MachineModel &M : Machines) {
+    ResourceMapping Mapping = buildDualMapping(M);
+    std::string Bytes = serializeMapping(Mapping, M);
+    MappingIOError Err;
+    auto Reloaded = deserializeMapping(Bytes, M, &Err);
+    ASSERT_TRUE(Reloaded) << M.name() << ": " << Err.Message;
+    EXPECT_EQ(Reloaded->toText(M.isa()), Mapping.toText(M.isa()))
+        << M.name();
+    for (const Microkernel &K : probeKernels(M)) {
+      auto A = Mapping.predictIpc(K);
+      auto B = Reloaded->predictIpc(K);
+      ASSERT_EQ(A.has_value(), B.has_value()) << M.name();
+      if (A) {
+        EXPECT_TRUE(sameBits(*A, *B))
+            << M.name() << ": " << K.str(M.isa());
+      }
+    }
+    // Re-serializing the reloaded mapping reproduces the exact file.
+    EXPECT_EQ(serializeMapping(*Reloaded, M), Bytes) << M.name();
+  }
+}
+
+TEST(ServeMappingIO, SaveLoadThroughFile) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Mapping = buildDualMapping(M);
+  std::string Path = tempPath("fig1_roundtrip.palmedmap");
+  MappingIOError Err;
+  ASSERT_TRUE(saveMapping(Path, Mapping, M, &Err)) << Err.Message;
+  auto Reloaded = loadMapping(Path, M, &Err);
+  ASSERT_TRUE(Reloaded) << Err.Message;
+  EXPECT_EQ(Reloaded->toText(M.isa()), Mapping.toText(M.isa()));
+  std::remove(Path.c_str());
+}
+
+TEST(ServeMappingIO, PartiallyMappedRoundTrip) {
+  // Unmapped instructions must stay unmapped after a round trip (the
+  // mapped flag is data, not derivable from the rho row).
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Mapping(M.isa().size());
+  ResourceId R = Mapping.addResource("r0", 2.0);
+  Mapping.setUsage(0, R, 0.5);
+  Mapping.markMapped(1); // Mapped with an all-zero row.
+  auto Reloaded = deserializeMapping(serializeMapping(Mapping, M), M);
+  ASSERT_TRUE(Reloaded);
+  EXPECT_TRUE(Reloaded->isMapped(0));
+  EXPECT_TRUE(Reloaded->isMapped(1));
+  for (InstrId I = 2; I < M.isa().size(); ++I)
+    EXPECT_FALSE(Reloaded->isMapped(I));
+  EXPECT_EQ(Reloaded->resourceThroughput(R), 2.0);
+}
+
+TEST(ServeMappingIO, RejectsTruncatedFile) {
+  MachineModel M = makeFig1Machine();
+  std::string Bytes = serializeMapping(buildDualMapping(M), M);
+  // Chop inside the payload and inside the header.
+  for (size_t Keep : {Bytes.size() - 1, Bytes.size() / 2, size_t(10)}) {
+    MappingIOError Err;
+    auto R = deserializeMapping(Bytes.substr(0, Keep), M, &Err);
+    EXPECT_FALSE(R) << "kept " << Keep;
+    EXPECT_EQ(Err.Status, MappingIOStatus::Truncated) << "kept " << Keep;
+  }
+}
+
+TEST(ServeMappingIO, RejectsChecksumCorruption) {
+  MachineModel M = makeFig1Machine();
+  std::string Bytes = serializeMapping(buildDualMapping(M), M);
+  // Flip one bit in the last payload byte.
+  std::string Bad = Bytes;
+  Bad.back() = static_cast<char>(Bad.back() ^ 0x01);
+  MappingIOError Err;
+  EXPECT_FALSE(deserializeMapping(Bad, M, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::BadChecksum);
+}
+
+TEST(ServeMappingIO, RejectsWrongVersion) {
+  MachineModel M = makeFig1Machine();
+  std::string Bytes = serializeMapping(buildDualMapping(M), M);
+  // The u32 format version sits right after the 8-byte magic.
+  std::string Bad = Bytes;
+  Bad[8] = static_cast<char>(MappingFormatVersion + 1);
+  MappingIOError Err;
+  EXPECT_FALSE(deserializeMapping(Bad, M, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::BadVersion);
+}
+
+TEST(ServeMappingIO, RejectsWrongMachine) {
+  MachineModel Skl = makeSklLike();
+  MachineModel Zen = makeZenLike();
+  ASSERT_NE(machineDigest(Skl), machineDigest(Zen));
+  std::string Bytes = serializeMapping(buildDualMapping(Skl), Skl);
+  MappingIOError Err;
+  EXPECT_FALSE(deserializeMapping(Bytes, Zen, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::MachineMismatch);
+}
+
+TEST(ServeMappingIO, RejectsBadMagic) {
+  MachineModel M = makeFig1Machine();
+  MappingIOError Err;
+  EXPECT_FALSE(deserializeMapping("definitely not a mapping", M, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::BadMagic);
+}
+
+TEST(ServeMappingIO, AutoLoadAcceptsTextFallback) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Mapping = buildDualMapping(M);
+  std::string Path = tempPath("fig1_text.mapping");
+  writeFile(Path, Mapping.toText(M.isa()));
+  MappingIOError Err;
+  auto R = loadMappingAuto(Path, M, &Err);
+  ASSERT_TRUE(R) << Err.Message;
+  EXPECT_EQ(R->toText(M.isa()), Mapping.toText(M.isa()));
+
+  // Unparseable text reports Malformed; a missing file reports IoError.
+  writeFile(Path, "not a mapping at all\n");
+  EXPECT_FALSE(loadMappingAuto(Path, M, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::Malformed);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(loadMappingAuto(Path, M, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::IoError);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol codecs.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, QueryRoundTrip) {
+  QueryRequest Req;
+  Req.Machine = "skl";
+  Req.Kernels = {"ADD_0", "ADD_0^2 LOAD_0", ""};
+  auto Decoded = decodeQueryRequest(encodeQueryRequest(Req));
+  ASSERT_TRUE(Decoded);
+  EXPECT_EQ(Decoded->Machine, Req.Machine);
+  EXPECT_EQ(Decoded->Kernels, Req.Kernels);
+
+  QueryResponse Resp;
+  KernelAnswer A;
+  A.S = KernelAnswer::Status::Ok;
+  A.Ipc = 3.14159;
+  A.Bottlenecks = {"r01", "r0"};
+  Resp.Answers.push_back(A);
+  A.S = KernelAnswer::Status::ParseError;
+  A.Ipc = 0.0;
+  A.Bottlenecks.clear();
+  Resp.Answers.push_back(A);
+  auto DecodedResp = decodeQueryResponse(encodeQueryResponse(Resp));
+  ASSERT_TRUE(DecodedResp);
+  ASSERT_EQ(DecodedResp->Answers.size(), 2u);
+  EXPECT_EQ(DecodedResp->Answers[0].S, KernelAnswer::Status::Ok);
+  EXPECT_TRUE(sameBits(DecodedResp->Answers[0].Ipc, 3.14159));
+  EXPECT_EQ(DecodedResp->Answers[0].Bottlenecks,
+            (std::vector<std::string>{"r01", "r0"}));
+  EXPECT_EQ(DecodedResp->Answers[1].S, KernelAnswer::Status::ParseError);
+}
+
+TEST(ServeProtocol, RejectsMalformedPayloads) {
+  QueryRequest Req;
+  Req.Machine = "skl";
+  Req.Kernels = {"ADD_0"};
+  std::string Bytes = encodeQueryRequest(Req);
+  // Truncations and trailing garbage must both fail to decode.
+  for (size_t Keep = 0; Keep < Bytes.size(); ++Keep)
+    EXPECT_FALSE(decodeQueryRequest(Bytes.substr(0, Keep)))
+        << "kept " << Keep;
+  EXPECT_FALSE(decodeQueryRequest(Bytes + "x"));
+  // A different message type is not a query request.
+  EXPECT_FALSE(decodeQueryRequest(encodeStatsRequest()));
+  EXPECT_TRUE(decodeQueryRequest(Bytes));
+
+  EXPECT_FALSE(peekType(""));
+  EXPECT_FALSE(peekType(std::string(1, '\x63')));
+  EXPECT_EQ(peekType(Bytes), MsgType::QueryRequest);
+}
+
+TEST(ServeProtocol, ErrorAndListRoundTrip) {
+  auto Err = decodeErrorResponse(encodeErrorResponse({"boom"}));
+  ASSERT_TRUE(Err);
+  EXPECT_EQ(Err->Message, "boom");
+
+  ListResponse L;
+  MachineInfo Info;
+  Info.Name = "fig1";
+  Info.Digest = 0x0123456789abcdefull;
+  Info.NumResources = 6;
+  Info.NumMapped = 6;
+  L.Machines.push_back(Info);
+  auto Decoded = decodeListResponse(encodeListResponse(L));
+  ASSERT_TRUE(Decoded);
+  ASSERT_EQ(Decoded->Machines.size(), 1u);
+  EXPECT_EQ(Decoded->Machines[0].Name, "fig1");
+  EXPECT_EQ(Decoded->Machines[0].Digest, 0x0123456789abcdefull);
+  EXPECT_EQ(Decoded->Machines[0].NumResources, 6u);
+  EXPECT_EQ(Decoded->Machines[0].NumMapped, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// PredictionCache.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCache, ComputesOncePerKey) {
+  PredictionCache Cache;
+  int Calls = 0;
+  auto Compute = [&] {
+    ++Calls;
+    Prediction P;
+    P.Ipc = 4.0;
+    return P;
+  };
+  bool Hit = true;
+  EXPECT_EQ(Cache.getOrCompute("k", Compute, &Hit).Ipc, 4.0);
+  EXPECT_FALSE(Hit);
+  EXPECT_EQ(Cache.getOrCompute("k", Compute, &Hit).Ipc, 4.0);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  Prediction Out;
+  EXPECT_TRUE(Cache.lookup("k", Out));
+  EXPECT_EQ(Out.Ipc, 4.0);
+  EXPECT_FALSE(Cache.lookup("other", Out));
+}
+
+TEST(ServeCacheConcurrency, ExactlyOnceUnderContention) {
+  PredictionCache Cache;
+  constexpr int NumThreads = 8;
+  constexpr int KeysPerThread = 64;
+  std::atomic<int> Computes{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int K = 0; K < KeysPerThread; ++K) {
+        std::string Key = "kernel-" + std::to_string(K);
+        Prediction P = Cache.getOrCompute(Key, [&] {
+          Computes.fetch_add(1);
+          Prediction Q;
+          Q.Ipc = static_cast<double>(K);
+          return Q;
+        });
+        EXPECT_EQ(P.Ipc, static_cast<double>(K));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Computes.load(), KeysPerThread);
+  EXPECT_EQ(Cache.size(), static_cast<size_t>(KeysPerThread));
+}
+
+//===----------------------------------------------------------------------===//
+// Server + Client over a real socket.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A daemon serving fig1 + skl duals on a temp socket, torn down on
+/// destruction the same way palmed_serve's SIGTERM path does.
+struct ServerFixture {
+  MachineModel Fig1 = makeFig1Machine();
+  MachineModel Skl = makeSklLike();
+  ResourceMapping Fig1Map = buildDualMapping(Fig1);
+  ResourceMapping SklMap = buildDualMapping(Skl);
+  std::string Socket = tempPath("serve_test_" + std::to_string(::getpid()) +
+                                ".sock");
+  Server S;
+  std::thread ServeThread;
+
+  explicit ServerFixture(unsigned Threads = 2)
+      : S([&] {
+          ServerConfig C;
+          C.SocketPath = Socket;
+          C.NumThreads = Threads;
+          return C;
+        }()) {
+    S.addMachine("fig1", Fig1, Fig1Map);
+    S.addMachine("skl", Skl, SklMap);
+    S.bind();
+    ServeThread = std::thread([this] { S.serve(); });
+  }
+
+  ~ServerFixture() {
+    S.requestStop();
+    ServeThread.join();
+  }
+};
+
+} // namespace
+
+TEST(ServeServer, ServesTwoMachinesConcurrently) {
+  ServerFixture F;
+  const std::vector<std::string> Fig1Kernels = {"ADDSS", "ADDSS^2 VCVTT",
+                                                "BSR ADDSS", "ADDSS"};
+  const std::vector<std::string> SklKernels = {"ADD_0", "ADD_0^2 LOAD_0",
+                                               "STORE_0", "ADD_0"};
+
+  auto ExpectIpc = [](const MachineModel &M, const ResourceMapping &Map,
+                      const std::string &Text) {
+    auto K = Microkernel::parse(Text, M.isa());
+    EXPECT_TRUE(K.has_value());
+    auto Ipc = Map.predictIpc(*K);
+    EXPECT_TRUE(Ipc.has_value());
+    return *Ipc;
+  };
+
+  constexpr int NumClients = 4;
+  std::vector<std::thread> Clients;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T < NumClients; ++T)
+    Clients.emplace_back([&, T] {
+      Client C;
+      if (!C.connect(F.Socket)) {
+        ++Failures;
+        return;
+      }
+      bool UseFig1 = (T % 2) == 0;
+      const auto &Kernels = UseFig1 ? Fig1Kernels : SklKernels;
+      const MachineModel &M = UseFig1 ? F.Fig1 : F.Skl;
+      const ResourceMapping &Map = UseFig1 ? F.Fig1Map : F.SklMap;
+      for (int Round = 0; Round < 8; ++Round) {
+        auto R = C.query(UseFig1 ? "fig1" : "skl", Kernels);
+        if (!R || R->Answers.size() != Kernels.size()) {
+          ++Failures;
+          return;
+        }
+        for (size_t I = 0; I < Kernels.size(); ++I) {
+          if (R->Answers[I].S != KernelAnswer::Status::Ok ||
+              !sameBits(R->Answers[I].Ipc, ExpectIpc(M, Map, Kernels[I])))
+            ++Failures;
+        }
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  ServerTotals Totals = F.S.totals();
+  EXPECT_EQ(Totals.Connections, static_cast<uint64_t>(NumClients));
+  EXPECT_EQ(Totals.Requests, static_cast<uint64_t>(NumClients * 8));
+  // 4 kernels per request, one a duplicate: 3 distinct per machine, and
+  // every kernel beyond the first computation is a hit.
+  EXPECT_EQ(Totals.CacheMisses, 6u);
+  EXPECT_EQ(Totals.CacheHits + Totals.CacheMisses, Totals.Kernels);
+}
+
+TEST(ServeServer, ReportsErrorsAndStatuses) {
+  ServerFixture F(/*Threads=*/1);
+  Client C;
+  ASSERT_TRUE(C.connect(F.Socket)) << C.lastError();
+
+  // Unknown machine: typed server error naming the roster.
+  EXPECT_FALSE(C.query("nope", {"ADDSS"}));
+  EXPECT_NE(C.lastError().find("unknown machine 'nope'"), std::string::npos)
+      << C.lastError();
+  EXPECT_NE(C.lastError().find("fig1"), std::string::npos);
+
+  // The connection survives the error; per-kernel failures are statuses,
+  // not connection errors.
+  auto R = C.query("fig1", {"ADDSS", "NO_SUCH_INSTR", ""});
+  ASSERT_TRUE(R) << C.lastError();
+  EXPECT_EQ(R->Answers[0].S, KernelAnswer::Status::Ok);
+  EXPECT_EQ(R->Answers[1].S, KernelAnswer::Status::ParseError);
+  EXPECT_NE(R->Answers[2].S, KernelAnswer::Status::Ok);
+
+  // An unmapped instruction is Unsupported, not an error.
+  {
+    ResourceMapping Partial(F.Fig1.isa().size());
+    ResourceId Res = Partial.addResource("r0");
+    Partial.setUsage(F.Fig1.isa().findByName("ADDSS"), Res, 0.5);
+    ServerConfig C2;
+    C2.SocketPath = F.Socket + ".partial";
+    Server S2(C2);
+    S2.addMachine("partial", F.Fig1, Partial);
+    uint64_t Hits = 0, Misses = 0;
+    std::string Error;
+    QueryRequest Req;
+    Req.Machine = "partial";
+    Req.Kernels = {"ADDSS", "BSR"};
+    QueryResponse Resp = S2.evaluate(Req, &Hits, &Misses, &Error);
+    EXPECT_TRUE(Error.empty()) << Error;
+    ASSERT_EQ(Resp.Answers.size(), 2u);
+    EXPECT_EQ(Resp.Answers[0].S, KernelAnswer::Status::Ok);
+    EXPECT_EQ(Resp.Answers[1].S, KernelAnswer::Status::Unsupported);
+  }
+
+  // Stats and list round-trip with sane values.
+  auto Stats = C.stats();
+  ASSERT_TRUE(Stats) << C.lastError();
+  auto Find = [&](const std::string &Key) -> double {
+    for (const auto &[K, V] : Stats->Counters)
+      if (K == Key)
+        return V;
+    ADD_FAILURE() << "missing counter " << Key;
+    return -1.0;
+  };
+  EXPECT_EQ(Find("conn.requests"), 1.0); // The error reply doesn't count.
+  EXPECT_EQ(Find("conn.kernels"), 3.0);
+  EXPECT_EQ(Find("server.machines"), 2.0);
+  EXPECT_GT(Find("conn.qps"), 0.0);
+  EXPECT_GE(Find("conn.p99_us"), Find("conn.p50_us"));
+
+  auto List = C.list();
+  ASSERT_TRUE(List) << C.lastError();
+  ASSERT_EQ(List->Machines.size(), 2u);
+  EXPECT_EQ(List->Machines[0].Name, "fig1");
+  EXPECT_EQ(List->Machines[0].Digest, machineDigest(F.Fig1));
+  EXPECT_EQ(List->Machines[1].Name, "skl");
+}
+
+TEST(ServeServer, BatchDedupesWithinRequest) {
+  ServerFixture F(/*Threads=*/1);
+  uint64_t Hits = 0, Misses = 0;
+  std::string Error;
+  QueryRequest Req;
+  Req.Machine = "fig1";
+  Req.Kernels.assign(100, "ADDSS^3 BSR");
+  QueryResponse R = F.S.evaluate(Req, &Hits, &Misses, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(R.Answers.size(), 100u);
+  EXPECT_EQ(Misses, 1u);
+  EXPECT_EQ(Hits, 99u);
+  for (const KernelAnswer &A : R.Answers)
+    EXPECT_TRUE(sameBits(A.Ipc, R.Answers[0].Ipc));
+}
+
+TEST(ServeServer, DuplicateMachineNameThrows) {
+  ServerConfig C;
+  C.SocketPath = tempPath("dup.sock");
+  Server S(C);
+  MachineModel M = makeFig1Machine();
+  S.addMachine("fig1", M, buildDualMapping(M));
+  EXPECT_THROW(S.addMachine("fig1", M, buildDualMapping(M)),
+               std::invalid_argument);
+}

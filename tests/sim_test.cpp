@@ -9,6 +9,7 @@
 #include "sim/AnalyticOracle.h"
 #include "sim/BenchmarkRunner.h"
 #include "sim/EventSimulator.h"
+#include "support/Executor.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -338,4 +339,32 @@ TEST(BenchmarkRunnerConcurrency, SerializesNonThreadSafeBackends) {
   for (std::thread &T : Threads)
     T.join();
   EXPECT_EQ(Runner.numDistinctBenchmarks(), Ids.size() * 3);
+}
+
+TEST(AnalyticOracle, BatchMatchesSerialOnExecutor) {
+  MachineModel M = makeSklLike();
+  AnalyticOracle Oracle(M);
+  std::vector<Microkernel> Kernels;
+  for (InstrId I = 0; I < 12; ++I) {
+    Kernels.push_back(Microkernel::single(I));
+    Microkernel K;
+    K.add(I, 2.0);
+    K.add((I + 5) % 12, 1.0);
+    Kernels.push_back(K);
+  }
+  std::vector<double> Serial;
+  for (const Microkernel &K : Kernels)
+    Serial.push_back(Oracle.measureIpc(K));
+
+  // Inline (no executor) and fanned-out results must be bit-identical to
+  // the serial measurements: batching may not perturb the pipeline.
+  std::vector<double> Inline = Oracle.measureIpcBatch(Kernels, nullptr);
+  Executor Exec(4);
+  std::vector<double> Parallel = Oracle.measureIpcBatch(Kernels, &Exec);
+  ASSERT_EQ(Inline.size(), Serial.size());
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Inline[I], Serial[I]) << I;
+    EXPECT_EQ(Parallel[I], Serial[I]) << I;
+  }
 }

@@ -5,18 +5,22 @@
 // A small CLI exposing the public palmed/ facade:
 //
 //   palmed_cli map     --machine skl|zen|fig1 [--noise S] [--out FILE]
-//                      [--progress]
+//                      [--save FILE] [--progress]
 //   palmed_cli predict --machine skl --mapping FILE "ADD_0^2 LOAD_0"
 //   palmed_cli analyze --machine skl --mapping FILE "ADD_0^2 LOAD_0"
 //   palmed_cli eval    --machine skl [--threads N] [--blocks N]
 //                      [--suite spec|poly] [--tools a,b,c | --tools help]
 //   palmed_cli dual    --machine skl
+//   palmed_cli query   --socket PATH [--machine M] [KERNEL...]
+//                      [--stats] [--list]
 //
 // `map` infers a resource mapping (palmed::Pipeline) and writes the
-// portable text format; `predict` and `analyze` consume it; `eval` runs
-// the Fig. 4b accuracy harness through the PredictorRegistry and a
+// portable text format (--out) and/or the versioned binary format
+// (--save); `predict` and `analyze` consume either; `eval` runs the
+// Fig. 4b accuracy harness through the PredictorRegistry and a
 // (optionally parallel) EvalSession; `dual` prints the ground-truth
-// conjunctive dual for comparison.
+// conjunctive dual for comparison; `query` talks to a running
+// palmed_serve daemon.
 //
 //===----------------------------------------------------------------------===//
 
@@ -58,19 +62,30 @@ void usage() {
       "palmed_cli %s\n"
       "usage:\n"
       "  palmed_cli map     --machine MACHINE [--noise S] [--out F]\n"
-      "                     [--threads N] [--progress]\n"
+      "                     [--save F] [--threads N] [--progress]\n"
       "                     [--prune-pairs | --no-prune-pairs]\n"
       "  palmed_cli predict --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli analyze --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli eval    --machine M [--threads N] [--blocks N]\n"
       "                     [--suite spec|poly] [--tools a,b,c|help]\n"
       "  palmed_cli dual    --machine M\n"
+      "  palmed_cli query   --socket PATH [--machine M] [KERNEL...]\n"
+      "                     [--stats] [--list]\n"
+      "  palmed_cli help\n"
       "KERNEL is e.g. \"ADD_0^2 LOAD_0\" (instruction names with optional\n"
       "^multiplicity). Machines: skl (Skylake-like), zen (Zen1-like),\n"
       "fig1 (the paper's running example), stress (large synthetic ISA),\n"
       "huge (2048-instruction / 24-port synthetic ISA).\n"
-      "--threads 0 resolves to the hardware thread count. --prune-pairs\n"
-      "enables the cluster-first selection pruning (default for huge).\n",
+      "--threads 0 resolves to the hardware thread count.\n"
+      "--prune-pairs / --no-prune-pairs toggle the cluster-first selection\n"
+      "pruning that replaces the quadratic pair sweep; the default is ON\n"
+      "for the huge profile and OFF everywhere else.\n"
+      "map --out writes the portable text mapping; map --save writes the\n"
+      "versioned binary format (checksummed, machine-stamped) that\n"
+      "palmed_serve loads. predict/analyze auto-detect either format.\n"
+      "query sends the kernels to a palmed_serve daemon in one batch;\n"
+      "--stats prints 'key value' counter lines, --list the served\n"
+      "machines.\n",
       versionString());
 }
 
@@ -102,13 +117,19 @@ struct Options {
   std::string Machine = "skl";
   std::string MappingFile;
   std::string OutFile;
-  std::string Kernel;
+  std::string SaveFile;
+  std::string SocketPath;
+  /// Positional kernel arguments; predict/analyze use the first, query
+  /// sends the whole batch.
+  std::vector<std::string> Kernels;
   std::string Tools;
   std::string Suite = "spec";
   double Noise = 0.0;
   unsigned Threads = 1;
   size_t Blocks = 300;
   bool Progress = false;
+  bool Stats = false;
+  bool List = false;
   /// Cluster-first selection pruning: unset = default (on for huge, off
   /// otherwise), overridable with --prune-pairs / --no-prune-pairs.
   std::optional<bool> PrunePairs;
@@ -139,6 +160,16 @@ std::optional<Options> parseArgs(int Argc, char **Argv) {
         O.OutFile = V;
       else
         return std::nullopt;
+    } else if (Arg == "--save") {
+      if (const char *V = Next())
+        O.SaveFile = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--socket") {
+      if (const char *V = Next())
+        O.SocketPath = V;
+      else
+        return std::nullopt;
     } else if (Arg == "--noise") {
       if (const char *V = Next())
         O.Noise = std::strtod(V, nullptr);
@@ -167,12 +198,16 @@ std::optional<Options> parseArgs(int Argc, char **Argv) {
         return std::nullopt;
     } else if (Arg == "--progress") {
       O.Progress = true;
+    } else if (Arg == "--stats") {
+      O.Stats = true;
+    } else if (Arg == "--list") {
+      O.List = true;
     } else if (Arg == "--prune-pairs") {
       O.PrunePairs = true;
     } else if (Arg == "--no-prune-pairs") {
       O.PrunePairs = false;
     } else if (!Arg.empty() && Arg[0] != '-') {
-      O.Kernel = Arg;
+      O.Kernels.push_back(Arg);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return std::nullopt;
@@ -181,20 +216,15 @@ std::optional<Options> parseArgs(int Argc, char **Argv) {
   return O;
 }
 
+/// Loads a mapping file in either format (binary auto-detected by magic,
+/// text otherwise), reporting MappingIO's typed error on failure.
 std::optional<ResourceMapping> loadMapping(const std::string &File,
-                                           const InstructionSet &Isa) {
-  std::ifstream IS(File);
-  if (!IS) {
-    std::fprintf(stderr, "error: cannot open mapping file '%s'\n",
-                 File.c_str());
-    return std::nullopt;
-  }
-  std::stringstream Buffer;
-  Buffer << IS.rdbuf();
-  auto M = ResourceMapping::fromText(Buffer.str(), Isa);
+                                           const MachineModel &Machine) {
+  serve::MappingIOError Err;
+  auto M = serve::loadMappingAuto(File, Machine, &Err);
   if (!M)
-    std::fprintf(stderr, "error: malformed mapping file '%s'\n",
-                 File.c_str());
+    std::fprintf(stderr, "error: %s [%s]\n", Err.Message.c_str(),
+                 serve::mappingIOStatusName(Err.Status));
   return M;
 }
 
@@ -266,9 +296,21 @@ int cmdMap(const Options &O) {
                R.Stats.SelectionSeconds + R.Stats.CoreMappingSeconds +
                    R.Stats.CompleteMappingSeconds);
 
+  if (!O.SaveFile.empty()) {
+    serve::MappingIOError Err;
+    if (!serve::saveMapping(O.SaveFile, R.Mapping, *Machine, &Err)) {
+      std::fprintf(stderr, "error: %s [%s]\n", Err.Message.c_str(),
+                   serve::mappingIOStatusName(Err.Status));
+      return 1;
+    }
+    std::fprintf(stderr, "binary mapping written to %s\n",
+                 O.SaveFile.c_str());
+  }
+
   std::string Text = R.Mapping.toText(Machine->isa());
   if (O.OutFile.empty()) {
-    std::cout << Text;
+    if (O.SaveFile.empty())
+      std::cout << Text;
     return 0;
   }
   std::ofstream OS(O.OutFile);
@@ -285,17 +327,18 @@ int cmdPredictOrAnalyze(const Options &O, bool Analyze) {
   auto Machine = makeMachine(O.Machine);
   if (!Machine)
     return 1;
-  if (O.MappingFile.empty() || O.Kernel.empty()) {
+  if (O.MappingFile.empty() || O.Kernels.empty()) {
     usage();
     return 1;
   }
-  auto Mapping = loadMapping(O.MappingFile, Machine->isa());
+  auto Mapping = loadMapping(O.MappingFile, *Machine);
   if (!Mapping)
     return 1;
-  auto K = Microkernel::parse(O.Kernel, Machine->isa());
+  const std::string &Kernel = O.Kernels.front();
+  auto K = Microkernel::parse(Kernel, Machine->isa());
   if (!K) {
     std::fprintf(stderr, "error: cannot parse kernel '%s'\n",
-                 O.Kernel.c_str());
+                 Kernel.c_str());
     return 1;
   }
   auto Ipc = Mapping->predictIpc(*K);
@@ -358,8 +401,13 @@ int cmdEval(const Options &O) {
     std::vector<std::string> Unique;
     for (const std::string &Tool : Tools) {
       if (!Registry.contains(Tool)) {
-        std::fprintf(stderr, "error: unknown tool '%s' (see --tools help)\n",
-                     Tool.c_str());
+        std::string Known;
+        for (const std::string &Name : Registry.names())
+          Known += (Known.empty() ? "" : ", ") + Name;
+        std::fprintf(stderr,
+                     "error: unknown tool '%s' (valid tools: %s; "
+                     "see --tools help)\n",
+                     Tool.c_str(), Known.c_str());
         return 1;
       }
       if (std::find(Unique.begin(), Unique.end(), Tool) == Unique.end())
@@ -416,6 +464,76 @@ int cmdEval(const Options &O) {
   return 0;
 }
 
+/// Talks to a running palmed_serve daemon: a batched prediction query for
+/// the positional kernels, plus optional --stats / --list dumps. Returns
+/// nonzero if the transport fails or any kernel in the batch fails.
+int cmdQuery(const Options &O) {
+  if (O.SocketPath.empty() ||
+      (O.Kernels.empty() && !O.Stats && !O.List)) {
+    usage();
+    return 1;
+  }
+  serve::Client C;
+  if (!C.connect(O.SocketPath)) {
+    std::fprintf(stderr, "error: %s\n", C.lastError().c_str());
+    return 1;
+  }
+
+  if (O.List) {
+    auto L = C.list();
+    if (!L) {
+      std::fprintf(stderr, "error: %s\n", C.lastError().c_str());
+      return 1;
+    }
+    for (const serve::MachineInfo &M : L->Machines)
+      std::printf("%-10s digest=%016llx resources=%u mapped=%u\n",
+                  M.Name.c_str(),
+                  static_cast<unsigned long long>(M.Digest),
+                  M.NumResources, M.NumMapped);
+  }
+
+  int Rc = 0;
+  if (!O.Kernels.empty()) {
+    auto R = C.query(O.Machine, O.Kernels);
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", C.lastError().c_str());
+      return 1;
+    }
+    for (size_t I = 0; I < O.Kernels.size(); ++I) {
+      const serve::KernelAnswer &A = R->Answers[I];
+      switch (A.S) {
+      case serve::KernelAnswer::Status::Ok: {
+        std::string Bottlenecks;
+        for (const std::string &B : A.Bottlenecks)
+          Bottlenecks += (Bottlenecks.empty() ? "" : ",") + B;
+        std::printf("%s : ipc=%.3f bottleneck=%s\n", O.Kernels[I].c_str(),
+                    A.Ipc, Bottlenecks.c_str());
+        break;
+      }
+      case serve::KernelAnswer::Status::ParseError:
+        std::printf("%s : parse-error\n", O.Kernels[I].c_str());
+        Rc = 1;
+        break;
+      case serve::KernelAnswer::Status::Unsupported:
+        std::printf("%s : unsupported\n", O.Kernels[I].c_str());
+        Rc = 1;
+        break;
+      }
+    }
+  }
+
+  if (O.Stats) {
+    auto S = C.stats();
+    if (!S) {
+      std::fprintf(stderr, "error: %s\n", C.lastError().c_str());
+      return 1;
+    }
+    for (const auto &[Key, Value] : S->Counters)
+      std::printf("%s %g\n", Key.c_str(), Value);
+  }
+  return Rc;
+}
+
 int cmdDual(const Options &O) {
   auto Machine = makeMachine(O.Machine);
   if (!Machine)
@@ -443,6 +561,12 @@ int main(int Argc, char **Argv) {
     return cmdEval(*O);
   if (O->Command == "dual")
     return cmdDual(*O);
+  if (O->Command == "query")
+    return cmdQuery(*O);
+  if (O->Command == "help" || O->Command == "--help" || O->Command == "-h") {
+    usage();
+    return 0;
+  }
   usage();
   return 1;
 }

@@ -1,0 +1,180 @@
+//===- tools/palmed_serve.cpp - Batched prediction daemon -----------------===//
+//
+// Part of the PALMED reproduction.
+//
+// Long-running prediction service:
+//
+//   palmed_serve --socket PATH --load MACHINE=MAPPING_FILE
+//                [--load MACHINE=FILE ...] [--threads N]
+//
+// Loads one inferred mapping per --load (binary format auto-detected, text
+// accepted too; the binary header's machine digest must match), binds an
+// AF_UNIX socket, and answers batched throughput/bottleneck queries until
+// SIGTERM/SIGINT, then winds down gracefully and prints a traffic summary.
+// Query with `palmed_cli query --socket PATH ...` or serve::Client.
+//
+//===----------------------------------------------------------------------===//
+
+#include "palmed/palmed.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace palmed;
+
+namespace {
+
+serve::Server *ActiveServer = nullptr;
+
+/// Only async-signal-safe work here: requestStop() stores one atomic
+/// flag; the serve() loop notices within its poll interval.
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop();
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: palmed_serve --socket PATH --load MACHINE=MAPPING_FILE\n"
+      "                    [--load MACHINE=FILE ...] [--threads N]\n"
+      "MACHINE is a standard profile name (skl, zen, fig1, stress, huge);\n"
+      "MAPPING_FILE is a `palmed_cli map --save` binary mapping (the text\n"
+      "format is auto-detected and accepted too). --threads 0 resolves to\n"
+      "the hardware thread count; default 1.\n");
+}
+
+std::optional<MachineModel> makeMachine(const std::string &Name) {
+  if (Name == "skl")
+    return makeSklLike();
+  if (Name == "zen")
+    return makeZenLike();
+  if (Name == "fig1")
+    return makeFig1Machine();
+  if (Name == "stress")
+    return makeStressMachine(StressIsaConfig());
+  if (Name == "huge")
+    return makeStressMachine(hugeStressConfig());
+  std::fprintf(stderr, "error: unknown machine '%s'\n", Name.c_str());
+  return std::nullopt;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath;
+  std::vector<std::pair<std::string, std::string>> Loads;
+  unsigned Threads = 1;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      SocketPath = V;
+    } else if (Arg == "--load") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      std::string Spec = V;
+      size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Spec.size()) {
+        std::fprintf(stderr,
+                     "error: --load expects MACHINE=MAPPING_FILE, got '%s'\n",
+                     Spec.c_str());
+        return 1;
+      }
+      Loads.emplace_back(Spec.substr(0, Eq), Spec.substr(Eq + 1));
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (SocketPath.empty() || Loads.empty()) {
+    usage();
+    return 1;
+  }
+
+  serve::ServerConfig Config;
+  Config.SocketPath = SocketPath;
+  Config.NumThreads = Executor::resolveThreadCount(Threads);
+  serve::Server Server(Config);
+
+  for (const auto &[Name, File] : Loads) {
+    auto Machine = makeMachine(Name);
+    if (!Machine)
+      return 1;
+    serve::MappingIOError Err;
+    auto Mapping = serve::loadMappingAuto(File, *Machine, &Err);
+    if (!Mapping) {
+      std::fprintf(stderr, "error: %s [%s]\n", Err.Message.c_str(),
+                   serve::mappingIOStatusName(Err.Status));
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "loaded %s from %s (%zu resources, %zu instructions "
+                 "mapped)\n",
+                 Name.c_str(), File.c_str(), Mapping->numResources(),
+                 Mapping->numMappedInstructions());
+    try {
+      Server.addMachine(Name, std::move(*Machine), std::move(*Mapping));
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "error: %s\n", E.what());
+      return 1;
+    }
+  }
+
+  try {
+    Server.bind();
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
+
+  ActiveServer = &Server;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  std::fprintf(stderr, "palmed_serve: %zu machine(s) on %s (%u threads)\n",
+               Server.numMachines(), SocketPath.c_str(), Config.NumThreads);
+  Server.serve();
+  ActiveServer = nullptr;
+
+  serve::ServerTotals T = Server.totals();
+  std::fprintf(stderr,
+               "palmed_serve: shutting down — %llu connections, %llu "
+               "requests, %llu kernels, %llu cache hits / %llu misses\n",
+               static_cast<unsigned long long>(T.Connections),
+               static_cast<unsigned long long>(T.Requests),
+               static_cast<unsigned long long>(T.Kernels),
+               static_cast<unsigned long long>(T.CacheHits),
+               static_cast<unsigned long long>(T.CacheMisses));
+  return 0;
+}
