@@ -6,7 +6,9 @@
 
 #include "serve/MappingIO.h"
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -44,8 +46,12 @@ void putF64(std::string &Out, double V) {
 }
 
 void putStr(std::string &Out, const std::string &S) {
-  putU16(Out, static_cast<uint16_t>(S.size()));
-  Out.append(S);
+  // 16-bit length prefix: truncate rather than write a record whose
+  // prefix disagrees with its body. Names here (machine, resource) are
+  // always far below 64 KiB in practice.
+  size_t Len = std::min<size_t>(S.size(), UINT16_MAX);
+  putU16(Out, static_cast<uint16_t>(Len));
+  Out.append(S, 0, Len);
 }
 
 /// Bounds-checked little-endian reader over a byte string. Reads past the
@@ -127,6 +133,16 @@ uint64_t fnv1aStr(uint64_t H, const std::string &S) {
   return fnv1a(H, &Sep, 1);
 }
 
+/// Hashes an integer's low \p NumBytes as little-endian bytes, matching
+/// the rest of the format, so the digest is identical across host
+/// endiannesses (hashing raw host memory would not be).
+uint64_t fnv1aUintLe(uint64_t H, uint64_t V, int NumBytes) {
+  unsigned char Bytes[8];
+  for (int I = 0; I < NumBytes; ++I)
+    Bytes[I] = static_cast<unsigned char>((V >> (8 * I)) & 0xff);
+  return fnv1a(H, Bytes, static_cast<size_t>(NumBytes));
+}
+
 } // namespace
 
 const char *palmed::serve::mappingIOStatusName(MappingIOStatus Status) {
@@ -173,12 +189,10 @@ uint32_t palmed::serve::crc32(const void *Data, size_t Size) {
 uint64_t palmed::serve::machineDigest(const MachineModel &Machine) {
   uint64_t H = 0xcbf29ce484222325ULL;
   H = fnv1aStr(H, Machine.name());
-  uint32_t NumPorts = Machine.numPorts();
-  H = fnv1a(H, &NumPorts, sizeof(NumPorts));
+  H = fnv1aUintLe(H, Machine.numPorts(), 4);
   for (unsigned P = 0; P < Machine.numPorts(); ++P)
     H = fnv1aStr(H, Machine.portName(P));
-  uint64_t IsaSize = Machine.numInstructions();
-  H = fnv1a(H, &IsaSize, sizeof(IsaSize));
+  H = fnv1aUintLe(H, Machine.numInstructions(), 8);
   for (InstrId Id = 0; Id < Machine.numInstructions(); ++Id)
     H = fnv1aStr(H, Machine.isa().name(Id));
   return H;

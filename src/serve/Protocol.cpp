@@ -6,8 +6,11 @@
 
 #include "serve/Protocol.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace palmed;
@@ -41,8 +44,12 @@ void putF64(std::string &Out, double V) {
 }
 
 void putStr16(std::string &Out, const std::string &S) {
-  putU16(Out, static_cast<uint16_t>(S.size()));
-  Out.append(S);
+  // The length prefix is 16-bit; truncate rather than emit a record whose
+  // prefix disagrees with its body (an undecodable frame). Reachable via
+  // e.g. an ErrorResponse echoing a client-supplied machine name.
+  size_t Len = std::min<size_t>(S.size(), UINT16_MAX);
+  putU16(Out, static_cast<uint16_t>(Len));
+  Out.append(S, 0, Len);
 }
 
 void putStr32(std::string &Out, const std::string &S) {
@@ -293,7 +300,10 @@ namespace {
 
 bool writeAll(int Fd, const char *Data, size_t Size) {
   while (Size > 0) {
-    ssize_t N = ::write(Fd, Data, Size);
+    // MSG_NOSIGNAL: a peer that closed its socket must surface as EPIPE,
+    // not deliver SIGPIPE (whose default disposition would kill the
+    // process). Frames only ever travel over sockets, so send() is valid.
+    ssize_t N = ::send(Fd, Data, Size, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;

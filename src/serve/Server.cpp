@@ -26,7 +26,11 @@ using namespace palmed;
 using namespace palmed::serve;
 
 Server::Server(ServerConfig C)
-    : Config(std::move(C)), Exec(std::max(1u, Config.NumThreads)) {}
+    : Config(std::move(C)), Exec(std::max(1u, Config.NumThreads)) {
+  // The latency ring indexes LatencySeen % MaxLatencySamples once full;
+  // a zero size would be a division by zero on the first query.
+  Config.MaxLatencySamples = std::max<size_t>(1, Config.MaxLatencySamples);
+}
 
 Server::~Server() {
   if (ListenFd >= 0) {
@@ -101,8 +105,12 @@ std::optional<std::string> Server::evaluateWire(const QueryRequest &Request,
       std::string Names;
       for (const auto &S : Machines)
         Names += (Names.empty() ? "" : ", ") + S->Name;
-      *Error = "unknown machine '" + Request.Machine +
-               "' (serving: " + Names + ")";
+      // Cap the echoed (client-supplied) name so the error message stays
+      // readable and fits an ErrorResponse's 16-bit string record.
+      std::string Shown = Request.Machine.substr(0, 128);
+      if (Shown.size() < Request.Machine.size())
+        Shown += "...";
+      *Error = "unknown machine '" + Shown + "' (serving: " + Names + ")";
     }
     return std::nullopt;
   }
@@ -164,8 +172,16 @@ std::optional<std::string> Server::evaluateWire(const QueryRequest &Request,
         BatchHits += Occ - 1; // In-batch duplicates of a computed kernel.
       }
     }
-    for (size_t I : MissPos)
+    for (size_t I : MissPos) {
       Per[I] = M->Cache->lookupPtr(Request.Kernels[I]);
+      if (!Per[I]) {
+        // Unreachable after a successful getOrCompute; guard anyway so a
+        // skipped compute degrades to an error instead of a null deref.
+        if (Error)
+          *Error = "internal error: prediction missing after compute";
+        return std::nullopt;
+      }
+    }
   }
 
   std::string Out;
@@ -257,99 +273,124 @@ void Server::handleConnection(Connection &Conn) {
 
   std::string Payload;
   while (!stopRequested() && readFrame(Conn.Fd, Payload)) {
-    auto Type = peekType(Payload);
-    if (!Type) {
-      if (!writeFrame(Conn.Fd,
-                      encodeErrorResponse({"unrecognized message type"})))
-        break;
-      continue;
-    }
     bool WriteOk = true;
-    switch (*Type) {
-    case MsgType::QueryRequest: {
-      Clock::time_point T0 = Clock::now();
-      auto Req = decodeQueryRequest(Payload);
-      if (!Req) {
-        WriteOk = writeFrame(
-            Conn.Fd, encodeErrorResponse({"malformed query request"}));
+    // A handler runs on a bare std::thread: any exception escaping this
+    // body (bad_alloc on a huge frame/batch, a rethrow out of
+    // Executor::parallelFor) would std::terminate the whole daemon. Turn
+    // it into an ErrorResponse and keep serving.
+    try {
+      auto Type = peekType(Payload);
+      if (!Type) {
+        if (!writeFrame(Conn.Fd,
+                        encodeErrorResponse({"unrecognized message type"})))
+          break;
+        continue;
+      }
+      switch (*Type) {
+      case MsgType::QueryRequest: {
+        Clock::time_point T0 = Clock::now();
+        auto Req = decodeQueryRequest(Payload);
+        if (!Req) {
+          WriteOk = writeFrame(
+              Conn.Fd, encodeErrorResponse({"malformed query request"}));
+          break;
+        }
+        std::string Error;
+        auto Resp = evaluateWire(*Req, &C.Hits, &C.Misses, &Error);
+        if (!Resp) {
+          WriteOk = writeFrame(Conn.Fd, encodeErrorResponse({Error}));
+          break;
+        }
+        WriteOk = writeFrame(Conn.Fd, *Resp);
+        ++C.Queries;
+        C.Kernels += Req->Kernels.size();
+        double Us = std::chrono::duration<double, std::micro>(
+                        Clock::now() - T0)
+                        .count();
+        if (C.LatencyUs.size() < Config.MaxLatencySamples)
+          C.LatencyUs.push_back(Us);
+        else
+          C.LatencyUs[C.LatencySeen % Config.MaxLatencySamples] = Us;
+        ++C.LatencySeen;
         break;
       }
-      std::string Error;
-      auto Resp = evaluateWire(*Req, &C.Hits, &C.Misses, &Error);
-      if (!Resp) {
-        WriteOk = writeFrame(Conn.Fd, encodeErrorResponse({Error}));
-        break;
-      }
-      WriteOk = writeFrame(Conn.Fd, *Resp);
-      ++C.Queries;
-      C.Kernels += Req->Kernels.size();
-      double Us = std::chrono::duration<double, std::micro>(Clock::now() -
-                                                            T0)
-                      .count();
-      if (C.LatencyUs.size() < Config.MaxLatencySamples)
-        C.LatencyUs.push_back(Us);
-      else
-        C.LatencyUs[C.LatencySeen % Config.MaxLatencySamples] = Us;
-      ++C.LatencySeen;
-      break;
-    }
-    case MsgType::StatsRequest: {
-      double UptimeS =
-          std::chrono::duration<double>(Clock::now() - Opened).count();
-      uint64_t ConnLookups = C.Hits + C.Misses;
-      ServerTotals T = totals();
-      uint64_t ServerLookups = T.CacheHits + T.CacheMisses;
-      StatsResponse S;
-      S.Counters = {
-          {"conn.requests", static_cast<double>(C.Queries)},
-          {"conn.kernels", static_cast<double>(C.Kernels)},
-          {"conn.cache_hits", static_cast<double>(C.Hits)},
-          {"conn.cache_misses", static_cast<double>(C.Misses)},
-          {"conn.cache_hit_rate",
-           ConnLookups ? static_cast<double>(C.Hits) /
-                             static_cast<double>(ConnLookups)
-                       : 0.0},
-          {"conn.qps",
-           UptimeS > 0.0 ? static_cast<double>(C.Queries) / UptimeS : 0.0},
-          {"conn.kernels_per_s",
-           UptimeS > 0.0 ? static_cast<double>(C.Kernels) / UptimeS : 0.0},
-          {"conn.p50_us", percentile(C.LatencyUs, 0.50)},
-          {"conn.p99_us", percentile(C.LatencyUs, 0.99)},
-          {"conn.uptime_s", UptimeS},
-          {"server.machines", static_cast<double>(Machines.size())},
-          {"server.threads", static_cast<double>(Exec.numWorkers())},
-          {"server.connections", static_cast<double>(T.Connections)},
-          {"server.requests", static_cast<double>(T.Requests)},
-          {"server.kernels", static_cast<double>(T.Kernels)},
-          {"server.cache_hits", static_cast<double>(T.CacheHits)},
-          {"server.cache_misses", static_cast<double>(T.CacheMisses)},
-          {"server.cache_hit_rate",
-           ServerLookups ? static_cast<double>(T.CacheHits) /
-                               static_cast<double>(ServerLookups)
+      case MsgType::StatsRequest: {
+        double UptimeS =
+            std::chrono::duration<double>(Clock::now() - Opened).count();
+        uint64_t ConnLookups = C.Hits + C.Misses;
+        ServerTotals T = totals();
+        uint64_t ServerLookups = T.CacheHits + T.CacheMisses;
+        StatsResponse S;
+        S.Counters = {
+            {"conn.requests", static_cast<double>(C.Queries)},
+            {"conn.kernels", static_cast<double>(C.Kernels)},
+            {"conn.cache_hits", static_cast<double>(C.Hits)},
+            {"conn.cache_misses", static_cast<double>(C.Misses)},
+            {"conn.cache_hit_rate",
+             ConnLookups ? static_cast<double>(C.Hits) /
+                               static_cast<double>(ConnLookups)
                          : 0.0},
-      };
-      WriteOk = writeFrame(Conn.Fd, encodeStatsResponse(S));
-      break;
-    }
-    case MsgType::ListRequest: {
-      ListResponse L;
-      L.Machines.reserve(Machines.size());
-      for (const auto &M : Machines) {
-        MachineInfo Info;
-        Info.Name = M->Name;
-        Info.Digest = machineDigest(M->Machine);
-        Info.NumResources = static_cast<uint32_t>(M->Mapping.numResources());
-        Info.NumMapped =
-            static_cast<uint32_t>(M->Mapping.numMappedInstructions());
-        L.Machines.push_back(std::move(Info));
+            {"conn.qps",
+             UptimeS > 0.0 ? static_cast<double>(C.Queries) / UptimeS
+                           : 0.0},
+            {"conn.kernels_per_s",
+             UptimeS > 0.0 ? static_cast<double>(C.Kernels) / UptimeS
+                           : 0.0},
+            {"conn.p50_us", percentile(C.LatencyUs, 0.50)},
+            {"conn.p99_us", percentile(C.LatencyUs, 0.99)},
+            {"conn.uptime_s", UptimeS},
+            {"server.machines", static_cast<double>(Machines.size())},
+            {"server.threads", static_cast<double>(Exec.numWorkers())},
+            {"server.connections", static_cast<double>(T.Connections)},
+            {"server.requests", static_cast<double>(T.Requests)},
+            {"server.kernels", static_cast<double>(T.Kernels)},
+            {"server.cache_hits", static_cast<double>(T.CacheHits)},
+            {"server.cache_misses", static_cast<double>(T.CacheMisses)},
+            {"server.cache_hit_rate",
+             ServerLookups ? static_cast<double>(T.CacheHits) /
+                                 static_cast<double>(ServerLookups)
+                           : 0.0},
+        };
+        WriteOk = writeFrame(Conn.Fd, encodeStatsResponse(S));
+        break;
       }
-      WriteOk = writeFrame(Conn.Fd, encodeListResponse(L));
-      break;
-    }
-    default:
-      WriteOk = writeFrame(
-          Conn.Fd, encodeErrorResponse({"unexpected message type"}));
-      break;
+      case MsgType::ListRequest: {
+        ListResponse L;
+        L.Machines.reserve(Machines.size());
+        for (const auto &M : Machines) {
+          MachineInfo Info;
+          Info.Name = M->Name;
+          Info.Digest = machineDigest(M->Machine);
+          Info.NumResources =
+              static_cast<uint32_t>(M->Mapping.numResources());
+          Info.NumMapped =
+              static_cast<uint32_t>(M->Mapping.numMappedInstructions());
+          L.Machines.push_back(std::move(Info));
+        }
+        WriteOk = writeFrame(Conn.Fd, encodeListResponse(L));
+        break;
+      }
+      default:
+        WriteOk = writeFrame(
+            Conn.Fd, encodeErrorResponse({"unexpected message type"}));
+        break;
+      }
+    } catch (const std::exception &E) {
+      try {
+        WriteOk = writeFrame(
+            Conn.Fd,
+            encodeErrorResponse({std::string("internal error: ") +
+                                 E.what()}));
+      } catch (...) {
+        WriteOk = false; // Even the error reply failed; drop the client.
+      }
+    } catch (...) {
+      try {
+        WriteOk =
+            writeFrame(Conn.Fd, encodeErrorResponse({"internal error"}));
+      } catch (...) {
+        WriteOk = false;
+      }
     }
     if (!WriteOk)
       break;

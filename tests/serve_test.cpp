@@ -29,7 +29,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace palmed;
@@ -285,6 +288,17 @@ TEST(ServeProtocol, ErrorAndListRoundTrip) {
   EXPECT_EQ(Decoded->Machines[0].NumMapped, 6u);
 }
 
+TEST(ServeProtocol, OversizedStringsTruncateToDecodableFrames) {
+  // 16-bit-length strings past 64 KiB must truncate, not emit a record
+  // whose length prefix disagrees with its body (an undecodable frame).
+  ErrorResponse E;
+  E.Message.assign(100000, 'x');
+  auto Decoded = decodeErrorResponse(encodeErrorResponse(E));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->Message.size(), 65535u);
+  EXPECT_EQ(Decoded->Message, E.Message.substr(0, 65535));
+}
+
 //===----------------------------------------------------------------------===//
 // PredictionCache.
 //===----------------------------------------------------------------------===//
@@ -520,4 +534,58 @@ TEST(ServeServer, DuplicateMachineNameThrows) {
   S.addMachine("fig1", M, buildDualMapping(M));
   EXPECT_THROW(S.addMachine("fig1", M, buildDualMapping(M)),
                std::invalid_argument);
+}
+
+TEST(ServeServer, SurvivesClientClosingBeforeResponse) {
+  ServerFixture F(/*Threads=*/1);
+  // A client that sends a query and disconnects without reading forces
+  // the server to write into a closed socket. That must surface as a
+  // dropped connection (EPIPE), not a SIGPIPE killing the process.
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  ASSERT_LT(F.Socket.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, F.Socket.c_str(), F.Socket.size() + 1);
+  for (int Round = 0; Round < 4; ++Round) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0);
+    QueryRequest Req;
+    Req.Machine = "fig1";
+    // Fresh kernels each round so the server computes (not just appends
+    // cached bytes), widening the window where the close wins the race.
+    Req.Kernels.assign(64, "ADDSS^" + std::to_string(Round + 2) + " BSR");
+    ASSERT_TRUE(writeFrame(Fd, encodeQueryRequest(Req)));
+    ::close(Fd); // Gone before the response.
+  }
+  // The daemon is still alive and serving.
+  Client C;
+  ASSERT_TRUE(C.connect(F.Socket)) << C.lastError();
+  auto R = C.query("fig1", {"ADDSS"});
+  ASSERT_TRUE(R) << C.lastError();
+  EXPECT_EQ(R->Answers[0].S, KernelAnswer::Status::Ok);
+}
+
+TEST(ServeServer, ZeroLatencySampleConfigIsClamped) {
+  MachineModel M = makeFig1Machine();
+  ServerConfig C;
+  C.SocketPath = tempPath("serve_lat0_" + std::to_string(::getpid()) +
+                          ".sock");
+  C.NumThreads = 1;
+  C.MaxLatencySamples = 0; // Must not divide by zero in the latency ring.
+  Server S(C);
+  S.addMachine("fig1", M, buildDualMapping(M));
+  S.bind();
+  std::thread Serve([&] { S.serve(); });
+  {
+    Client Cl;
+    ASSERT_TRUE(Cl.connect(C.SocketPath)) << Cl.lastError();
+    for (int I = 0; I < 3; ++I)
+      ASSERT_TRUE(Cl.query("fig1", {"ADDSS"})) << Cl.lastError();
+    auto Stats = Cl.stats();
+    ASSERT_TRUE(Stats) << Cl.lastError();
+  }
+  S.requestStop();
+  Serve.join();
 }

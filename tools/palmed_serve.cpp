@@ -161,6 +161,11 @@ int main(int Argc, char **Argv) {
   SA.sa_handler = onSignal;
   ::sigaction(SIGTERM, &SA, nullptr);
   ::sigaction(SIGINT, &SA, nullptr);
+  // A client that disconnects mid-response must not SIGPIPE-kill the
+  // daemon (writeFrame also passes MSG_NOSIGNAL; this covers everything
+  // else that might touch a dead socket).
+  SA.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &SA, nullptr);
 
   std::fprintf(stderr, "palmed_serve: %zu machine(s) on %s (%u threads)\n",
                Server.numMachines(), SocketPath.c_str(), Config.NumThreads);
