@@ -1,0 +1,127 @@
+//===- fuzz/StandaloneFuzzerMain.cpp - Driver for non-clang builds --------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Minimal stand-in for the libFuzzer driver when the toolchain has no
+// -fsanitize=fuzzer (e.g. gcc): replays every corpus file given as an
+// argument through LLVMFuzzerTestOneInput, and optionally runs a
+// deterministic mutation loop over those seeds (-mutate=N, -seed=K).
+// The mutation loop is no substitute for coverage-guided fuzzing — it
+// exists so the harness logic is exercised on any compiler and so the
+// corpus-replay CTest entries run in every build.
+//
+// Exit 0 when every input ran clean (a crash aborts the process, exactly
+// like libFuzzer under a sanitizer).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size);
+
+namespace {
+
+/// splitmix64: tiny, deterministic; good enough to scramble seed bytes.
+uint64_t nextRand(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void runOne(const std::vector<uint8_t> &Bytes) {
+  LLVMFuzzerTestOneInput(Bytes.empty() ? nullptr : Bytes.data(),
+                         Bytes.size());
+}
+
+/// One random edit: byte flip, truncation, duplication, or splice of a
+/// random run of random bytes.
+void mutate(std::vector<uint8_t> &Bytes, uint64_t &Rng) {
+  switch (nextRand(Rng) % 4) {
+  case 0: // Flip bits in up to 8 random bytes.
+    for (uint64_t I = 0, N = 1 + nextRand(Rng) % 8; I < N && !Bytes.empty();
+         ++I)
+      Bytes[nextRand(Rng) % Bytes.size()] ^=
+          static_cast<uint8_t>(1u << (nextRand(Rng) % 8));
+    break;
+  case 1: // Truncate.
+    if (!Bytes.empty())
+      Bytes.resize(nextRand(Rng) % Bytes.size());
+    break;
+  case 2: // Duplicate a tail chunk.
+    if (!Bytes.empty() && Bytes.size() < (1u << 16)) {
+      size_t From = nextRand(Rng) % Bytes.size();
+      Bytes.insert(Bytes.end(), Bytes.begin() + From, Bytes.end());
+    }
+    break;
+  default: { // Overwrite a run with random bytes.
+    if (Bytes.empty())
+      break;
+    size_t At = nextRand(Rng) % Bytes.size();
+    size_t Len = 1 + nextRand(Rng) % 16;
+    for (size_t I = 0; I < Len && At + I < Bytes.size(); ++I)
+      Bytes[At + I] = static_cast<uint8_t>(nextRand(Rng));
+    break;
+  }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::vector<uint8_t>> Seeds;
+  uint64_t MutateRuns = 0;
+  uint64_t Rng = 0x5eed;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "-mutate=", 8) == 0) {
+      MutateRuns = std::strtoull(Arg + 8, nullptr, 10);
+      continue;
+    }
+    if (std::strncmp(Arg, "-seed=", 6) == 0) {
+      Rng = std::strtoull(Arg + 6, nullptr, 10);
+      continue;
+    }
+    if (Arg[0] == '-') {
+      // Ignore libFuzzer-style flags so one CI command line fits both
+      // drivers (-max_total_time=..., -runs=..., ...).
+      std::fprintf(stderr, "standalone driver: ignoring flag %s\n", Arg);
+      continue;
+    }
+    std::ifstream IS(Arg, std::ios::binary);
+    if (!IS) {
+      std::fprintf(stderr, "standalone driver: cannot open %s\n", Arg);
+      return 2;
+    }
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(IS)),
+                               std::istreambuf_iterator<char>());
+    Seeds.push_back(std::move(Bytes));
+  }
+
+  for (const auto &S : Seeds)
+    runOne(S);
+  std::fprintf(stderr, "standalone driver: replayed %zu seed(s)\n",
+               Seeds.size());
+
+  if (MutateRuns > 0 && !Seeds.empty()) {
+    for (uint64_t R = 0; R < MutateRuns; ++R) {
+      std::vector<uint8_t> Bytes = Seeds[nextRand(Rng) % Seeds.size()];
+      for (uint64_t M = 0, N = 1 + nextRand(Rng) % 4; M < N; ++M)
+        mutate(Bytes, Rng);
+      runOne(Bytes);
+    }
+    std::fprintf(stderr, "standalone driver: ran %llu mutated input(s)\n",
+                 static_cast<unsigned long long>(MutateRuns));
+  }
+  return 0;
+}

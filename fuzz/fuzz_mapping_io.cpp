@@ -1,0 +1,54 @@
+//===- fuzz/fuzz_mapping_io.cpp - Fuzz the mapping-file parsers -----------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives deserializeMappingAuto — the full untrusted-byte surface behind
+// loadMappingAuto (binary-magic sniffing, the versioned binary parser, and
+// the legacy text parser) — with arbitrary input against a fixed machine.
+//
+// Invariant checked beyond "no crash / no UB": anything the parser
+// *accepts* must survive a binary round trip, i.e. serializeMapping on the
+// result re-parses cleanly. Both loaders enforce the same validity rules
+// (finite positive throughputs, finite non-negative usages, in-range ids),
+// so an accepted-but-unserializable mapping is a parser bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DualConstruction.h"
+#include "machine/StandardMachines.h"
+#include "serve/MappingIO.h"
+
+#include <cstdint>
+#include <string>
+
+using namespace palmed;
+using namespace palmed::serve;
+
+namespace {
+
+const MachineModel &machine() {
+  static const MachineModel M = makeFig1Machine();
+  return M;
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size > (1u << 20)) // Parse cost is linear; keep iterations fast.
+    return 0;
+  std::string Bytes(reinterpret_cast<const char *>(Data), Size);
+  MappingIOError Err;
+  auto M = deserializeMappingAuto(Bytes, machine(), &Err);
+  if (!M) {
+    if (Err.ok()) // A rejection must carry a typed reason.
+      __builtin_trap();
+    return 0;
+  }
+  std::string Reencoded = serializeMapping(*M, machine());
+  MappingIOError RoundTripErr;
+  if (!deserializeMapping(Reencoded, machine(), &RoundTripErr))
+    __builtin_trap();
+  return 0;
+}

@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -145,7 +147,11 @@ ResourceMapping::fromText(const std::string &Text,
     if (Kind == "resource") {
       std::string Name;
       double Throughput = 1.0;
-      if (!(LS >> Name >> Throughput))
+      // Same validity rules as the binary loader (deserializeMapping):
+      // throughput must be finite and positive, or predictions divide by
+      // zero / go non-finite. Text files are as untrusted as binary ones.
+      if (!(LS >> Name >> Throughput) || !std::isfinite(Throughput) ||
+          !(Throughput > 0.0))
         return std::nullopt;
       M.addResource(Name, Throughput);
     } else if (Kind == "instr") {
@@ -159,15 +165,27 @@ ResourceMapping::fromText(const std::string &Text,
       std::string Edge;
       while (LS >> Edge) {
         size_t Colon = Edge.find(':');
-        if (Colon == std::string::npos)
+        if (Colon == std::string::npos || Colon == 0)
           return std::nullopt;
-        size_t R = 0;
-        double V = 0.0;
-        if (std::sscanf(Edge.c_str(), "%zu:%lf", &R, &V) != 2)
+        // strtoull instead of sscanf("%zu"): scanf on an out-of-range
+        // integer is undefined behavior, and a leading '-' would silently
+        // wrap. The index and value both come from an untrusted file.
+        const std::string Index = Edge.substr(0, Colon);
+        if (Index.find_first_not_of("0123456789") != std::string::npos)
           return std::nullopt;
-        if (R >= M.numResources())
+        errno = 0;
+        char *End = nullptr;
+        unsigned long long R = std::strtoull(Index.c_str(), &End, 10);
+        if (errno != 0 || End != Index.c_str() + Index.size() ||
+            R >= M.numResources())
           return std::nullopt;
-        M.setUsage(Id, R, V);
+        const std::string Value = Edge.substr(Colon + 1);
+        End = nullptr;
+        double V = std::strtod(Value.c_str(), &End);
+        if (Value.empty() || End != Value.c_str() + Value.size() ||
+            !std::isfinite(V) || V < 0.0)
+          return std::nullopt;
+        M.setUsage(Id, static_cast<ResourceId>(R), V);
       }
     } else {
       return std::nullopt;

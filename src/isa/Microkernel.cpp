@@ -126,7 +126,11 @@ std::optional<Microkernel> Microkernel::parse(const std::string &Text,
       std::string MultStr = Token.substr(Caret + 1);
       char *End = nullptr;
       Mult = std::strtod(MultStr.c_str(), &End);
-      if (End == MultStr.c_str() || *End != 0 || Mult <= 0.0)
+      // !(Mult > 0.0) also rejects NaN, which compares false against
+      // everything; kernel text arrives over the wire, so "^nan"/"^inf"
+      // must not leak non-finite multiplicities into predictions.
+      if (End == MultStr.c_str() || *End != 0 || !std::isfinite(Mult) ||
+          !(Mult > 0.0))
         return std::nullopt;
     }
     InstrId Id = Isa.findByName(Name);

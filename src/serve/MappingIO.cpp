@@ -391,22 +391,34 @@ palmed::serve::loadMapping(const std::string &Path,
 }
 
 std::optional<ResourceMapping>
+palmed::serve::deserializeMappingAuto(const std::string &Bytes,
+                                      const MachineModel &Machine,
+                                      MappingIOError *Err) {
+  if (Bytes.size() >= sizeof(Magic) &&
+      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) == 0)
+    return deserializeMapping(Bytes, Machine, Err);
+  // Legacy line-oriented text format.
+  auto M = ResourceMapping::fromText(Bytes, Machine.isa());
+  if (!M) {
+    setError(Err, MappingIOStatus::Malformed,
+             "neither a binary nor a text mapping");
+    return std::nullopt;
+  }
+  setError(Err, MappingIOStatus::Ok, "");
+  return M;
+}
+
+std::optional<ResourceMapping>
 palmed::serve::loadMappingAuto(const std::string &Path,
                                const MachineModel &Machine,
                                MappingIOError *Err) {
   auto Bytes = readFile(Path, Err);
   if (!Bytes)
     return std::nullopt;
-  if (Bytes->size() >= sizeof(Magic) &&
-      std::memcmp(Bytes->data(), Magic, sizeof(Magic)) == 0)
-    return deserializeMapping(*Bytes, Machine, Err);
-  // Legacy line-oriented text format.
-  auto M = ResourceMapping::fromText(*Bytes, Machine.isa());
-  if (!M) {
-    setError(Err, MappingIOStatus::Malformed,
-             "'" + Path + "' is neither a binary nor a text mapping file");
-    return std::nullopt;
-  }
-  setError(Err, MappingIOStatus::Ok, "");
+  auto M = deserializeMappingAuto(*Bytes, Machine, Err);
+  if (!M && Err && Err->Status == MappingIOStatus::Malformed &&
+      Err->Message == "neither a binary nor a text mapping")
+    Err->Message =
+        "'" + Path + "' is neither a binary nor a text mapping file";
   return M;
 }

@@ -102,6 +102,14 @@ std::optional<ResourceMapping>
 loadMappingAuto(const std::string &Path, const MachineModel &Machine,
                 MappingIOError *Err = nullptr);
 
+/// The byte-level core of loadMappingAuto: sniffs \p Bytes for the binary
+/// magic and parses binary or legacy text accordingly. This is the full
+/// untrusted-input surface of the auto loader (minus file I/O); the
+/// fuzz_mapping_io harness drives it directly.
+std::optional<ResourceMapping>
+deserializeMappingAuto(const std::string &Bytes, const MachineModel &Machine,
+                       MappingIOError *Err = nullptr);
+
 /// CRC32 (IEEE 802.3, reflected 0xEDB88320) over \p Size bytes; the
 /// checksum guarding the payload. Exposed for tests.
 uint32_t crc32(const void *Data, size_t Size);

@@ -66,6 +66,7 @@ public:
 
   bool fail() const { return Failed; }
   bool atEnd() const { return !Failed && Pos == Data.size(); }
+  size_t remaining() const { return Failed ? 0 : Data.size() - Pos; }
 
   uint8_t u8() { return static_cast<uint8_t>(uint(1)); }
   uint16_t u16() { return static_cast<uint16_t>(uint(2)); }
@@ -147,7 +148,12 @@ palmed::serve::decodeQueryRequest(const std::string &Payload) {
   QueryRequest Msg;
   Msg.Machine = R.str16();
   uint32_t N = R.u32();
-  Msg.Kernels.reserve(R.fail() ? 0 : N);
+  // The count is untrusted: a 20-byte frame may declare 2^32-1 kernels.
+  // Every kernel record needs at least its 4-byte length prefix, so cap
+  // the reservation by what the body could possibly hold — the loop below
+  // then fails on the truncated read instead of reserve() forcing a
+  // multi-gigabyte allocation first.
+  Msg.Kernels.reserve(std::min<size_t>(R.fail() ? 0 : N, R.remaining() / 4));
   for (uint32_t I = 0; I < N && !R.fail(); ++I)
     Msg.Kernels.push_back(R.str32());
   if (R.fail() || !R.atEnd())
@@ -185,7 +191,9 @@ palmed::serve::decodeQueryResponse(const std::string &Payload) {
   Reader R(Payload, 1);
   QueryResponse Msg;
   uint32_t N = R.u32();
-  Msg.Answers.reserve(R.fail() ? 0 : N);
+  // Untrusted count (see decodeQueryRequest): an answer record is at
+  // least 11 bytes (status + f64 + bottleneck count).
+  Msg.Answers.reserve(std::min<size_t>(R.fail() ? 0 : N, R.remaining() / 11));
   for (uint32_t I = 0; I < N && !R.fail(); ++I) {
     KernelAnswer A;
     uint8_t S = R.u8();

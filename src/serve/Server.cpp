@@ -258,123 +258,109 @@ double percentile(std::vector<double> Samples, double Q) {
 
 } // namespace
 
-void Server::handleConnection(Connection &Conn) {
+std::string Server::dispatchPayload(const std::string &Payload,
+                                    ConnectionState &C) {
   using Clock = std::chrono::steady_clock;
-  struct Counters {
-    uint64_t Queries = 0;
-    uint64_t Kernels = 0;
-    uint64_t Hits = 0;
-    uint64_t Misses = 0;
-    /// Query-latency ring, microseconds.
-    std::vector<double> LatencyUs;
-    uint64_t LatencySeen = 0;
-  } C;
-  const Clock::time_point Opened = Clock::now();
+  auto Type = peekType(Payload);
+  if (!Type)
+    return encodeErrorResponse({"unrecognized message type"});
+  switch (*Type) {
+  case MsgType::QueryRequest: {
+    Clock::time_point T0 = Clock::now();
+    auto Req = decodeQueryRequest(Payload);
+    if (!Req)
+      return encodeErrorResponse({"malformed query request"});
+    std::string Error;
+    auto Resp = evaluateWire(*Req, &C.Hits, &C.Misses, &Error);
+    if (!Resp)
+      return encodeErrorResponse({Error});
+    ++C.Queries;
+    C.Kernels += Req->Kernels.size();
+    double Us =
+        std::chrono::duration<double, std::micro>(Clock::now() - T0)
+            .count();
+    if (C.LatencyUs.size() < Config.MaxLatencySamples)
+      C.LatencyUs.push_back(Us);
+    else
+      C.LatencyUs[C.LatencySeen % Config.MaxLatencySamples] = Us;
+    ++C.LatencySeen;
+    return std::move(*Resp);
+  }
+  case MsgType::StatsRequest: {
+    double UptimeS =
+        std::chrono::duration<double>(Clock::now() - C.Opened).count();
+    uint64_t ConnLookups = C.Hits + C.Misses;
+    ServerTotals T = totals();
+    uint64_t ServerLookups = T.CacheHits + T.CacheMisses;
+    StatsResponse S;
+    S.Counters = {
+        {"conn.requests", static_cast<double>(C.Queries)},
+        {"conn.kernels", static_cast<double>(C.Kernels)},
+        {"conn.cache_hits", static_cast<double>(C.Hits)},
+        {"conn.cache_misses", static_cast<double>(C.Misses)},
+        {"conn.cache_hit_rate",
+         ConnLookups ? static_cast<double>(C.Hits) /
+                           static_cast<double>(ConnLookups)
+                     : 0.0},
+        {"conn.qps",
+         UptimeS > 0.0 ? static_cast<double>(C.Queries) / UptimeS : 0.0},
+        {"conn.kernels_per_s",
+         UptimeS > 0.0 ? static_cast<double>(C.Kernels) / UptimeS : 0.0},
+        {"conn.p50_us", percentile(C.LatencyUs, 0.50)},
+        {"conn.p99_us", percentile(C.LatencyUs, 0.99)},
+        {"conn.uptime_s", UptimeS},
+        {"server.machines", static_cast<double>(Machines.size())},
+        {"server.threads", static_cast<double>(Exec.numWorkers())},
+        {"server.connections", static_cast<double>(T.Connections)},
+        {"server.requests", static_cast<double>(T.Requests)},
+        {"server.kernels", static_cast<double>(T.Kernels)},
+        {"server.cache_hits", static_cast<double>(T.CacheHits)},
+        {"server.cache_misses", static_cast<double>(T.CacheMisses)},
+        {"server.cache_hit_rate",
+         ServerLookups ? static_cast<double>(T.CacheHits) /
+                             static_cast<double>(ServerLookups)
+                       : 0.0},
+    };
+    return encodeStatsResponse(S);
+  }
+  case MsgType::ListRequest: {
+    ListResponse L;
+    L.Machines.reserve(Machines.size());
+    for (const auto &M : Machines) {
+      MachineInfo Info;
+      Info.Name = M->Name;
+      Info.Digest = machineDigest(M->Machine);
+      Info.NumResources = static_cast<uint32_t>(M->Mapping.numResources());
+      Info.NumMapped =
+          static_cast<uint32_t>(M->Mapping.numMappedInstructions());
+      L.Machines.push_back(std::move(Info));
+    }
+    // Canonical order: two servers configured with the same machines must
+    // produce byte-identical list responses regardless of the order their
+    // addMachine() calls ran in (names are unique — addMachine throws on
+    // duplicates).
+    std::sort(L.Machines.begin(), L.Machines.end(),
+              [](const MachineInfo &A, const MachineInfo &B) {
+                return A.Name < B.Name;
+              });
+    return encodeListResponse(L);
+  }
+  default:
+    return encodeErrorResponse({"unexpected message type"});
+  }
+}
 
+void Server::handleConnection(Connection &Conn) {
+  ConnectionState C;
   std::string Payload;
   while (!stopRequested() && readFrame(Conn.Fd, Payload)) {
-    bool WriteOk = true;
+    bool WriteOk;
     // A handler runs on a bare std::thread: any exception escaping this
     // body (bad_alloc on a huge frame/batch, a rethrow out of
     // Executor::parallelFor) would std::terminate the whole daemon. Turn
     // it into an ErrorResponse and keep serving.
     try {
-      auto Type = peekType(Payload);
-      if (!Type) {
-        if (!writeFrame(Conn.Fd,
-                        encodeErrorResponse({"unrecognized message type"})))
-          break;
-        continue;
-      }
-      switch (*Type) {
-      case MsgType::QueryRequest: {
-        Clock::time_point T0 = Clock::now();
-        auto Req = decodeQueryRequest(Payload);
-        if (!Req) {
-          WriteOk = writeFrame(
-              Conn.Fd, encodeErrorResponse({"malformed query request"}));
-          break;
-        }
-        std::string Error;
-        auto Resp = evaluateWire(*Req, &C.Hits, &C.Misses, &Error);
-        if (!Resp) {
-          WriteOk = writeFrame(Conn.Fd, encodeErrorResponse({Error}));
-          break;
-        }
-        WriteOk = writeFrame(Conn.Fd, *Resp);
-        ++C.Queries;
-        C.Kernels += Req->Kernels.size();
-        double Us = std::chrono::duration<double, std::micro>(
-                        Clock::now() - T0)
-                        .count();
-        if (C.LatencyUs.size() < Config.MaxLatencySamples)
-          C.LatencyUs.push_back(Us);
-        else
-          C.LatencyUs[C.LatencySeen % Config.MaxLatencySamples] = Us;
-        ++C.LatencySeen;
-        break;
-      }
-      case MsgType::StatsRequest: {
-        double UptimeS =
-            std::chrono::duration<double>(Clock::now() - Opened).count();
-        uint64_t ConnLookups = C.Hits + C.Misses;
-        ServerTotals T = totals();
-        uint64_t ServerLookups = T.CacheHits + T.CacheMisses;
-        StatsResponse S;
-        S.Counters = {
-            {"conn.requests", static_cast<double>(C.Queries)},
-            {"conn.kernels", static_cast<double>(C.Kernels)},
-            {"conn.cache_hits", static_cast<double>(C.Hits)},
-            {"conn.cache_misses", static_cast<double>(C.Misses)},
-            {"conn.cache_hit_rate",
-             ConnLookups ? static_cast<double>(C.Hits) /
-                               static_cast<double>(ConnLookups)
-                         : 0.0},
-            {"conn.qps",
-             UptimeS > 0.0 ? static_cast<double>(C.Queries) / UptimeS
-                           : 0.0},
-            {"conn.kernels_per_s",
-             UptimeS > 0.0 ? static_cast<double>(C.Kernels) / UptimeS
-                           : 0.0},
-            {"conn.p50_us", percentile(C.LatencyUs, 0.50)},
-            {"conn.p99_us", percentile(C.LatencyUs, 0.99)},
-            {"conn.uptime_s", UptimeS},
-            {"server.machines", static_cast<double>(Machines.size())},
-            {"server.threads", static_cast<double>(Exec.numWorkers())},
-            {"server.connections", static_cast<double>(T.Connections)},
-            {"server.requests", static_cast<double>(T.Requests)},
-            {"server.kernels", static_cast<double>(T.Kernels)},
-            {"server.cache_hits", static_cast<double>(T.CacheHits)},
-            {"server.cache_misses", static_cast<double>(T.CacheMisses)},
-            {"server.cache_hit_rate",
-             ServerLookups ? static_cast<double>(T.CacheHits) /
-                                 static_cast<double>(ServerLookups)
-                           : 0.0},
-        };
-        WriteOk = writeFrame(Conn.Fd, encodeStatsResponse(S));
-        break;
-      }
-      case MsgType::ListRequest: {
-        ListResponse L;
-        L.Machines.reserve(Machines.size());
-        for (const auto &M : Machines) {
-          MachineInfo Info;
-          Info.Name = M->Name;
-          Info.Digest = machineDigest(M->Machine);
-          Info.NumResources =
-              static_cast<uint32_t>(M->Mapping.numResources());
-          Info.NumMapped =
-              static_cast<uint32_t>(M->Mapping.numMappedInstructions());
-          L.Machines.push_back(std::move(Info));
-        }
-        WriteOk = writeFrame(Conn.Fd, encodeListResponse(L));
-        break;
-      }
-      default:
-        WriteOk = writeFrame(
-            Conn.Fd, encodeErrorResponse({"unexpected message type"}));
-        break;
-      }
+      WriteOk = writeFrame(Conn.Fd, dispatchPayload(Payload, C));
     } catch (const std::exception &E) {
       try {
         WriteOk = writeFrame(

@@ -40,6 +40,7 @@
 #include "support/Executor.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -110,6 +111,30 @@ public:
   }
 
   ServerTotals totals() const;
+
+  /// Per-connection counters threaded through dispatchPayload(). One
+  /// instance lives on each handler thread's stack; it is never shared.
+  struct ConnectionState {
+    uint64_t Queries = 0;
+    uint64_t Kernels = 0;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    /// Query-latency ring, microseconds.
+    std::vector<double> LatencyUs;
+    uint64_t LatencySeen = 0;
+    std::chrono::steady_clock::time_point Opened =
+        std::chrono::steady_clock::now();
+  };
+
+  /// The server-side request dispatch: decodes one frame payload (as
+  /// received from the wire — arbitrary, untrusted bytes) and returns the
+  /// encoded response payload that handleConnection writes back. Malformed
+  /// or unknown input produces an ErrorResponse payload, never a throw on
+  /// its own; out-of-memory or executor rethrows can still escape and are
+  /// turned into ErrorResponses by the connection handler. Public because
+  /// it is the exact surface the protocol fuzzer drives.
+  std::string dispatchPayload(const std::string &Payload,
+                              ConnectionState &Conn);
 
   /// Evaluates one batched query in-process (the exact code path a
   /// connection runs, minus the socket). Exposed for bench_serve and

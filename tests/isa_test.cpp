@@ -167,3 +167,13 @@ TEST(Microkernel, ParseRejectsGarbage) {
   EXPECT_FALSE(Microkernel::parse("ADD^-2", Isa).has_value());
   EXPECT_FALSE(Microkernel::parse("ADD^x", Isa).has_value());
 }
+
+TEST(Microkernel, ParseRejectsNonFiniteMultiplicityRegression) {
+  // Found by fuzz_protocol: strtod parses "inf"/"nan", and NaN slips
+  // past a `Mult <= 0.0` check because every comparison with NaN is
+  // false. Such kernels poisoned predictions with non-finite IPCs.
+  InstructionSet Isa = makeIsa();
+  EXPECT_FALSE(Microkernel::parse("ADD^inf", Isa).has_value());
+  EXPECT_FALSE(Microkernel::parse("ADD^nan", Isa).has_value());
+  EXPECT_FALSE(Microkernel::parse("ADD^1e999", Isa).has_value());
+}

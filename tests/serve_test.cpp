@@ -567,6 +567,112 @@ TEST(ServeServer, SurvivesClientClosingBeforeResponse) {
   EXPECT_EQ(R->Answers[0].S, KernelAnswer::Status::Ok);
 }
 
+TEST(ServeServer, ListResponseIsByteIdenticalAcrossInsertionOrder) {
+  // The list response is part of the determinism surface: two servers
+  // configured with the same machines must answer `list` with identical
+  // bytes regardless of the order addMachine() was called in. This is
+  // what the determinism lint's unordered-iter rule guards at the code
+  // level; here it is pinned at the wire level.
+  MachineModel Fig1 = makeFig1Machine();
+  MachineModel Skl = makeSklLike();
+  ResourceMapping Fig1Map = buildDualMapping(Fig1);
+  ResourceMapping SklMap = buildDualMapping(Skl);
+
+  auto listBytes = [&](bool Fig1First) {
+    ServerConfig C;
+    C.SocketPath = "/unused-never-bound";
+    C.NumThreads = 1;
+    Server S(C);
+    if (Fig1First) {
+      S.addMachine("fig1", Fig1, Fig1Map);
+      S.addMachine("skl", Skl, SklMap);
+    } else {
+      S.addMachine("skl", Skl, SklMap);
+      S.addMachine("fig1", Fig1, Fig1Map);
+    }
+    Server::ConnectionState Conn;
+    return S.dispatchPayload(encodeListRequest(), Conn);
+  };
+
+  std::string A = listBytes(/*Fig1First=*/true);
+  std::string B = listBytes(/*Fig1First=*/false);
+  EXPECT_EQ(A, B);
+  auto L = decodeListResponse(A);
+  ASSERT_TRUE(L);
+  ASSERT_EQ(L->Machines.size(), 2u);
+  EXPECT_EQ(L->Machines[0].Name, "fig1"); // Sorted by name, not insertion.
+  EXPECT_EQ(L->Machines[1].Name, "skl");
+}
+
+TEST(ServeProtocol, QueryRequestDeclaredCountBombRegression) {
+  // Found while fuzzing: a 16-byte frame can declare 2^32-1 kernel
+  // records, and reserve(N) on the declared count tried to allocate
+  // tens of gigabytes before the first record failed to parse. Decoders
+  // now clamp reserves to what the remaining bytes could possibly hold.
+  std::string Bomb = encodeQueryRequest({/*Machine=*/"fig1", {}});
+  ASSERT_GE(Bomb.size(), 4u);
+  for (size_t I = 0; I < 4; ++I)
+    Bomb[Bomb.size() - 4 + I] = '\xff';
+  EXPECT_FALSE(decodeQueryRequest(Bomb));
+
+  QueryResponse Empty;
+  std::string RespBomb = encodeQueryResponse(Empty);
+  ASSERT_GE(RespBomb.size(), 4u);
+  for (size_t I = 0; I < 4; ++I)
+    RespBomb[RespBomb.size() - 4 + I] = '\xff';
+  EXPECT_FALSE(decodeQueryResponse(RespBomb));
+}
+
+TEST(ServeMappingIO, FromTextRejectsNonFiniteValuesRegression) {
+  // Found while fuzzing loadMappingAuto: the text parser accepted
+  // resource throughputs and edge weights the binary loader rejects
+  // (non-finite, non-positive throughput; negative/NaN edges), so a
+  // hostile text mapping could smuggle values that break the
+  // serialize/deserialize round-trip invariant. Both loaders now apply
+  // the same rules.
+  MachineModel M = makeFig1Machine();
+  MappingIOError Err;
+  const char *Header = "palmed-mapping v1\nresources 1\n";
+  for (const char *Body : {
+           "resource r0 nan\n",                      // non-finite throughput
+           "resource r0 inf\n",                      //
+           "resource r0 0\n",                        // non-positive
+           "resource r0 -1.5\n",                     //
+           "resource r0 1.5\ninstr ADDSS 0:nan\n",   // non-finite edge
+           "resource r0 1.5\ninstr ADDSS 0:-2\n",    // negative edge
+           "resource r0 1.5\ninstr ADDSS 99:1\n",    // out-of-range resource
+           // A resource index that overflows size_t used to be UB in
+           // sscanf("%zu"); it must now be a clean parse failure.
+           "resource r0 1.5\ninstr ADDSS 99999999999999999999:1\n",
+       }) {
+    std::string Text = std::string(Header) + Body;
+    EXPECT_FALSE(deserializeMappingAuto(Text, M, &Err)) << Body;
+    EXPECT_EQ(Err.Status, MappingIOStatus::Malformed) << Body;
+  }
+  // The well-formed equivalent still loads.
+  std::string Good = std::string(Header) +
+                     "resource r0 1.5\ninstr ADDSS 0:0.5\n";
+  EXPECT_TRUE(deserializeMappingAuto(Good, M, &Err)) << Err.Message;
+}
+
+TEST(ServeMappingIO, DeserializeAutoMatchesLoadAuto) {
+  // deserializeMappingAuto is the byte-level core the fuzz_mapping_io
+  // harness drives; it must accept exactly what loadMappingAuto accepts
+  // from a file, for both the binary and the legacy text form.
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Mapping = buildDualMapping(M);
+  MappingIOError Err;
+  auto FromBinary = deserializeMappingAuto(serializeMapping(Mapping, M), M,
+                                           &Err);
+  ASSERT_TRUE(FromBinary) << Err.Message;
+  EXPECT_EQ(FromBinary->toText(M.isa()), Mapping.toText(M.isa()));
+  auto FromText = deserializeMappingAuto(Mapping.toText(M.isa()), M, &Err);
+  ASSERT_TRUE(FromText) << Err.Message;
+  EXPECT_EQ(FromText->toText(M.isa()), Mapping.toText(M.isa()));
+  EXPECT_FALSE(deserializeMappingAuto("neither binary nor text", M, &Err));
+  EXPECT_EQ(Err.Status, MappingIOStatus::Malformed);
+}
+
 TEST(ServeServer, ZeroLatencySampleConfigIsClamped) {
   MachineModel M = makeFig1Machine();
   ServerConfig C;
