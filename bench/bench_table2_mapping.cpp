@@ -154,6 +154,20 @@ int main() {
                                   Stress.Stats.CompleteLpPivots)),
             N(static_cast<size_t>(Huge.Stats.CoreLpPivots +
                                   Huge.Stats.CompleteLpPivots))});
+  auto WarmCell = [](const PalmedStats &S) {
+    std::string Cell = TextTable::fmt(S.LpWarmStartHits) + "/" +
+                       TextTable::fmt(S.LpWarmStartAttempts);
+    if (S.LpWarmStartAttempts > 0)
+      Cell += " (" +
+              TextTable::fmt(100.0 *
+                                 static_cast<double>(S.LpWarmStartHits) /
+                                 static_cast<double>(S.LpWarmStartAttempts),
+                             1) +
+              "%)";
+    return Cell;
+  };
+  T.addRow({"LP warm-start hits", WarmCell(Skl.Stats), WarmCell(Zen.Stats),
+            WarmCell(Stress.Stats), WarmCell(Huge.Stats)});
   T.print(std::cout);
   std::cout << "\nPaper reference (real HW): ~1,000,000 benchmarks, 17 "
                "resources,\n2586/2596 instructions mapped, 8h/6h "
@@ -196,7 +210,27 @@ int main() {
                      static_cast<double>(R->Stats.LpWarmStartAttempts));
     Report.addMetric(P + "lp_warm_hits",
                      static_cast<double>(R->Stats.LpWarmStartHits));
+    Report.addMetric(P + "lp_warm_hit_rate",
+                     R->Stats.LpWarmStartAttempts > 0
+                         ? static_cast<double>(R->Stats.LpWarmStartHits) /
+                               static_cast<double>(R->Stats.LpWarmStartAttempts)
+                         : 0.0);
   }
+
+  // The warm-start machinery is on by default; a profile with zero probes
+  // means the cache got disconnected somewhere in the pipeline. Fail loudly
+  // rather than silently publishing cold-path numbers as the trajectory.
+  bool WarmOk = true;
+  for (const Row *R : {&Skl, &Zen, &Stress, &Huge}) {
+    if (R->Stats.LpWarmStartAttempts <= 0) {
+      std::cout << "ERROR: " << R->Name
+                << " recorded zero LP warm-start attempts; the LP2 cache is "
+                   "not wired in.\n";
+      WarmOk = false;
+    }
+  }
+  if (!WarmOk)
+    return 1;
 
   // End-to-end parallel-mapping trajectory (stress scenario). On a 1-CPU
   // host the speedup is ~1x; the determinism bit is the hard guarantee.

@@ -57,6 +57,17 @@ struct PalmedConfig {
   /// bit-identical between Serial and any Parallel(N); see the observer
   /// threading contract in palmed/Observer.h.
   ExecutionPolicy Execution = ExecutionPolicy::serial();
+  /// Stage-2 LP2 solve strategy (see BwpSolveOptions in core/BwpSolver.h).
+  /// All combinations produce bit-identical mappings; the knobs only trade
+  /// work. Lp2Decompose splits each pinned solve into independent
+  /// resource-coupling components (fanned over the execution policy when
+  /// more than one); Lp2Cache memoizes per-resource subproblem blocks and
+  /// warm-start bases across the shape-refinement iterations; Lp2ReuseModels
+  /// patches per-resource LP models across pin iterations instead of
+  /// rebuilding them.
+  bool Lp2Decompose = true;
+  bool Lp2Cache = true;
+  bool Lp2ReuseModels = true;
 };
 
 /// Run statistics (feeds the Table II reproduction).
@@ -86,6 +97,10 @@ struct PalmedStats {
   long CompleteLpPivots = 0;
   long LpWarmStartAttempts = 0;
   long LpWarmStartHits = 0;
+  /// Resource-coupling components of the final LP2 refit (1 = monolithic;
+  /// 0 = the refit never ran). A structural property of the shape, so it
+  /// is part of the Serial==Parallel bitwise stats contract.
+  long Lp2Components = 0;
   /// Resolved executor width the pipeline ran with (1 = serial). A thread
   /// counter, not a mapping outcome: it is the one stats field allowed to
   /// differ between Serial and Parallel runs (besides the *Seconds

@@ -11,6 +11,11 @@ ending in `suffix` (default `lp_s`) exceeds the baseline by more than
 heterogeneous, while a real hot-path regression shows up as 2x or worse).
 CI pairs the wall-clock gate with a tight host-independent gate on the
 deterministic `lp_pivots` counters against BENCH_post.json.
+
+Because the match is suffix-based, passing a fully qualified metric name
+(e.g. `huge.lp_s` or `huge.lp_pivots`) gates exactly that one metric — CI
+uses this to pin the huge profile, the LP2 warm-start/decomposition
+showcase, independently of the smaller machines.
 """
 
 import json

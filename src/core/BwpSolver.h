@@ -30,14 +30,94 @@
 
 #include "core/ShapeSolver.h"
 #include "isa/Microkernel.h"
+#include "lp/Simplex.h"
 
 #include <map>
 #include <vector>
 
 namespace palmed {
 
+class Executor;
+
 /// How the BWP objective's max is handled.
 enum class BwpMode { Pinned, ExactMilp };
+
+/// Cross-call memo of pinned per-resource BWP blocks (primary LP plus the
+/// optional balancing passes), keyed by an exact 128-bit structural digest
+/// of the block — capacity rows, variable bounds, balancing scales,
+/// tie-break and pinned objective, all by coefficient bit pattern, never
+/// by pointer identity (determinism lint). An exact hit replays the
+/// stored solution verbatim, which is bit-identical to re-solving because
+/// the compat solver is deterministic, and skips the LPs entirely. A
+/// second, rows-only ("skeleton") index carries the last exported simplex
+/// basis per constraint skeleton, used to warm-start structure-identical
+/// solves under a fresh objective; compat-pinned call sites ignore the
+/// seed (cold fallback) so their pivot arithmetic stays exact.
+/// Both indices are ordered maps: lookups, inserts, and merges are
+/// deterministic regardless of thread count.
+class BwpSubproblemCache {
+public:
+  struct Entry {
+    /// Final local values of the block, in the resource's local variable
+    /// order.
+    std::vector<double> Values;
+  };
+
+  const Entry *find(const lp::StructuralDigest::Value &D) const;
+  /// First insert wins; entries are immutable once published.
+  void insert(const lp::StructuralDigest::Value &D, Entry E);
+
+  const lp::SimplexBasis *
+  findBasis(const lp::StructuralDigest::Value &Skeleton) const;
+  void storeBasis(const lp::StructuralDigest::Value &Skeleton,
+                  const lp::SimplexBasis &Basis);
+
+  /// Deterministically folds \p Other in (first insert wins). Used to
+  /// publish per-component caches in component-index order after a
+  /// decomposed fan-out.
+  void merge(BwpSubproblemCache &&Other);
+
+  size_t numEntries() const { return Entries.size(); }
+  void clear();
+
+private:
+  /// Backstop against unbounded growth in long-lived processes; at the
+  /// cap the whole memo is dropped (epoch clear), which only costs
+  /// future misses.
+  static constexpr size_t MaxEntries = 1u << 20;
+
+  std::map<lp::StructuralDigest::Value, Entry> Entries;
+  std::map<lp::StructuralDigest::Value, lp::SimplexBasis> Bases;
+};
+
+/// Outputs of one pinned solve, for stats plumbing.
+struct BwpSolveStats {
+  /// Resource-coupling components of the pinned decomposition (1 when the
+  /// problem is monolithic; 0 when the solve never ran or ran ExactMilp).
+  int Components = 0;
+  /// True when the per-component fan-out path ran (false = monolithic
+  /// fallback: dense coupling, decomposition disabled, or no executor).
+  bool Decomposed = false;
+};
+
+/// Knobs threaded through the pinned BWP solve. All combinations produce
+/// bit-identical weights; the knobs only trade work (see the equivalence
+/// tests in tests/lp2_test.cpp).
+struct BwpSolveOptions {
+  /// Fan target for per-component solves; null solves components inline.
+  Executor *Exec = nullptr;
+  /// Cross-call block memo + skeleton basis store; null disables both.
+  /// During a fan-out each component probes the shared cache read-only
+  /// plus a component-local overlay, and overlays merge in component
+  /// order afterwards — hit patterns are scheduling-independent.
+  BwpSubproblemCache *Cache = nullptr;
+  /// Reuse per-resource model buffers across pin iterations instead of
+  /// reconstructing every lp::Model from scratch (row replace + truncate).
+  bool ReuseModels = true;
+  /// Split the solve into independent resource-coupling components.
+  bool Decompose = true;
+  BwpSolveStats *Stats = nullptr;
+};
 
 /// A measured kernel entering a weight problem. \p PinnedResource fixes the
 /// bottleneck resource; -1 = free (derived by pin iteration / argmax
@@ -72,6 +152,16 @@ CoreWeights solveCoreWeights(const MappingShape &Shape,
                              BwpMode Mode, int MaxPinIterations = 6,
                              const std::vector<double> &SoloIpc = {});
 
+/// Overload threading the pinned-solve options (cache, decomposition,
+/// model reuse, executor) through the solve. The defaulted overload above
+/// is equivalent to passing default-constructed options.
+CoreWeights solveCoreWeights(const MappingShape &Shape,
+                             const std::map<InstrId, size_t> &IndexOf,
+                             const std::vector<WeightKernel> &Kernels,
+                             BwpMode Mode, const BwpSolveOptions &Options,
+                             int MaxPinIterations = 6,
+                             const std::vector<double> &SoloIpc = {});
+
 /// Result of one LPAUX solve.
 struct AuxWeights {
   /// Rho[resource] row of the newly mapped instruction.
@@ -83,12 +173,21 @@ struct AuxWeights {
 /// LPAUX: weights of one additional instruction \p Inst against the frozen
 /// core. \p FrozenRho is indexed [basicIndex][resource]; kernels may
 /// contain basic instructions and \p Inst.
+///
+/// \p Options threads the pinned-solve knobs through. LPAUX solves run
+/// inside the stage-3 parallelFor, so a caller passing Options.Cache must
+/// scope it to one call (or one task): per-call caches keep the hit
+/// pattern — and hence the solve/pivot stats — independent of scheduling,
+/// which a cache shared across tasks would break. Symmetric resources
+/// make call-local hits frequent (the block digest excludes the resource
+/// index, so structurally identical per-resource blocks collapse).
 AuxWeights solveAuxWeights(const MappingShape &Shape,
                            const std::map<InstrId, size_t> &IndexOf,
                            const std::vector<std::vector<double>> &FrozenRho,
                            InstrId Inst,
                            const std::vector<WeightKernel> &Kernels,
-                           BwpMode Mode, int MaxPinIterations = 4);
+                           BwpMode Mode, int MaxPinIterations = 4,
+                           const BwpSolveOptions &Options = {});
 
 } // namespace palmed
 

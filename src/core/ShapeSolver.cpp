@@ -255,6 +255,47 @@ private:
   static constexpr size_t MaxNodes = 2000000;
 };
 
+/// Exact digest of a simplified constraint system plus the share matrix —
+/// everything a shape solve depends on. Length-prefixed element lists keep
+/// adjacent fields from aliasing (see lp::StructuralDigest).
+lp::StructuralDigest::Value
+digestShapeProblem(const std::vector<ShapeConstraint> &Constraints,
+                   const ShareMatrix &Shares) {
+  lp::StructuralDigest D;
+  auto AddMask = [&D](const InstrIndexMask &M) {
+    D.addSize(M.count());
+    M.forEachSetBit([&D](size_t I) { D.addSize(I); });
+  };
+  D.addSize(Constraints.size());
+  for (const ShapeConstraint &C : Constraints) {
+    AddMask(C.Required);
+    AddMask(C.Forbidden);
+    D.addInt(C.Owner);
+  }
+  D.addSize(Shares.size());
+  for (const std::vector<ShareKind> &Row : Shares) {
+    D.addSize(Row.size());
+    for (ShareKind S : Row)
+      D.addU64(static_cast<uint64_t>(S));
+  }
+  return D.value();
+}
+
+/// Bounded thread-local memo for the (deterministic) shape solvers: the
+/// refinement loop occasionally re-derives a constraint system it already
+/// solved, and re-running the search would reproduce the identical shape.
+/// Thread-local because shape solves only ever run on the pipeline's
+/// driving thread — no cross-thread publication, so memo hits can never
+/// make outcomes or stats depend on scheduling. At the cap the whole memo
+/// is dropped (epoch clear), which only costs future misses.
+std::map<lp::StructuralDigest::Value, MappingShape> &shapeMemo() {
+  thread_local std::map<lp::StructuralDigest::Value, MappingShape> Memo;
+  constexpr size_t MaxEntries = 256;
+  if (Memo.size() >= MaxEntries)
+    Memo.clear();
+  return Memo;
+}
+
 } // namespace
 
 MappingShape
@@ -268,7 +309,17 @@ palmed::solveShapeExact(const std::vector<ShapeConstraint> &Constraints,
     (void)C;
   }
   std::vector<ShapeConstraint> Simplified = simplifyConstraints(Expanded);
-  return PartitionSearch(Simplified, Shares).run();
+  lp::StructuralDigest Key;
+  Key.addU64(0x45584143u); // Domain tag: exact search vs MILP.
+  lp::StructuralDigest::Value Problem = digestShapeProblem(Simplified, Shares);
+  Key.addU64(Problem.Lo);
+  Key.addU64(Problem.Hi);
+  auto &Memo = shapeMemo();
+  if (auto It = Memo.find(Key.value()); It != Memo.end())
+    return It->second;
+  MappingShape Shape = PartitionSearch(Simplified, Shares).run();
+  Memo.emplace(Key.value(), Shape);
+  return Shape;
 }
 
 MappingShape
@@ -346,6 +397,20 @@ palmed::solveShapeMilp(const std::vector<ShapeConstraint> &Constraints,
     Obj.add(U, 1.0);
   M.setObjective(std::move(Obj), lp::Goal::Minimize);
 
+  // Memo on the exact model fingerprint (plus the decode dimensions): an
+  // identical model re-solved by the deterministic branch-and-bound would
+  // reproduce the identical shape.
+  lp::StructuralDigest Key;
+  Key.addU64(0x4D494C50u); // Domain tag: MILP vs exact search.
+  lp::StructuralDigest::Value FP = lp::fingerprintModel(M);
+  Key.addU64(FP.Lo);
+  Key.addU64(FP.Hi);
+  Key.addSize(NumInstructions);
+  Key.addSize(MaxResources);
+  auto &Memo = shapeMemo();
+  if (auto It = Memo.find(Key.value()); It != Memo.end())
+    return It->second;
+
   lp::Solution Sol = lp::solveMilp(M);
   assert(Sol.ok() && "shape MILP must be feasible");
 
@@ -367,5 +432,6 @@ palmed::solveShapeMilp(const std::vector<ShapeConstraint> &Constraints,
                 return CA < CB;
               return A < B;
             });
+  Memo.emplace(Key.value(), Shape);
   return Shape;
 }

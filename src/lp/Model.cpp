@@ -73,6 +73,24 @@ void Model::addConstraint(LinearExpr Expr, Sense Dir, double Rhs,
   Constraints_.push_back(std::move(C));
 }
 
+void Model::replaceConstraint(size_t Idx, LinearExpr Expr, Sense Dir,
+                              double Rhs, std::string Name) {
+  assert(Idx < Constraints_.size() && "replaceConstraint out of range");
+  Constraint &C = Constraints_[Idx];
+  Rhs -= Expr.constant();
+  Expr.addConstant(-Expr.constant());
+  Expr.normalize();
+  C.Expr = std::move(Expr);
+  C.Dir = Dir;
+  C.Rhs = Rhs;
+  C.Name = std::move(Name);
+}
+
+void Model::truncateConstraints(size_t N) {
+  assert(N <= Constraints_.size() && "truncateConstraints growing");
+  Constraints_.resize(N);
+}
+
 void Model::setObjective(LinearExpr Expr, Goal Dir) {
   Expr.normalize();
   Objective = std::move(Expr);

@@ -16,6 +16,8 @@
 #ifndef PALMED_LP_MODEL_H
 #define PALMED_LP_MODEL_H
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -97,6 +99,18 @@ public:
   void addConstraint(LinearExpr Expr, Sense Dir, double Rhs,
                      std::string Name = "");
 
+  /// Replaces constraint \p Idx in place, applying the same
+  /// normalization/constant-folding as addConstraint. Together with
+  /// truncateConstraints this supports incremental rederivation: a caller
+  /// re-solving a model whose rows mostly survive between solves patches
+  /// the changed rows instead of rebuilding the whole model.
+  void replaceConstraint(size_t Idx, LinearExpr Expr, Sense Dir, double Rhs,
+                         std::string Name = "");
+
+  /// Drops constraints [\p N, numConstraints()). \p N must not exceed the
+  /// current count. Capacity is kept for row reuse.
+  void truncateConstraints(size_t N);
+
   void setObjective(LinearExpr Expr, Goal Direction);
 
   size_t numVars() const { return Vars.size(); }
@@ -113,6 +127,60 @@ private:
   std::vector<Constraint> Constraints_;
   LinearExpr Objective;
   Goal Direction = Goal::Minimize;
+};
+
+/// A 128-bit structural digest: two independent 64-bit streams (an FNV-1a
+/// variant and an FNV-1 variant over 64-bit lanes, distinct offset bases)
+/// accumulated word-at-a-time. Solver-side memoization keys problems by
+/// the exact bit patterns of their coefficient structure — never by
+/// pointer identity — so a digest match means "same bytes"; hashing bit
+/// patterns distinguishes strictly more than double equality (-0.0 vs
+/// 0.0, NaN payloads), which can only turn a would-be hit into a miss,
+/// never alias two different problems. Variable-length fields must be
+/// length-prefixed by the caller (addSize) so adjacent fields cannot
+/// re-associate into the same word stream. Not cryptographic: collision
+/// odds are ~2^-128 per pair on non-adversarial data. Containers keyed by
+/// Value must be ordered (std::map) to keep iteration deterministic.
+class StructuralDigest {
+public:
+  struct Value {
+    uint64_t Lo = 0;
+    uint64_t Hi = 0;
+    friend bool operator==(const Value &A, const Value &B) {
+      return A.Lo == B.Lo && A.Hi == B.Hi;
+    }
+    friend bool operator!=(const Value &A, const Value &B) {
+      return !(A == B);
+    }
+    friend bool operator<(const Value &A, const Value &B) {
+      if (A.Hi != B.Hi)
+        return A.Hi < B.Hi;
+      return A.Lo < B.Lo;
+    }
+  };
+
+  void addU64(uint64_t V) {
+    // Stream A: xor-then-multiply (FNV-1a order); stream B:
+    // multiply-then-xor (FNV-1 order). The different operation orders
+    // decorrelate the two streams without a second pass.
+    A = (A ^ V) * Prime;
+    B = (B * Prime) ^ V;
+  }
+  void addSize(size_t V) { addU64(static_cast<uint64_t>(V)); }
+  void addInt(long V) { addU64(static_cast<uint64_t>(V)); }
+  void addDouble(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    addU64(Bits);
+  }
+
+  Value value() const { return {A, B}; }
+
+private:
+  static constexpr uint64_t Prime = 1099511628211ULL;
+  uint64_t A = 14695981039346656037ULL; // FNV-1a 64-bit offset basis.
+  uint64_t B = 0x6C62272E07BB0142ULL;   // Distinct basis for stream B.
 };
 
 /// Solver outcome. The MILP solver only reports Optimal (and only proves

@@ -218,44 +218,259 @@ void buildTableau(Tableau &T, const Model &M, const std::vector<double> &Lo,
 
 enum class PhaseResult { Optimal, Unbounded, IterLimit, Infeasible };
 
+/// Column-compressed compat tableau. Palmed's compat-mode LPs are extreme
+/// in one dimension: the core BWP subproblems have thousands of capacity
+/// rows but only a few dozen structural variables, so a dense
+/// NumRows x NumCols tableau is ~99% slack/artificial columns that never
+/// leave their initial single-diagonal state (an unpromoted column is
+/// touched by an elimination only when its own row is the pivot row). This
+/// tableau stores structural columns densely (column-major, one slot per
+/// column) and keeps each slack/artificial column *implicit* — just its
+/// diagonal coefficient — until its row first pivots, at which point the
+/// column is promoted to a real slot. All bookkeeping (Cost, Status, Basis,
+/// physical column numbering) matches the dense compat tableau exactly, so
+/// pivot selection and pivot arithmetic are value-for-value identical; only
+/// the storage of never-touched zeros changed.
+class CompatTableau {
+public:
+  size_t NumRows = 0;
+  size_t NumVars = 0;
+  size_t ArtStart = 0;
+  size_t NumCols = 0;
+  size_t NumSlots = 0;
+
+  std::vector<double> Cols; ///< Slot-major: slot * NumRows + row.
+  std::vector<int> SlotOfPhys;       ///< Physical col -> slot, -1 implicit.
+  std::vector<uint32_t> PhysOfSlot;
+  std::vector<double> DiagOfPhys; ///< Implicit slack/art diagonal value.
+  std::vector<double> Rhs;
+  std::vector<double> Cost;
+  double CostRhs = 0.0;
+  std::vector<ColStatus> Status;
+  std::vector<int> Basis; ///< Per row: physical basic column.
+
+  std::vector<int> SlackPhysOfRow;
+  std::vector<int> ArtPhysOfRow;
+  std::vector<int> RowOfPhys;
+
+  double *col(size_t S) { return &Cols[S * NumRows]; }
+  const double *col(size_t S) const { return &Cols[S * NumRows]; }
+  double at(size_t R, size_t C) const {
+    int S = SlotOfPhys[C];
+    if (S >= 0)
+      return Cols[static_cast<size_t>(S) * NumRows + R];
+    return RowOfPhys[C] == static_cast<int>(R) ? DiagOfPhys[C] : 0.0;
+  }
+  /// Materializes an implicit column into a dense slot. Until its owning
+  /// row pivots, an implicit column's only nonzero is its untouched initial
+  /// diagonal, so the promoted slot reproduces the exact dense contents.
+  size_t promote(size_t C) {
+    size_t S = NumSlots++;
+    Cols.resize(NumSlots * NumRows, 0.0);
+    if (RowOfPhys[C] >= 0)
+      Cols[S * NumRows + static_cast<size_t>(RowOfPhys[C])] = DiagOfPhys[C];
+    SlotOfPhys[C] = static_cast<int>(S);
+    PhysOfSlot.push_back(static_cast<uint32_t>(C));
+    return S;
+  }
+
+  int logicalOf(int Phys) const {
+    if (static_cast<size_t>(Phys) < NumVars)
+      return Phys;
+    size_t R = static_cast<size_t>(RowOfPhys[static_cast<size_t>(Phys)]);
+    bool IsArt = static_cast<size_t>(Phys) >= ArtStart;
+    return static_cast<int>(NumVars + (IsArt ? NumRows : 0) + R);
+  }
+};
+
+/// Compat-mode tableau build: identical row normalization, physical column
+/// assignment, and initial basis as the dense ExplicitBounds build (every
+/// finite upper bound becomes one extra LE row).
+void buildCompat(CompatTableau &T, const Model &M,
+                 const std::vector<double> &Lo, const std::vector<double> &Hi) {
+  const size_t NumVars = M.numVars();
+  const size_t NumCons = M.numConstraints();
+  thread_local std::vector<size_t> UbVars;
+  UbVars.clear();
+  for (size_t V = 0; V < NumVars; ++V)
+    if (std::isfinite(Hi[V]))
+      UbVars.push_back(V);
+  const size_t NumRows = NumCons + UbVars.size();
+  T.NumRows = NumRows;
+  T.NumVars = NumVars;
+
+  thread_local std::vector<double> EffRhs, RowSign, SlackCoeff;
+  thread_local std::vector<uint8_t> NeedArt;
+  EffRhs.assign(NumRows, 0.0);
+  RowSign.assign(NumRows, 1.0);
+  SlackCoeff.assign(NumRows, 0.0);
+  NeedArt.assign(NumRows, 0);
+
+  size_t NumSlack = 0;
+  for (size_t R = 0; R < NumRows; ++R) {
+    double Rhs;
+    Sense Dir;
+    if (R < NumCons) {
+      const Constraint &C = M.constraints()[R];
+      double Shift = 0.0;
+      for (const auto &[Var, Coeff] : C.Expr.terms())
+        Shift += Coeff * Lo[static_cast<size_t>(Var)];
+      Rhs = C.Rhs - Shift;
+      Dir = C.Dir;
+    } else {
+      size_t V = UbVars[R - NumCons];
+      Rhs = Hi[V] - Lo[V];
+      Dir = Sense::LE;
+    }
+    if (Rhs < 0.0) {
+      Rhs = -Rhs;
+      RowSign[R] = -1.0;
+    }
+    EffRhs[R] = Rhs;
+    if (Dir != Sense::EQ) {
+      ++NumSlack;
+      SlackCoeff[R] = RowSign[R] * (Dir == Sense::LE ? 1.0 : -1.0);
+    }
+    NeedArt[R] = SlackCoeff[R] != 1.0;
+  }
+  T.ArtStart = NumVars + NumSlack;
+
+  T.SlackPhysOfRow.assign(NumRows, -1);
+  T.ArtPhysOfRow.assign(NumRows, -1);
+  size_t NextSlack = NumVars;
+  size_t NumArt = 0;
+  for (size_t R = 0; R < NumRows; ++R) {
+    if (SlackCoeff[R] != 0.0)
+      T.SlackPhysOfRow[R] = static_cast<int>(NextSlack++);
+    if (NeedArt[R])
+      T.ArtPhysOfRow[R] = static_cast<int>(T.ArtStart + NumArt++);
+  }
+  T.NumCols = T.ArtStart + NumArt;
+
+  // Structural columns are always materialized; slack/artificial columns
+  // start implicit. The slot pool is thread_local scratch like the dense
+  // tableau's Data; trim it when one outsized solve would otherwise pin the
+  // allocation.
+  size_t Need = NumRows * (NumVars + 64);
+  if (T.Cols.capacity() > (size_t{1} << 20) && T.Cols.capacity() > 8 * Need) {
+    T.Cols.clear();
+    T.Cols.shrink_to_fit();
+  }
+  T.Cols.assign(NumRows * NumVars, 0.0);
+  T.NumSlots = NumVars;
+  T.SlotOfPhys.assign(T.NumCols, -1);
+  T.PhysOfSlot.resize(NumVars);
+  for (size_t V = 0; V < NumVars; ++V) {
+    T.SlotOfPhys[V] = static_cast<int>(V);
+    T.PhysOfSlot[V] = static_cast<uint32_t>(V);
+  }
+  T.DiagOfPhys.assign(T.NumCols, 0.0);
+  T.Rhs.assign(NumRows, 0.0);
+  T.Status.assign(T.NumCols, ColStatus::AtLower);
+  T.Basis.assign(NumRows, -1);
+  T.RowOfPhys.assign(T.NumCols, -1);
+  T.CostRhs = 0.0;
+
+  for (size_t R = 0; R < NumRows; ++R) {
+    if (R < NumCons) {
+      const Constraint &C = M.constraints()[R];
+      for (const auto &[Var, Coeff] : C.Expr.terms())
+        T.Cols[static_cast<size_t>(Var) * NumRows + R] += RowSign[R] * Coeff;
+    } else {
+      T.Cols[UbVars[R - NumCons] * NumRows + R] = RowSign[R];
+    }
+    T.Rhs[R] = EffRhs[R];
+    if (T.SlackPhysOfRow[R] >= 0) {
+      size_t S = static_cast<size_t>(T.SlackPhysOfRow[R]);
+      T.DiagOfPhys[S] = SlackCoeff[R];
+      T.RowOfPhys[S] = static_cast<int>(R);
+    }
+    if (T.ArtPhysOfRow[R] >= 0) {
+      size_t A = static_cast<size_t>(T.ArtPhysOfRow[R]);
+      T.DiagOfPhys[A] = 1.0;
+      T.RowOfPhys[A] = static_cast<int>(R);
+      T.Basis[R] = static_cast<int>(A);
+      T.Status[A] = ColStatus::Basic;
+    } else {
+      size_t S = static_cast<size_t>(T.SlackPhysOfRow[R]);
+      T.Basis[R] = static_cast<int>(S);
+      T.Status[S] = ColStatus::Basic;
+    }
+  }
+}
+
 /// Compat-mode pivot: the historical arithmetic, with Rhs (and the cost
 /// row's rhs) swept as plain algebraic columns — the pivot row is scaled by
 /// the reciprocal, other rows subtract Factor times the scaled row. Only
 /// columns below \p SweepEnd are touched; phase 2 passes ArtStart, which
 /// skips the dead artificial columns without changing any value ever read.
-void compatPivot(Tableau &T, size_t PR, size_t Q, size_t SweepEnd) {
-  double *PRow = T.row(PR);
-  double Inv = 1.0 / PRow[Q];
-  // Collect the pivot row's nonzeros once: eliminations only touch those
-  // columns (a zero entry contributes an exact ±0, a no-op value-wise —
-  // the pivot-row slack block is mostly zeros, so this halves sweep cost
-  // without perturbing any value the historical arithmetic produced).
-  thread_local std::vector<uint32_t> NonZero;
-  NonZero.clear();
-  for (size_t C = 0; C < SweepEnd; ++C) {
-    if (PRow[C] != 0.0) {
-      PRow[C] *= Inv;
-      NonZero.push_back(static_cast<uint32_t>(C));
+/// Loop order is columns-outer over the pivot row's nonzeros (each affected
+/// entry still receives the single identical `a -= f * p` update), and
+/// zero-factor rows are skipped exactly like the dense sweep.
+void compatPivot(CompatTableau &T, size_t PR, size_t Q, size_t SweepEnd) {
+  const size_t M = T.NumRows;
+  // The columns this pivot can fill beyond their implicit diagonal are the
+  // entering column and the pivot row's own slack/artificial; promote them
+  // so the sweep below sees real storage.
+  if (T.SlotOfPhys[Q] < 0)
+    T.promote(Q);
+  int SP = T.SlackPhysOfRow[PR];
+  if (SP >= 0 && static_cast<size_t>(SP) < SweepEnd && T.SlotOfPhys[SP] < 0)
+    T.promote(static_cast<size_t>(SP));
+  int AP = T.ArtPhysOfRow[PR];
+  if (AP >= 0 && static_cast<size_t>(AP) < SweepEnd && T.SlotOfPhys[AP] < 0)
+    T.promote(static_cast<size_t>(AP));
+
+  const size_t SQ = static_cast<size_t>(T.SlotOfPhys[Q]);
+  double Inv = 1.0 / T.Cols[SQ * M + PR];
+  // Scale the pivot row's nonzeros. Any nonzero below SweepEnd lives in a
+  // slot: implicit columns are nonzero only in their own row, and the pivot
+  // row's were just promoted.
+  thread_local std::vector<uint32_t> NzSlots;
+  NzSlots.clear();
+  for (size_t S = 0; S < T.NumSlots; ++S) {
+    if (T.PhysOfSlot[S] >= SweepEnd)
+      continue;
+    double &V = T.Cols[S * M + PR];
+    if (V != 0.0) {
+      V *= Inv;
+      if (S != SQ)
+        NzSlots.push_back(static_cast<uint32_t>(S));
     }
   }
-  PRow[Q] = 1.0;
+  T.Cols[SQ * M + PR] = 1.0;
   T.Rhs[PR] *= Inv;
-  for (size_t R = 0; R < T.NumRows; ++R) {
+
+  // Gather the rows with a nonzero entering-column factor, then eliminate
+  // column-by-column (entering column becomes exactly the unit column).
+  thread_local std::vector<uint32_t> NzRows;
+  thread_local std::vector<double> Factors;
+  NzRows.clear();
+  Factors.clear();
+  double *CQ = T.col(SQ);
+  for (size_t R = 0; R < M; ++R) {
     if (R == PR)
       continue;
-    double *Other = T.row(R);
-    double Factor = Other[Q];
+    double Factor = CQ[R];
     if (Factor == 0.0)
       continue;
-    for (uint32_t C : NonZero)
-      Other[C] -= Factor * PRow[C];
-    Other[Q] = 0.0;
-    T.Rhs[R] -= Factor * T.Rhs[PR];
+    NzRows.push_back(static_cast<uint32_t>(R));
+    Factors.push_back(Factor);
+    CQ[R] = 0.0;
   }
+  for (uint32_t S : NzSlots) {
+    double P = T.Cols[static_cast<size_t>(S) * M + PR];
+    double *CD = T.col(S);
+    for (size_t I = 0; I < NzRows.size(); ++I)
+      CD[NzRows[I]] -= Factors[I] * P;
+  }
+  for (size_t I = 0; I < NzRows.size(); ++I)
+    T.Rhs[NzRows[I]] -= Factors[I] * T.Rhs[PR];
+
   double Factor = T.Cost[Q];
   if (Factor != 0.0) {
-    for (uint32_t C : NonZero)
-      T.Cost[C] -= Factor * PRow[C];
+    for (uint32_t S : NzSlots)
+      T.Cost[T.PhysOfSlot[S]] -= Factor * T.Cols[static_cast<size_t>(S) * M + PR];
     T.CostRhs -= Factor * T.Rhs[PR];
     T.Cost[Q] = 0.0;
   }
@@ -269,7 +484,7 @@ void compatPivot(Tableau &T, size_t PR, size_t Q, size_t SweepEnd) {
 /// sequence value-for-value. \p PriceEnd bounds the entering-column scan
 /// (phase 1 may re-enter artificials, phase 2 may not); \p SweepEnd bounds
 /// the elimination sweep.
-PhaseResult runCompat(Tableau &T, const SimplexOptions &Options,
+PhaseResult runCompat(CompatTableau &T, const SimplexOptions &Options,
                       LpRunStats &RS, size_t PriceEnd, size_t SweepEnd) {
   const double Tol = Options.Tolerance;
   LpTelemetry &Tel = lpTelemetry();
@@ -296,15 +511,27 @@ PhaseResult runCompat(Tableau &T, const SimplexOptions &Options,
 
     size_t Leaving = None;
     double BestRatio = 0.0;
-    for (size_t R = 0; R < T.NumRows; ++R) {
-      double A = T.at(R, Entering);
-      if (A <= Tol)
-        continue;
-      double Ratio = T.Rhs[R] / A;
-      if (Leaving == None || Ratio < BestRatio - Tol ||
-          (Ratio < BestRatio + Tol && T.Basis[R] < T.Basis[Leaving])) {
-        BestRatio = Ratio;
-        Leaving = R;
+    int SE = T.SlotOfPhys[Entering];
+    if (SE >= 0) {
+      const double *CE = T.col(static_cast<size_t>(SE));
+      for (size_t R = 0; R < T.NumRows; ++R) {
+        double A = CE[R];
+        if (A <= Tol)
+          continue;
+        double Ratio = T.Rhs[R] / A;
+        if (Leaving == None || Ratio < BestRatio - Tol ||
+            (Ratio < BestRatio + Tol && T.Basis[R] < T.Basis[Leaving])) {
+          BestRatio = Ratio;
+          Leaving = R;
+        }
+      }
+    } else {
+      // Implicit column: its only nonzero is the diagonal in its own row,
+      // so the dense row scan reduces to at most one candidate.
+      int R0 = T.RowOfPhys[Entering];
+      if (R0 >= 0 && T.DiagOfPhys[Entering] > Tol) {
+        BestRatio = T.Rhs[static_cast<size_t>(R0)] / T.DiagOfPhys[Entering];
+        Leaving = static_cast<size_t>(R0);
       }
     }
     if (Leaving == None)
@@ -323,6 +550,151 @@ PhaseResult runCompat(Tableau &T, const SimplexOptions &Options,
     }
   }
   return PhaseResult::IterLimit;
+}
+
+/// Full compat-mode solve: the historical two-phase dense solver,
+/// value-for-value, over the column-compressed tableau. Warm starts are
+/// ignored in this mode (see LpPricing::Dantzig); the cost of a cold solve
+/// is what the compression attacks.
+Solution solveCompatLp(const Model &M, const std::vector<double> &Lo,
+                       const std::vector<double> &Hi,
+                       const SimplexOptions &Options, LpRunStats &RS,
+                       SimplexBasis *FinalBasis) {
+  const double Tol = Options.Tolerance;
+  const size_t NumVars = M.numVars();
+  LpTelemetry &Tel = lpTelemetry();
+  Solution Result;
+
+  thread_local CompatTableau T;
+  buildCompat(T, M, Lo, Hi);
+  const size_t NumRows = T.NumRows;
+
+  if (T.NumCols > T.ArtStart) {
+    // Phase 1 over all columns (artificials are priced and swept like the
+    // historical code until they are retired). The initial cost row is
+    // accumulated from each artificial-basic row's nonzeros: structural
+    // entries live in slots, and the row's own slack/artificial diagonals
+    // are still implicit (no other implicit column has a nonzero here), so
+    // skipping the zeros reproduces the dense subtraction value-for-value.
+    T.Cost.assign(T.NumCols, 0.0);
+    for (size_t C = T.ArtStart; C < T.NumCols; ++C)
+      T.Cost[C] = 1.0;
+    T.CostRhs = 0.0;
+    for (size_t R = 0; R < NumRows; ++R) {
+      if (static_cast<size_t>(T.Basis[R]) < T.ArtStart)
+        continue;
+      for (size_t S = 0; S < T.NumSlots; ++S) {
+        double V = T.Cols[S * NumRows + R];
+        if (V != 0.0)
+          T.Cost[T.PhysOfSlot[S]] -= V;
+      }
+      int SP = T.SlackPhysOfRow[R];
+      if (SP >= 0 && T.SlotOfPhys[SP] < 0)
+        T.Cost[static_cast<size_t>(SP)] -= T.DiagOfPhys[static_cast<size_t>(SP)];
+      int AP = T.ArtPhysOfRow[R];
+      if (AP >= 0 && T.SlotOfPhys[AP] < 0)
+        T.Cost[static_cast<size_t>(AP)] -= T.DiagOfPhys[static_cast<size_t>(AP)];
+      T.CostRhs -= T.Rhs[R];
+    }
+    PhaseResult P1 = runCompat(T, Options, RS, /*PriceEnd=*/T.NumCols,
+                               /*SweepEnd=*/T.NumCols);
+    if (P1 == PhaseResult::IterLimit) {
+      Result.Status = SolveStatus::IterLimit;
+      return Result;
+    }
+    if (-T.CostRhs > 1e-7) {
+      Result.Status = SolveStatus::Infeasible;
+      return Result;
+    }
+    // Drive residual basic artificials out where possible; redundant rows
+    // keep theirs basic at zero.
+    for (size_t R = 0; R < NumRows; ++R) {
+      if (static_cast<size_t>(T.Basis[R]) < T.ArtStart)
+        continue;
+      size_t PivotCol = None;
+      for (size_t C = 0; C < T.ArtStart; ++C) {
+        if (std::abs(T.at(R, C)) > Tol) {
+          PivotCol = C;
+          break;
+        }
+      }
+      if (PivotCol != None) {
+        compatPivot(T, R, PivotCol, T.ArtStart);
+        ++RS.Pivots;
+        ++Tel.Pivots;
+      }
+    }
+  }
+
+  // Phase 2: dead artificial columns are no longer priced or swept (the
+  // values they would have received are never read). A row whose basic
+  // column carries cost has pivoted, so its slack already lives in a slot;
+  // the implicit-diagonal term is kept for form's sake.
+  {
+    T.Cost.assign(T.NumCols, 0.0);
+    double ObjSign = M.goal() == Goal::Minimize ? 1.0 : -1.0;
+    LinearExpr Obj = M.objective();
+    Obj.normalize();
+    for (const auto &[Var, Coeff] : Obj.terms())
+      T.Cost[static_cast<size_t>(Var)] = ObjSign * Coeff;
+    thread_local std::vector<double> Costs;
+    Costs = T.Cost;
+    T.CostRhs = 0.0;
+    for (size_t R = 0; R < NumRows; ++R) {
+      size_t B = static_cast<size_t>(T.Basis[R]);
+      double CB = Costs[B];
+      if (CB == 0.0)
+        continue;
+      for (size_t S = 0; S < T.NumSlots; ++S) {
+        if (T.PhysOfSlot[S] >= T.ArtStart)
+          continue;
+        double V = T.Cols[S * NumRows + R];
+        if (V != 0.0)
+          T.Cost[T.PhysOfSlot[S]] -= CB * V;
+      }
+      int SP = T.SlackPhysOfRow[R];
+      if (SP >= 0 && T.SlotOfPhys[SP] < 0)
+        T.Cost[static_cast<size_t>(SP)] -=
+            CB * T.DiagOfPhys[static_cast<size_t>(SP)];
+      T.CostRhs -= CB * T.Rhs[R];
+    }
+  }
+  PhaseResult PR = runCompat(T, Options, RS, /*PriceEnd=*/T.ArtStart,
+                             /*SweepEnd=*/T.ArtStart);
+
+  if (PR == PhaseResult::IterLimit) {
+    Result.Status = SolveStatus::IterLimit;
+    return Result;
+  }
+  if (PR == PhaseResult::Unbounded) {
+    Result.Status = SolveStatus::Unbounded;
+    return Result;
+  }
+
+  // Extract the solution (shift lower bounds back in). Compat mode has no
+  // nonbasic-at-upper statuses (bounds are explicit rows).
+  Result.Values.assign(NumVars, 0.0);
+  for (size_t R = 0; R < NumRows; ++R) {
+    int B = T.Basis[R];
+    if (B >= 0 && static_cast<size_t>(B) < NumVars)
+      Result.Values[static_cast<size_t>(B)] = T.Rhs[R];
+  }
+  for (size_t V = 0; V < NumVars; ++V) {
+    Result.Values[V] += Lo[V];
+    Result.Values[V] = std::max(Result.Values[V], Lo[V]);
+    if (std::isfinite(Hi[V]))
+      Result.Values[V] = std::min(Result.Values[V], Hi[V]);
+  }
+  Result.Objective = M.objective().evaluate(Result.Values);
+  Result.Status = SolveStatus::Optimal;
+
+  if (FinalBasis) {
+    FinalBasis->BasicCols.resize(NumRows);
+    for (size_t R = 0; R < NumRows; ++R)
+      FinalBasis->BasicCols[R] = T.logicalOf(T.Basis[R]);
+    FinalBasis->AtUpper.assign(NumVars, 0);
+  }
+  return Result;
 }
 
 /// Executes the basis change for entering column \p Q moving by step \p T0
@@ -792,83 +1164,17 @@ Solution lp::solveLp(const Model &M, const std::vector<BoundOverride> &Overrides
     return Costs;
   };
 
+  // ---- Compat path: the historical solver, value-for-value, over the
+  // column-compressed tableau. Warm starts are ignored in this mode. ----
+  if (Options.Pricing == LpPricing::Dantzig)
+    return solveCompatLp(M, Lo, Hi, Options, RS, FinalBasis);
+
   // Thread-local scratch: the hot callers solve tens of thousands of
   // small LPs, and reusing vector capacity across solves removes the
   // allocation churn (buildTableau fully re-initializes every field).
   thread_local Tableau T;
   PhaseResult PR = PhaseResult::IterLimit;
   bool Solved = false;
-  const bool Compat = Options.Pricing == LpPricing::Dantzig;
-
-  // ---- Compat path: the historical solver, value-for-value. ----
-  if (Compat) {
-    buildTableau(T, M, Lo, Hi, /*ExplicitBounds=*/true);
-
-    if (T.NumCols > T.ArtStart) {
-      // Phase 1 over all columns (artificials are priced and swept like
-      // the historical code until they are retired).
-      T.Cost.assign(T.NumCols, 0.0);
-      for (size_t C = T.ArtStart; C < T.NumCols; ++C)
-        T.Cost[C] = 1.0;
-      T.CostRhs = 0.0;
-      for (size_t R = 0; R < T.NumRows; ++R) {
-        if (static_cast<size_t>(T.Basis[R]) < T.ArtStart)
-          continue;
-        const double *Row = T.row(R);
-        for (size_t C = 0; C < T.NumCols; ++C)
-          T.Cost[C] -= Row[C];
-        T.CostRhs -= T.Rhs[R];
-      }
-      PhaseResult P1 =
-          runCompat(T, Options, RS, /*PriceEnd=*/T.NumCols,
-                    /*SweepEnd=*/T.NumCols);
-      if (P1 == PhaseResult::IterLimit) {
-        Result.Status = SolveStatus::IterLimit;
-        return Result;
-      }
-      if (-T.CostRhs > 1e-7) {
-        Result.Status = SolveStatus::Infeasible;
-        return Result;
-      }
-      // Drive residual basic artificials out where possible; redundant
-      // rows keep theirs basic at zero.
-      for (size_t R = 0; R < T.NumRows; ++R) {
-        if (static_cast<size_t>(T.Basis[R]) < T.ArtStart)
-          continue;
-        size_t PivotCol = None;
-        for (size_t C = 0; C < T.ArtStart; ++C) {
-          if (std::abs(T.at(R, C)) > Tol) {
-            PivotCol = C;
-            break;
-          }
-        }
-        if (PivotCol != None) {
-          compatPivot(T, R, PivotCol, T.ArtStart);
-          ++RS.Pivots;
-          ++Tel.Pivots;
-        }
-      }
-    }
-
-    // Phase 2: dead artificial columns are no longer priced or swept (the
-    // values they would have received are never read).
-    std::vector<double> Costs = makeCosts(T);
-    T.Cost = Costs;
-    T.CostRhs = 0.0;
-    for (size_t R = 0; R < T.NumRows; ++R) {
-      size_t B = static_cast<size_t>(T.Basis[R]);
-      double CB = Costs[B];
-      if (CB == 0.0)
-        continue;
-      const double *Row = T.row(R);
-      for (size_t C = 0; C < T.ArtStart; ++C)
-        T.Cost[C] -= CB * Row[C];
-      T.CostRhs -= CB * T.Rhs[R];
-    }
-    PR = runCompat(T, Options, RS, /*PriceEnd=*/T.ArtStart,
-                   /*SweepEnd=*/T.ArtStart);
-    Solved = true;
-  }
 
   // ---- Warm path: replay the caller's basis, then re-optimize. ----
   if (!Solved && WarmStart && !WarmStart->empty()) {

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cmath>
 #include <mutex>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 
@@ -138,6 +139,27 @@ struct Pipeline::Impl {
   MappingShape Shape;
   std::vector<Microkernel> Sat;
   std::vector<bool> Genuine;
+
+  /// Cross-solve memo for the stage-2 LP2 fits: the shape-refinement loop
+  /// re-solves largely identical per-resource blocks every iteration, and
+  /// the final refits repeat most of the last loop iteration's blocks.
+  /// Stage 3 deliberately does NOT share this cache: its LPAUX solves run
+  /// inside a parallelFor, and a shared memo would make the solve/pivot
+  /// stats depend on scheduling, breaking the Serial==Parallel stats
+  /// contract.
+  BwpSubproblemCache CoreLpCache;
+
+  /// LP2 solve options for the stage-2 call sites (cache, decomposition,
+  /// model reuse, fan-out over the pipeline's executor).
+  BwpSolveOptions lp2Options(BwpSolveStats *Stats = nullptr) {
+    BwpSolveOptions O;
+    O.Exec = &Exec;
+    O.Cache = Config.Lp2Cache ? &CoreLpCache : nullptr;
+    O.ReuseModels = Config.Lp2ReuseModels;
+    O.Decompose = Config.Lp2Decompose;
+    O.Stats = Stats;
+    return O;
+  }
 
   // NumThreads <= 1 (including a raw 0) is serial, matching EvalSession;
   // the "0 = auto" convention is resolved by ExecutionPolicy::parallel()
@@ -387,7 +409,9 @@ void Pipeline::Impl::solveCoreMapping() {
     CoreKernels.clear();
     for (const KernelObservation &Obs : Observations)
       CoreKernels.push_back({Obs.K, Obs.Ipc, -1});
-    Weights = solveCoreWeights(Shape, IndexOf, CoreKernels, Config.Mode);
+    Weights =
+        solveCoreWeights(Shape, IndexOf, CoreKernels, Config.Mode,
+                         lp2Options());
 
     size_t ForcedBefore = ForcedResources.size();
     {
@@ -457,7 +481,7 @@ void Pipeline::Impl::solveCoreMapping() {
   for (const KernelObservation &Obs : Observations)
     CoreKernels.push_back({Obs.K, Obs.Ipc, -1});
   Weights = solveCoreWeights(Shape, IndexOf, CoreKernels, Config.Mode,
-                             /*MaxPinIterations=*/6,
+                             lp2Options(), /*MaxPinIterations=*/6,
                              std::vector<double>(Basic.size(), 1.0));
 
   // ---- Set-cover trim. ----
@@ -654,8 +678,11 @@ void Pipeline::Impl::solveCoreMapping() {
       }
     }
   }
+  BwpSolveStats FinalFit;
   Weights = solveCoreWeights(Shape, IndexOf, CoreKernels, Config.Mode,
+                             lp2Options(&FinalFit),
                              /*MaxPinIterations=*/6, BasicIpc);
+  Result.Stats.Lp2Components = FinalFit.Components;
   Sat = PickSaturating(Weights.Rho);
   Result.SaturatingKernels = Sat;
   Result.Stats.NumCoreKernels = CoreKernels.size();
@@ -707,25 +734,36 @@ void Pipeline::Impl::completeMapping() {
   const size_t NumTotal = AuxInstrs.size();
 
   // Per-instruction work (solo + saturation benchmarks, LPAUX solve) fans
-  // out over the executor. Every task writes one index-ordered slot —
-  // including its thread-local LP telemetry delta — and the reduction
-  // below runs serially in selection order, so the mapping and the stats
-  // are bit-identical to a serial run.
+  // out over the executor in two phases. Phase A measures every
+  // instruction's aux kernels; the main thread then groups instructions
+  // whose aux problems are bit-identical (same measured kernels after
+  // normalizing the instruction's own id — frozen core, shape and index
+  // map are constant across the stage) and phase B solves one LPAUX per
+  // group, scattering the representative's weights to the duplicates.
+  // Many instructions are measurement-equivalent (identical port usage),
+  // so the dedup removes most of the stage's LP work; each group probe
+  // counts as a warm-start attempt and each duplicate as a hit. Grouping
+  // happens serially from index-ordered phase-A slots and every task
+  // writes only its own slot — including its thread-local LP telemetry
+  // delta — so the mapping and the stats are bit-identical to a serial
+  // run.
   struct AuxSlot {
+    std::vector<WeightKernel> Kernels; ///< Phase A output.
     AuxWeights Aux;
     lp::LpTelemetry Lp;
+    size_t Rep = 0; ///< Group representative (== own index for uniques).
   };
   std::vector<AuxSlot> Slots(NumTotal);
   size_t NumDone = 0;       // Guarded by ProgressMutex.
   std::mutex ProgressMutex; // Serializes observer delivery (see Observer.h).
 
+  // ---- Phase A: benchmarks. ----
   Exec.parallelFor(NumTotal, [&](size_t Idx, unsigned) {
     checkCancelled();
     const InstrId Inst = AuxInstrs[Idx];
     const double InstIpc = Sel.soloIpc(Inst);
-    const lp::LpTelemetry TelBefore = lp::lpTelemetry();
 
-    std::vector<WeightKernel> AuxKernels;
+    std::vector<WeightKernel> &AuxKernels = Slots[Idx].Kernels;
     // Solo kernel: capacity constraints only. Attributing its bottleneck
     // to a specific resource without probe evidence would be speculation.
     {
@@ -743,13 +781,59 @@ void Pipeline::Impl::completeMapping() {
       auto [Rounded, Ipc] = measureRounded(Runner, K);
       AuxKernels.push_back({Rounded, Ipc, static_cast<int>(R)});
     }
+  });
 
-    Slots[Idx].Aux = solveAuxWeights(Shape, IndexOf, Weights.Rho, Inst,
-                                     AuxKernels, Config.Mode);
+  // ---- Group measurement-equivalent instructions. ----
+  // The digest covers everything an aux solve depends on that varies per
+  // instruction: the kernel list with the instruction's own id replaced
+  // by a sentinel (its basic ids resolve through the shared frozen core).
+  std::vector<size_t> UniqueIdx;
+  if (!Config.Lp2Cache) {
+    // Cache disabled: every instruction solves its own problem (the true
+    // cold baseline the warm-vs-cold tests compare against).
+    UniqueIdx.resize(NumTotal);
+    std::iota(UniqueIdx.begin(), UniqueIdx.end(), size_t{0});
+    for (size_t Idx = 0; Idx < NumTotal; ++Idx)
+      Slots[Idx].Rep = Idx;
+  } else {
+    std::map<lp::StructuralDigest::Value, size_t> FirstOf;
+    for (size_t Idx = 0; Idx < NumTotal; ++Idx) {
+      const InstrId Inst = AuxInstrs[Idx];
+      lp::StructuralDigest D;
+      D.addSize(Slots[Idx].Kernels.size());
+      for (const WeightKernel &WK : Slots[Idx].Kernels) {
+        D.addDouble(WK.Ipc);
+        D.addInt(WK.PinnedResource);
+        D.addSize(WK.K.terms().size());
+        for (const auto &[Id, Mult] : WK.K.terms()) {
+          D.addU64(Id == Inst ? ~uint64_t{0} : Id);
+          D.addDouble(Mult);
+        }
+      }
+      auto [It, Inserted] = FirstOf.try_emplace(D.value(), Idx);
+      Slots[Idx].Rep = It->second;
+      if (Inserted)
+        UniqueIdx.push_back(Idx);
+    }
+  }
+
+  // ---- Phase B: one LPAUX solve per group. ----
+  Exec.parallelFor(UniqueIdx.size(), [&](size_t U, unsigned) {
+    checkCancelled();
+    const size_t Idx = UniqueIdx[U];
+    const InstrId Inst = AuxInstrs[Idx];
+    const lp::LpTelemetry TelBefore = lp::lpTelemetry();
+
+    BwpSolveOptions AuxOpts;
+    AuxOpts.ReuseModels = Config.Lp2ReuseModels;
+    AuxOpts.Decompose = Config.Lp2Decompose;
+    Slots[Idx].Aux =
+        solveAuxWeights(Shape, IndexOf, Weights.Rho, Inst, Slots[Idx].Kernels,
+                        Config.Mode, /*MaxPinIterations=*/4, AuxOpts);
     {
-      // The measurement + solve work above is a deterministic function of
-      // the instruction, so the per-task delta (and the index-ordered sum
-      // below) is independent of scheduling.
+      // The solve is a deterministic function of the instruction, so the
+      // per-task delta (and the index-ordered sum below) is independent
+      // of scheduling.
       const lp::LpTelemetry &TelNow = lp::lpTelemetry();
       Slots[Idx].Lp.Solves = TelNow.Solves - TelBefore.Solves;
       Slots[Idx].Lp.Pivots = TelNow.Pivots - TelBefore.Pivots;
@@ -765,11 +849,22 @@ void Pipeline::Impl::completeMapping() {
     }
   });
 
-  // Serial reduction, in selection order.
+  // Serial reduction, in selection order. Duplicates replay their
+  // representative's weights (bit-identical by construction: the solver is
+  // deterministic and their problems are structurally equal) and report
+  // their progress here, after the fan-out.
   for (size_t Idx = 0; Idx < NumTotal; ++Idx) {
     const InstrId Inst = AuxInstrs[Idx];
-    const AuxSlot &Slot = Slots[Idx];
+    AuxSlot &Slot = Slots[Idx];
     Result.Mapping.markMapped(Inst);
+    if (Config.Lp2Cache)
+      ++Result.Stats.LpWarmStartAttempts; // Group probe.
+    if (Slot.Rep != Idx) {
+      Slot.Aux = Slots[Slot.Rep].Aux;
+      ++Result.Stats.LpWarmStartHits; // Deduplicated against the group.
+      if (Observer)
+        Observer->onInstructionMapped(Inst, ++NumDone, NumTotal);
+    }
     Result.Stats.CompleteLpSolves += Slot.Lp.Solves;
     Result.Stats.CompleteLpPivots += Slot.Lp.Pivots;
     Result.Stats.LpWarmStartAttempts += Slot.Lp.WarmStartAttempts;

@@ -1,0 +1,360 @@
+//===- tests/lp2_test.cpp - Warm-started, decomposed LP2 tests ------------===//
+//
+// Part of the PALMED reproduction.
+//
+// The stage-2 fit accepts solve-strategy knobs (BwpSolveOptions: component
+// decomposition, subproblem cache, model-buffer reuse, executor fan-out)
+// whose contract is that every combination produces bit-identical weights
+// — they only trade work. These tests pin that contract down, both on
+// direct solveCoreWeights calls (where pivot counts can be bracketed
+// exactly) and end-to-end through the pipeline on the shipped machine
+// profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BwpSolver.h"
+#include "lp/Model.h"
+#include "lp/Simplex.h"
+#include "palmed/palmed.h"
+#include "support/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace palmed;
+
+namespace {
+
+/// Two independent instruction pairs on disjoint resource pairs — the
+/// minimal problem with two coupling components. Instructions 10/20 play
+/// ADDSS/BSR on resources {R0 = both, R1 = instr 1} (the paper's running
+/// example), and instructions 30/40 mirror them on resources {R2, R3}.
+struct TwoComponentFixture {
+  MappingShape Shape;
+  std::map<InstrId, size_t> IndexOf = {{10, 0}, {20, 1}, {30, 2}, {40, 3}};
+
+  TwoComponentFixture() {
+    Shape.Resources = {BitSet::fromWord(0b0011), BitSet::fromWord(0b0010),
+                       BitSet::fromWord(0b1100), BitSet::fromWord(0b1000)};
+  }
+
+  static Microkernel kernel(InstrId A, double MA, InstrId B, double MB) {
+    Microkernel K;
+    if (MA > 0)
+      K.add(A, MA);
+    if (MB > 0)
+      K.add(B, MB);
+    return K;
+  }
+
+  /// The paper-example measurement set, instantiated on both pairs.
+  std::vector<WeightKernel> kernels() const {
+    std::vector<WeightKernel> Out;
+    for (InstrId Base : {InstrId(10), InstrId(30)}) {
+      InstrId A = Base, B = Base + 10;
+      Out.push_back({kernel(A, 2, B, 0), 2.0, -1});
+      Out.push_back({kernel(A, 0, B, 1), 1.0, -1});
+      Out.push_back({kernel(A, 2, B, 1), 3.0 / 1.5, -1});
+      Out.push_back({kernel(A, 8, B, 1), 9.0 / 4.5, -1});
+      Out.push_back({kernel(A, 2, B, 4), 6.0 / 4.0, -1});
+    }
+    return Out;
+  }
+};
+
+/// Runs solveCoreWeights under \p Opts and returns the weights plus the
+/// exact LP telemetry delta of the call.
+CoreWeights solveWith(const TwoComponentFixture &F,
+                      const BwpSolveOptions &Opts, lp::LpTelemetry &Delta,
+                      const std::vector<double> &SoloIpc = {}) {
+  const lp::LpTelemetry Before = lp::lpTelemetry();
+  CoreWeights W = solveCoreWeights(F.Shape, F.IndexOf, F.kernels(),
+                                   BwpMode::Pinned, Opts,
+                                   /*MaxPinIterations=*/6, SoloIpc);
+  const lp::LpTelemetry &Now = lp::lpTelemetry();
+  Delta.Solves = Now.Solves - Before.Solves;
+  Delta.Pivots = Now.Pivots - Before.Pivots;
+  Delta.WarmStartAttempts = Now.WarmStartAttempts - Before.WarmStartAttempts;
+  Delta.WarmStartHits = Now.WarmStartHits - Before.WarmStartHits;
+  return W;
+}
+
+/// Bitwise equality of two weight matrices (the contract is bit-identical,
+/// not approximately equal).
+void expectBitwiseEqual(const CoreWeights &A, const CoreWeights &B) {
+  ASSERT_EQ(A.Rho.size(), B.Rho.size());
+  for (size_t I = 0; I < A.Rho.size(); ++I) {
+    ASSERT_EQ(A.Rho[I].size(), B.Rho[I].size());
+    for (size_t R = 0; R < A.Rho[I].size(); ++R)
+      EXPECT_EQ(A.Rho[I][R], B.Rho[I][R]) << "instr " << I << " res " << R;
+  }
+  EXPECT_EQ(A.TotalSlack, B.TotalSlack);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structural digest properties.
+//===----------------------------------------------------------------------===//
+
+TEST(Lp2Digest, LengthPrefixingSeparatesFieldBoundaries) {
+  // [1,2][3] vs [1][2,3]: same flat stream, different boundaries. The
+  // length prefixes must keep the digests apart.
+  lp::StructuralDigest A;
+  A.addSize(2);
+  A.addU64(1);
+  A.addU64(2);
+  A.addSize(1);
+  A.addU64(3);
+  lp::StructuralDigest B;
+  B.addSize(1);
+  B.addU64(1);
+  B.addSize(2);
+  B.addU64(2);
+  B.addU64(3);
+  EXPECT_NE(A.value(), B.value());
+}
+
+TEST(Lp2Digest, OrderSensitive) {
+  lp::StructuralDigest A, B;
+  A.addU64(1);
+  A.addU64(2);
+  B.addU64(2);
+  B.addU64(1);
+  EXPECT_NE(A.value(), B.value());
+}
+
+TEST(Lp2Digest, DoubleBitPatterns) {
+  // The digest hashes bit patterns: -0.0 and 0.0 compare equal as doubles
+  // but must digest differently (a solver pivoting on signed zeros is
+  // hypothetical, but a miss is always safe and an alias never is).
+  lp::StructuralDigest Pos, Neg;
+  Pos.addDouble(0.0);
+  Neg.addDouble(-0.0);
+  EXPECT_NE(Pos.value(), Neg.value());
+
+  // One-ulp perturbations must separate too.
+  lp::StructuralDigest X, Y;
+  X.addDouble(1.0);
+  Y.addDouble(std::nextafter(1.0, 2.0));
+  EXPECT_NE(X.value(), Y.value());
+}
+
+TEST(Lp2Digest, BothWordsReactToSingleInput) {
+  // The two 64-bit streams evolve independently; a single-input change
+  // must disturb both words, otherwise the effective width is 64 bits.
+  lp::StructuralDigest A, B;
+  A.addU64(42);
+  B.addU64(43);
+  EXPECT_NE(A.value().Lo, B.value().Lo);
+  EXPECT_NE(A.value().Hi, B.value().Hi);
+}
+
+TEST(Lp2Digest, ValueOrderingIsStrictWeak) {
+  lp::StructuralDigest A, B;
+  A.addU64(1);
+  B.addU64(2);
+  const lp::StructuralDigest::Value VA = A.value(), VB = B.value();
+  EXPECT_TRUE(VA == VA);
+  EXPECT_NE(VA, VB);
+  EXPECT_TRUE((VA < VB) != (VB < VA)); // Exactly one direction.
+  EXPECT_FALSE(VA < VA);
+}
+
+TEST(Lp2Digest, EmptyStreamsCollide) {
+  // Sanity: two untouched digests agree (the basis constants are fixed).
+  EXPECT_EQ(lp::StructuralDigest().value(), lp::StructuralDigest().value());
+}
+
+//===----------------------------------------------------------------------===//
+// Subproblem cache semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(Lp2Cache, FirstInsertWinsAndMergeIsOrdered) {
+  lp::StructuralDigest D;
+  D.addU64(7);
+  const lp::StructuralDigest::Value K = D.value();
+
+  BwpSubproblemCache C;
+  C.insert(K, {{1.0}});
+  C.insert(K, {{2.0}}); // Ignored: entries are immutable once published.
+  ASSERT_NE(C.find(K), nullptr);
+  EXPECT_EQ(C.find(K)->Values[0], 1.0);
+
+  BwpSubproblemCache Overlay;
+  Overlay.insert(K, {{3.0}}); // Loses to the existing entry on merge.
+  C.merge(std::move(Overlay));
+  EXPECT_EQ(C.find(K)->Values[0], 1.0);
+  EXPECT_EQ(C.numEntries(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Direct-solve equivalences (exact pivot accounting).
+//===----------------------------------------------------------------------===//
+
+TEST(Lp2Equivalence, DecomposeOnOffBitwise) {
+  TwoComponentFixture F;
+  lp::LpTelemetry On, Off;
+  BwpSolveOptions Decomposed;
+  Decomposed.Decompose = true;
+  BwpSolveOptions Monolithic;
+  Monolithic.Decompose = false;
+  CoreWeights WOn = solveWith(F, Decomposed, On);
+  CoreWeights WOff = solveWith(F, Monolithic, Off);
+  expectBitwiseEqual(WOn, WOff);
+  // With no cache in play the per-component fixpoints replay exactly the
+  // monolithic loop's solves (a converged component's objectives stop
+  // changing, so the monolithic loop skips them as identical
+  // subproblems).
+  EXPECT_EQ(On.Pivots, Off.Pivots);
+  EXPECT_EQ(On.Solves, Off.Solves);
+}
+
+TEST(Lp2Equivalence, ReuseModelsOnOffBitwise) {
+  // The satellite bugfix: per-iteration lp::Model reconstruction replaced
+  // by row patching. Identical model content must mean identical pivots.
+  TwoComponentFixture F;
+  lp::LpTelemetry On, Off;
+  BwpSolveOptions Reuse;
+  Reuse.ReuseModels = true;
+  BwpSolveOptions Fresh;
+  Fresh.ReuseModels = false;
+  // SoloIpc enables the balancing passes — the path that patches the
+  // primary-floor row and truncates the CapZ tail between iterations.
+  const std::vector<double> SoloIpc = {2.0, 1.0, 2.0, 1.0};
+  CoreWeights WOn = solveWith(F, Reuse, On, SoloIpc);
+  CoreWeights WOff = solveWith(F, Fresh, Off, SoloIpc);
+  expectBitwiseEqual(WOn, WOff);
+  EXPECT_EQ(On.Pivots, Off.Pivots);
+  EXPECT_EQ(On.Solves, Off.Solves);
+}
+
+TEST(Lp2Equivalence, CacheOnOffBitwiseValues) {
+  TwoComponentFixture F;
+  BwpSubproblemCache Cache;
+  lp::LpTelemetry Warm, Cold;
+  BwpSolveOptions Cached;
+  Cached.Cache = &Cache;
+  BwpSolveOptions Uncached;
+  CoreWeights WCold = solveWith(F, Uncached, Cold);
+  CoreWeights WWarm = solveWith(F, Cached, Warm);
+  expectBitwiseEqual(WWarm, WCold);
+  EXPECT_GT(Warm.WarmStartAttempts, 0);
+  EXPECT_EQ(Cold.WarmStartAttempts, 0);
+  // A second cached solve of the identical problem replays every block.
+  lp::LpTelemetry Replay;
+  CoreWeights WReplay = solveWith(F, Cached, Replay);
+  expectBitwiseEqual(WReplay, WCold);
+  EXPECT_GT(Replay.WarmStartHits, 0);
+  EXPECT_LT(Replay.Pivots, Cold.Pivots);
+}
+
+TEST(Lp2Equivalence, ExecutorFanOutBitwise) {
+  // Decomposed solve fanned over a real two-worker executor vs inline:
+  // identical weights, identical telemetry (the fan-out compensates
+  // thread-local telemetry into index-ordered slots).
+  TwoComponentFixture F;
+  lp::LpTelemetry Inline, Fanned;
+  BwpSolveOptions Serial;
+  CoreWeights WSerial = solveWith(F, Serial, Inline);
+  Executor Exec(2);
+  BwpSolveStats Stats;
+  BwpSolveOptions Parallel;
+  Parallel.Exec = &Exec;
+  Parallel.Stats = &Stats;
+  CoreWeights WParallel = solveWith(F, Parallel, Fanned);
+  expectBitwiseEqual(WParallel, WSerial);
+  EXPECT_EQ(Fanned.Pivots, Inline.Pivots);
+  EXPECT_EQ(Fanned.Solves, Inline.Solves);
+  EXPECT_EQ(Stats.Components, 2);
+  EXPECT_TRUE(Stats.Decomposed);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline-level equivalences on the shipped profiles.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ProfileRun {
+  std::string MappingText;
+  double CoreSlack = 0.0;
+  long CorePivots = 0;
+  long CompletePivots = 0;
+  long WarmAttempts = 0;
+  long WarmHits = 0;
+  long Components = 0;
+};
+
+ProfileRun runProfile(const MachineModel &M, PalmedConfig Config) {
+  AnalyticOracle Oracle(M);
+  BenchmarkRunner Runner(M, Oracle);
+  Pipeline P(Runner, Config);
+  const PalmedResult &R = P.run();
+  ProfileRun Out;
+  Out.MappingText = R.Mapping.toText(M.isa());
+  Out.CoreSlack = R.Stats.CoreSlack;
+  Out.CorePivots = R.Stats.CoreLpPivots;
+  Out.CompletePivots = R.Stats.CompleteLpPivots;
+  Out.WarmAttempts = R.Stats.LpWarmStartAttempts;
+  Out.WarmHits = R.Stats.LpWarmStartHits;
+  Out.Components = R.Stats.Lp2Components;
+  return Out;
+}
+
+/// Decompose on vs off must agree bitwise on the mapping text (which
+/// carries the rho traces) and — with the cache off, so hit patterns
+/// cannot shift work — on the exact LP pivot counts.
+void checkDecomposeEquivalence(const MachineModel &M, PalmedConfig Config) {
+  Config.Lp2Cache = false;
+  PalmedConfig Mono = Config;
+  Mono.Lp2Decompose = false;
+  ProfileRun On = runProfile(M, Config);
+  ProfileRun Off = runProfile(M, Mono);
+  EXPECT_EQ(On.MappingText, Off.MappingText);
+  EXPECT_EQ(On.CoreSlack, Off.CoreSlack);
+  EXPECT_EQ(On.CorePivots, Off.CorePivots);
+  EXPECT_EQ(On.CompletePivots, Off.CompletePivots);
+  EXPECT_GE(On.Components, 1);
+}
+
+} // namespace
+
+TEST(Lp2Pipeline, DecomposeEquivalenceFig1) {
+  checkDecomposeEquivalence(makeFig1Machine(), PalmedConfig());
+}
+
+TEST(Lp2Pipeline, DecomposeEquivalenceSkl) {
+  checkDecomposeEquivalence(makeSklLike(), PalmedConfig());
+}
+
+TEST(Lp2Pipeline, DecomposeEquivalenceStress) {
+  checkDecomposeEquivalence(makeStressMachine(StressIsaConfig()),
+                            PalmedConfig());
+}
+
+TEST(Lp2Pipeline, DecomposeEquivalenceHuge) {
+  PalmedConfig Config;
+  Config.Selection.ClusterPairPruning = true;
+  checkDecomposeEquivalence(makeStressMachine(hugeStressConfig()), Config);
+}
+
+TEST(Lp2Pipeline, WarmVsColdBitwiseSkl) {
+  MachineModel M = makeSklLike();
+  PalmedConfig Warm;
+  PalmedConfig Cold;
+  Cold.Lp2Cache = false;
+  ProfileRun W = runProfile(M, Warm);
+  ProfileRun C = runProfile(M, Cold);
+  // The cache only skips work; the mapping and its weights are bitwise
+  // unchanged.
+  EXPECT_EQ(W.MappingText, C.MappingText);
+  EXPECT_EQ(W.CoreSlack, C.CoreSlack);
+  // The warm run probes and hits; the cold run never counts an attempt.
+  EXPECT_GT(W.WarmAttempts, 0);
+  EXPECT_GT(W.WarmHits, 0);
+  EXPECT_EQ(C.WarmAttempts, 0);
+  EXPECT_EQ(C.WarmHits, 0);
+  EXPECT_LT(W.CorePivots + W.CompletePivots,
+            C.CorePivots + C.CompletePivots);
+  EXPECT_GE(W.Components, 1);
+}

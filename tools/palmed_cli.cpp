@@ -295,6 +295,16 @@ int cmdMap(const Options &O) {
                R.Stats.PairBenchmarksQuadratic,
                R.Stats.SelectionSeconds + R.Stats.CoreMappingSeconds +
                    R.Stats.CompleteMappingSeconds);
+  std::fprintf(stderr,
+               "LP2: %ld components, %ld/%ld warm-start hits (%.1f%% of "
+               "probes), %ld+%ld pivots\n",
+               R.Stats.Lp2Components, R.Stats.LpWarmStartHits,
+               R.Stats.LpWarmStartAttempts,
+               R.Stats.LpWarmStartAttempts > 0
+                   ? 100.0 * static_cast<double>(R.Stats.LpWarmStartHits) /
+                         static_cast<double>(R.Stats.LpWarmStartAttempts)
+                   : 0.0,
+               R.Stats.CoreLpPivots, R.Stats.CompleteLpPivots);
 
   if (!O.SaveFile.empty()) {
     serve::MappingIOError Err;
