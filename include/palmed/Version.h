@@ -14,9 +14,9 @@
 #define PALMED_PALMED_VERSION_H
 
 #define PALMED_VERSION_MAJOR 0
-#define PALMED_VERSION_MINOR 2
+#define PALMED_VERSION_MINOR 3
 #define PALMED_VERSION_PATCH 0
-#define PALMED_VERSION_STRING "0.2.0"
+#define PALMED_VERSION_STRING "0.3.0"
 
 namespace palmed {
 

@@ -47,6 +47,11 @@
 #include "core/MappingAnalysis.h"
 #include "eval/Workload.h"
 
+// Batch prediction substrate: compiled mappings + SoA corpus batches.
+#include "predict/BatchEngine.h"
+#include "predict/CompiledMapping.h"
+#include "predict/KernelBatch.h"
+
 // Serving substrate: mapping (de)serialization and the prediction daemon.
 #include "serve/Client.h"
 #include "serve/MappingIO.h"

@@ -1,21 +1,27 @@
 #!/usr/bin/env python3
-"""Fail when the LP hot path regresses against the committed baseline.
+"""Fail when a benched metric regresses against the committed baseline.
 
-Usage: check_lp_regression.py <report.json> [baseline.json] [factor] [suffix]
+Usage: check_lp_regression.py <report.json> [baseline.json] [factor]
+                              [suffix] [mode]
 
-<report.json> is a single-bench report written by bench_table2_mapping
-under PALMED_BENCH_REPORT. The baseline defaults to BENCH_seed.json at the
-repo root (the merged multi-bench file); the check fails when any metric
-ending in `suffix` (default `lp_s`) exceeds the baseline by more than
-`factor` (default 2.0 — generous because CI machines are noisy and
-heterogeneous, while a real hot-path regression shows up as 2x or worse).
-CI pairs the wall-clock gate with a tight host-independent gate on the
-deterministic `lp_pivots` counters against BENCH_post.json.
+<report.json> is a single-bench report written under PALMED_BENCH_REPORT.
+The baseline defaults to BENCH_seed.json at the repo root (the merged
+multi-bench file); the check fails when any metric ending in `suffix`
+(default `lp_s`) regresses past the baseline by more than `factor`
+(default 2.0 — generous because CI machines are noisy and heterogeneous,
+while a real hot-path regression shows up as 2x or worse). CI pairs the
+wall-clock gate with a tight host-independent gate on the deterministic
+`lp_pivots` counters against BENCH_post.json.
+
+`mode` picks the regression direction: `max` (default) treats the metric
+as a cost — fail when new > old * factor (seconds, pivot counts). `min`
+treats it as a throughput — fail when new < old / factor (e.g.
+`predict.blocks_per_s`, where lower is worse).
 
 Because the match is suffix-based, passing a fully qualified metric name
-(e.g. `huge.lp_s` or `huge.lp_pivots`) gates exactly that one metric — CI
-uses this to pin the huge profile, the LP2 warm-start/decomposition
-showcase, independently of the smaller machines.
+(e.g. `huge.lp_s` or `predict.blocks_per_s`) gates exactly that one
+metric — CI uses this to pin the huge profile and the batch-prediction
+throughput independently of the smaller machines.
 """
 
 import json
@@ -37,6 +43,10 @@ def main(argv):
         else pathlib.Path(__file__).resolve().parent.parent / "BENCH_seed.json")
     factor = float(argv[3]) if len(argv) > 3 else 2.0
     suffix = argv[4] if len(argv) > 4 else "lp_s"
+    mode = argv[5] if len(argv) > 5 else "max"
+    if mode not in ("max", "min"):
+        print(f"unknown mode '{mode}' (expected 'max' or 'min')")
+        return 2
 
     report = json.loads(report_path.read_text())
     baseline = json.loads(baseline_path.read_text())
@@ -63,13 +73,22 @@ def main(argv):
             print(f"{name}: only in the baseline, skipped")
             continue
         checked += 1
-        limit = old_value * factor
-        status = "OK" if new[name] <= limit else "REGRESSED"
+        if mode == "max":
+            limit = old_value * factor
+            regressed = new[name] > limit
+            relation = f"> {factor}x baseline"
+            bound = "limit"
+        else:
+            limit = old_value / factor
+            regressed = new[name] < limit
+            relation = f"< baseline/{factor}"
+            bound = "floor"
+        status = "REGRESSED" if regressed else "OK"
         print(f"{name}: {new[name]:.3f} vs baseline {old_value:.3f} "
-              f"(limit {limit:.3f}) {status}")
-        if new[name] > limit:
+              f"({bound} {limit:.3f}) {status}")
+        if regressed:
             failures.append(
-                f"{name}: {new[name]:.3f} > {factor}x baseline "
+                f"{name}: {new[name]:.3f} {relation} "
                 f"{old_value:.3f}")
     for name in new:
         if name.endswith(suffix) and name not in old:

@@ -6,20 +6,48 @@
 
 #include "baselines/Predictor.h"
 
+#include "predict/BatchEngine.h"
+
 using namespace palmed;
 
 Predictor::~Predictor() = default;
 
+void Predictor::predictIpcBatch(const Microkernel *Kernels, size_t N,
+                                std::optional<double> *Out) {
+  // The documented default: the literal serial loop, so any subclass that
+  // does not opt into batching keeps byte-for-byte scalar behavior.
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = predictIpc(Kernels[I]);
+}
+
+std::vector<std::optional<double>>
+Predictor::predictIpcBatch(const std::vector<Microkernel> &Kernels) {
+  std::vector<std::optional<double>> Out(Kernels.size());
+  predictIpcBatch(Kernels.data(), Kernels.size(), Out.data());
+  return Out;
+}
+
 MappingPredictor::MappingPredictor(std::string Name, ResourceMapping Mapping,
                                    std::set<InstrId> Unsupported)
     : Name(std::move(Name)), Mapping(std::move(Mapping)),
-      Unsupported(std::move(Unsupported)) {}
+      Unsupported(std::move(Unsupported)),
+      Compiled(predict::CompiledMapping::compile(this->Mapping,
+                                                 this->Unsupported)) {}
 
 std::optional<double> MappingPredictor::predictIpc(const Microkernel &K) {
   for (const auto &[Id, Mult] : K.terms())
     if (Unsupported.count(Id))
       return std::nullopt;
   return Mapping.predictIpc(K);
+}
+
+void MappingPredictor::predictIpcBatch(const Microkernel *Kernels, size_t N,
+                                       std::optional<double> *Out) {
+  predict::KernelBatch B;
+  B.reserve(N, N * 4);
+  for (size_t I = 0; I < N; ++I)
+    B.add(Kernels[I]);
+  predict::predictIpcBatch(Compiled, B, Out);
 }
 
 std::unique_ptr<Predictor> MappingPredictor::clone() const {

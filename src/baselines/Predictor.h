@@ -18,11 +18,13 @@
 
 #include "core/ResourceMapping.h"
 #include "isa/Microkernel.h"
+#include "predict/CompiledMapping.h"
 
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 namespace palmed {
 
@@ -33,6 +35,19 @@ public:
 
   /// Predicted IPC of \p K, or nullopt when the kernel cannot be processed.
   virtual std::optional<double> predictIpc(const Microkernel &K) = 0;
+
+  /// Predicts \p N kernels into \p Out (room for N slots). Contract:
+  /// Out[I] must be bit-identical to predictIpc(Kernels[I]) — the batch
+  /// form exists so implementations can amortize per-kernel overhead
+  /// (SoA batching, compiled mappings), never to change answers. The
+  /// default is the literal serial loop; MappingPredictor overrides it
+  /// with the predict/ batch engine.
+  virtual void predictIpcBatch(const Microkernel *Kernels, size_t N,
+                               std::optional<double> *Out);
+
+  /// Convenience vector form of predictIpcBatch.
+  std::vector<std::optional<double>>
+  predictIpcBatch(const std::vector<Microkernel> &Kernels);
 
   virtual std::string name() const = 0;
 
@@ -58,6 +73,15 @@ public:
                    std::set<InstrId> Unsupported = {});
 
   std::optional<double> predictIpc(const Microkernel &K) override;
+
+  /// Batch entry point backed by the predict/ engine: the mapping is
+  /// compiled once at construction (with the Unsupported decline set
+  /// folded in) and the whole batch streams through it. Bit-identical to
+  /// the scalar predictIpc per the engine's determinism contract.
+  using Predictor::predictIpcBatch; // Keep the vector convenience visible.
+  void predictIpcBatch(const Microkernel *Kernels, size_t N,
+                       std::optional<double> *Out) override;
+
   std::string name() const override { return Name; }
 
   /// Prediction is a pure function of the immutable mapping.
@@ -70,6 +94,9 @@ private:
   std::string Name;
   ResourceMapping Mapping;
   std::set<InstrId> Unsupported;
+  /// Immutable compiled form backing predictIpcBatch (shares nothing
+  /// mutable, so thread safety and clone() semantics are unchanged).
+  predict::CompiledMapping Compiled;
 };
 
 } // namespace palmed

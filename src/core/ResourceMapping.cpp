@@ -22,9 +22,9 @@ ResourceMapping::ResourceMapping(size_t NumInstructions)
 
 ResourceId ResourceMapping::addResource(std::string Name, double Throughput) {
   assert(Throughput > 0.0 && "resource throughput must be positive");
+  // O(1): rows are ragged (see the header) and grow lazily in setUsage,
+  // so adding the Nth resource no longer rewrites every existing row.
   Resources.push_back({std::move(Name), Throughput});
-  for (auto &Row : Rho)
-    Row.resize(Resources.size(), 0.0);
   return Resources.size() - 1;
 }
 
@@ -32,6 +32,8 @@ void ResourceMapping::setUsage(InstrId Id, ResourceId R,
                                double NormalizedRho) {
   assert(Id < Rho.size() && R < Resources.size() && "index out of range");
   assert(NormalizedRho >= 0.0 && "negative usage");
+  if (Rho[Id].size() <= R)
+    Rho[Id].resize(R + 1, 0.0);
   Rho[Id][R] = NormalizedRho;
   Mapped[Id] = true;
 }
@@ -57,8 +59,11 @@ double ResourceMapping::predictCycles(const Microkernel &K) const {
   double MaxLoad = 0.0;
   for (ResourceId R = 0; R < Resources.size(); ++R) {
     double Load = 0.0;
+    // rho() bounds-guards both indices, so even a release build fed an
+    // unsupported kernel (assert compiled out) reads defined zeros
+    // instead of out-of-range memory.
     for (const auto &[Id, Mult] : K.terms())
-      Load += Mult * Rho[Id][R];
+      Load += Mult * rho(Id, R);
     MaxLoad = std::max(MaxLoad, Load);
   }
   return MaxLoad;
@@ -91,7 +96,9 @@ void ResourceMapping::print(std::ostream &OS,
       continue;
     OS << "  " << Isa.name(Id) << ':';
     bool Any = false;
-    for (ResourceId R = 0; R < Resources.size(); ++R) {
+    // Rows are ragged; iterating the row itself (not Resources) stays in
+    // bounds and missing trailing entries are zeros anyway.
+    for (ResourceId R = 0; R < Rho[Id].size(); ++R) {
       if (Rho[Id][R] <= 0.0)
         continue;
       char Buf[64];
@@ -116,7 +123,7 @@ std::string ResourceMapping::toText(const InstructionSet &Isa) const {
     if (!Mapped[Id])
       continue;
     OS << "instr " << Isa.name(Id);
-    for (ResourceId R = 0; R < Resources.size(); ++R)
+    for (ResourceId R = 0; R < Rho[Id].size(); ++R)
       if (Rho[Id][R] > 0.0)
         OS << ' ' << R << ':' << Rho[Id][R];
     OS << '\n';

@@ -63,8 +63,12 @@ public:
   /// infinite throughput; keeping the flag separate makes that explicit).
   void markMapped(InstrId Id);
 
+  /// Normalized usage rho_i,r. Rows are ragged (they only extend to the
+  /// last resource explicitly set), so entries never written — including
+  /// any index of an unmapped instruction — read as 0.0. That also makes
+  /// out-of-range reads well-defined in release builds instead of UB.
   double rho(InstrId Id, ResourceId R) const {
-    return Rho[Id][R];
+    return Id < Rho.size() && R < Rho[Id].size() ? Rho[Id][R] : 0.0;
   }
 
   bool isMapped(InstrId Id) const { return Mapped[Id]; }
@@ -103,7 +107,11 @@ private:
     double Throughput = 1.0;
   };
   std::vector<Resource> Resources;
-  /// Dense rho matrix, Rho[instr][resource].
+  /// Ragged rho matrix, Rho[instr][resource]: each row only extends to
+  /// the last resource setUsage touched for that instruction; shorter
+  /// rows read as 0.0 through rho(). Keeping rows ragged makes
+  /// addResource O(1) — a mapping build or load is no longer quadratic in
+  /// the resource count (it used to re-resize every row per addResource).
   std::vector<std::vector<double>> Rho;
   std::vector<bool> Mapped;
 };

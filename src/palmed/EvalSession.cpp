@@ -69,12 +69,21 @@ EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
     Rows.push_back(&Row);
   }
 
+  // One contiguous kernel array: predictor lanes run through the batch
+  // entry point (Predictor::predictIpcBatch), whose contract is
+  // bit-identity with the scalar predictIpc loop — MappingPredictor lanes
+  // amortize their work through the compiled batch engine, everything
+  // else falls back to the default serial loop.
+  std::vector<Microkernel> Ks;
+  Ks.reserve(Blocks.size());
+  for (const BasicBlock &B : Blocks)
+    Ks.push_back(B.K);
+
   if (Policy.NumThreads <= 1 || Blocks.empty()) {
     for (size_t B = 0; B < Blocks.size(); ++B)
       Out.NativeIpc[B] = Native.measureIpc(Blocks[B].K);
     for (size_t L = 0; L < Lanes.size(); ++L)
-      for (size_t B = 0; B < Blocks.size(); ++B)
-        (*Rows[L])[B] = Lanes[L]->predictIpc(Blocks[B].K);
+      Lanes[L]->predictIpcBatch(Ks.data(), Ks.size(), Rows[L]->data());
     return Out;
   }
 
@@ -130,8 +139,9 @@ EvalOutcome EvalSession::run(const std::vector<BasicBlock> &Blocks) const {
                          ? Lanes[Tk.Lane - 1]
                          : Clones[Tk.Lane][WorkerId].get();
       auto &Row = *Rows[Tk.Lane - 1];
-      for (size_t B = Tk.Begin; B < Tk.End; ++B)
-        Row[B] = P->predictIpc(Blocks[B].K);
+      // Chunk results land in the chunk's own slots; batch==scalar
+      // bit-identity makes the chunking invisible in the outcome.
+      P->predictIpcBatch(&Ks[Tk.Begin], Tk.End - Tk.Begin, &Row[Tk.Begin]);
     }
   });
   return Out;

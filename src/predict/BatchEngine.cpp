@@ -1,0 +1,132 @@
+//===- predict/BatchEngine.cpp - Batched prediction drivers ---------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/BatchEngine.h"
+
+#include "support/Approx.h"
+
+#include <algorithm>
+
+using namespace palmed;
+using namespace palmed::predict;
+
+namespace {
+
+/// Per-worker scratch: the load vector plus the (load, live index) sort
+/// buffer of the detailed path. Sized once per batch, reused per kernel.
+struct WorkerScratch {
+  std::vector<double> Loads;
+  std::vector<std::pair<double, uint32_t>> Sorted;
+
+  explicit WorkerScratch(uint32_t NumLive)
+      // Never zero-sized: Loads.data() feeds pointer arithmetic even when
+      // the mapping has no live resources.
+      : Loads(std::max<uint32_t>(1, NumLive), 0.0) {}
+};
+
+/// Serial worker over kernels [Begin, End): each kernel's IPC goes to its
+/// own slot, so any partition into ranges produces identical output.
+void ipcRange(const CompiledMapping &CM, const KernelBatch &B, size_t Begin,
+              size_t End, WorkerScratch &S, std::optional<double> *Out) {
+  for (size_t K = Begin; K != End; ++K)
+    Out[K] = CM.kernelIpc(B, K, S.Loads.data());
+}
+
+/// Serial detailed worker: replicates analyzeKernel's co-bottleneck
+/// selection on top of the engine loads. Live indices ascend with the
+/// original ResourceIds, so sorting (load desc, live index asc) matches
+/// analyzeKernel's (load desc, ResourceId asc) order exactly.
+void detailRange(const CompiledMapping &CM, const KernelBatch &B, double Eps,
+                 size_t Begin, size_t End, WorkerScratch &S,
+                 KernelDetail *Out) {
+  const uint32_t NumLive = CM.numLiveResources();
+  for (size_t K = Begin; K != End; ++K) {
+    KernelDetail &D = Out[K];
+    D = KernelDetail();
+    double Cycles = 0.0;
+    if (!CM.kernelCycles(B, K, S.Loads.data(), &Cycles) || Cycles <= 0.0)
+      continue;
+    D.Supported = true;
+    D.Cycles = Cycles;
+    D.Ipc = B.kernelSize(K) / Cycles;
+
+    S.Sorted.clear();
+    for (uint32_t R = 0; R < NumLive; ++R)
+      if (S.Loads[R] > 0.0)
+        S.Sorted.emplace_back(S.Loads[R], R);
+    std::sort(S.Sorted.begin(), S.Sorted.end(),
+              [](const std::pair<double, uint32_t> &A,
+                 const std::pair<double, uint32_t> &B2) {
+                if (A.first != B2.first)
+                  return A.first > B2.first;
+                return A.second < B2.second;
+              });
+    // Cycles == the sorted front's load (both are the same max), so this
+    // is analyzeKernel's approxEqual(load, bottleneck) tie count.
+    size_t NumCo = 0;
+    for (const auto &[Load, Live] : S.Sorted)
+      if (approxEqual(Load, Cycles, Eps))
+        ++NumCo;
+    size_t N = std::min(NumCo, S.Sorted.size());
+    D.CoBottlenecks.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      D.CoBottlenecks.push_back(
+          static_cast<uint32_t>(CM.liveResourceId(S.Sorted[I].second)));
+  }
+}
+
+/// Contiguous chunk size for the executor fan-out: large enough to
+/// amortize item claiming on million-kernel batches, small enough to
+/// load-balance small ones. Purely a scheduling knob — results are
+/// index-slotted, so any value is bit-safe.
+size_t chunkSizeFor(size_t NumKernels, unsigned NumWorkers) {
+  return std::max<size_t>(64, NumKernels / (size_t(NumWorkers) * 8) + 1);
+}
+
+/// Shared fan-out shell: runs Range(Begin, End, Scratch) serially, or in
+/// contiguous chunks over the executor with one scratch per worker.
+template <typename RangeFn>
+void runBatch(const CompiledMapping &CM, size_t NumKernels, Executor *Exec,
+              const RangeFn &Range) {
+  if (NumKernels == 0)
+    return;
+  if (!Exec || Exec->numWorkers() == 1 || NumKernels == 1) {
+    WorkerScratch S(CM.numLiveResources());
+    Range(0, NumKernels, S);
+    return;
+  }
+  const unsigned W = Exec->numWorkers();
+  const size_t Chunk = chunkSizeFor(NumKernels, W);
+  const size_t NumChunks = (NumKernels + Chunk - 1) / Chunk;
+  std::vector<WorkerScratch> Scratch(W, WorkerScratch(CM.numLiveResources()));
+  Exec->parallelFor(NumChunks, [&](size_t C, unsigned Worker) {
+    const size_t Begin = C * Chunk;
+    const size_t End = std::min(NumKernels, Begin + Chunk);
+    Range(Begin, End, Scratch[Worker]);
+  });
+}
+
+} // namespace
+
+void palmed::predict::predictIpcBatch(const CompiledMapping &CM,
+                                      const KernelBatch &B,
+                                      std::optional<double> *Out,
+                                      Executor *Exec) {
+  runBatch(CM, B.size(), Exec,
+           [&](size_t Begin, size_t End, WorkerScratch &S) {
+             ipcRange(CM, B, Begin, End, S, Out);
+           });
+}
+
+void palmed::predict::predictDetailedBatch(const CompiledMapping &CM,
+                                           const KernelBatch &B, double Eps,
+                                           KernelDetail *Out,
+                                           Executor *Exec) {
+  runBatch(CM, B.size(), Exec,
+           [&](size_t Begin, size_t End, WorkerScratch &S) {
+             detailRange(CM, B, Eps, Begin, End, S, Out);
+           });
+}

@@ -1,0 +1,70 @@
+//===- predict/BatchEngine.h - Batched prediction drivers ------*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch drivers over a CompiledMapping: one streaming pass predicts a
+/// whole KernelBatch, optionally fanned over a palmed::Executor in
+/// contiguous chunks with index-slotted results (each kernel's answer is
+/// written to its own output slot, every per-kernel reduction runs on one
+/// worker) — so Serial and Parallel(N) runs are bit-identical, and both
+/// are bit-identical to calling ResourceMapping::predictIpc per kernel.
+///
+/// predictIpcBatch is the raw-throughput entry point (EvalSession lanes,
+/// corpus mode, benches). predictDetailedBatch additionally reports the
+/// co-bottleneck resources exactly as core/MappingAnalysis.h's
+/// analyzeKernel would (same sort, same approxEqual tie test) — the serve
+/// daemon's cold-miss path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PREDICT_BATCHENGINE_H
+#define PALMED_PREDICT_BATCHENGINE_H
+
+#include "predict/CompiledMapping.h"
+#include "predict/KernelBatch.h"
+#include "support/Executor.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace palmed {
+namespace predict {
+
+/// Predicts every kernel of \p B into \p Out (room for B.size() slots):
+/// Out[K] = IPC of kernel K, or nullopt when the kernel is unsupported or
+/// stresses no live resource — exactly ResourceMapping::predictIpc's
+/// contract, bit for bit. \p Exec (optional) fans the batch out in
+/// contiguous chunks; results are identical for any worker count.
+void predictIpcBatch(const CompiledMapping &CM, const KernelBatch &B,
+                     std::optional<double> *Out, Executor *Exec = nullptr);
+
+/// Per-kernel detailed answer of predictDetailedBatch.
+struct KernelDetail {
+  /// False when the kernel has an unpredictable instruction or zero
+  /// cycles (then the other fields are default); mirrors predictIpc
+  /// returning nullopt.
+  bool Supported = false;
+  double Cycles = 0.0;
+  double Ipc = 0.0;
+  /// Co-bottleneck resource ids (original ResourceMapping ids), most
+  /// loaded first — the same prefix analyzeKernel's NumCoBottlenecks
+  /// selects with tie tolerance \p Eps.
+  std::vector<uint32_t> CoBottlenecks;
+};
+
+/// Like predictIpcBatch but also reports each supported kernel's
+/// co-bottleneck resources, replicating analyzeKernel's load sort
+/// (descending load, ascending resource id) and approxEqual(load,
+/// bottleneck, Eps) tie count. \p Out must have room for B.size() slots.
+void predictDetailedBatch(const CompiledMapping &CM, const KernelBatch &B,
+                          double Eps, KernelDetail *Out,
+                          Executor *Exec = nullptr);
+
+} // namespace predict
+} // namespace palmed
+
+#endif // PALMED_PREDICT_BATCHENGINE_H

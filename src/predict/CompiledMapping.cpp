@@ -1,0 +1,139 @@
+//===- predict/CompiledMapping.cpp - Streaming-layout mapping -------------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/CompiledMapping.h"
+
+#include <algorithm>
+
+using namespace palmed;
+using namespace palmed::predict;
+
+CompiledMapping
+CompiledMapping::compile(const ResourceMapping &M,
+                         const std::set<InstrId> &Unsupported) {
+  CompiledMapping C;
+  C.NumInstr = M.numInstructions();
+
+  C.Predictable.assign(C.NumInstr, 0);
+  for (InstrId Id = 0; Id < C.NumInstr; ++Id)
+    C.Predictable[Id] =
+        (M.isMapped(Id) && Unsupported.count(Id) == 0) ? 1 : 0;
+
+  // A resource is live when some predictable instruction uses it. Dead
+  // resources always accumulate load +0.0, so dropping them cannot change
+  // the max (which starts at +0.0) — see the header's bit-identity notes.
+  std::vector<char> Live(M.numResources(), 0);
+  for (InstrId Id = 0; Id < C.NumInstr; ++Id) {
+    if (!C.Predictable[Id])
+      continue;
+    for (ResourceId R = 0; R < M.numResources(); ++R)
+      if (M.rho(Id, R) > 0.0)
+        Live[R] = 1;
+  }
+  std::vector<uint32_t> LiveIndexOf(M.numResources(), 0);
+  for (ResourceId R = 0; R < M.numResources(); ++R) {
+    if (!Live[R])
+      continue;
+    LiveIndexOf[R] = C.NumLive++;
+    C.LiveIds.push_back(R);
+  }
+
+  // CSR edges, ascending live index per instruction (matching the scalar
+  // path's ascending-ResourceId resource loop).
+  C.EdgeBegin.assign(C.NumInstr + 1, 0);
+  for (InstrId Id = 0; Id < C.NumInstr; ++Id) {
+    if (C.Predictable[Id])
+      for (ResourceId R = 0; R < M.numResources(); ++R)
+        if (M.rho(Id, R) > 0.0)
+          ++C.EdgeBegin[Id + 1];
+    C.EdgeBegin[Id + 1] += C.EdgeBegin[Id];
+  }
+  C.EdgeLive.reserve(C.EdgeBegin.back());
+  C.EdgeRho.reserve(C.EdgeBegin.back());
+  for (InstrId Id = 0; Id < C.NumInstr; ++Id) {
+    if (!C.Predictable[Id])
+      continue;
+    for (ResourceId R = 0; R < M.numResources(); ++R) {
+      double Rho = M.rho(Id, R);
+      if (Rho > 0.0) {
+        C.EdgeLive.push_back(LiveIndexOf[R]);
+        C.EdgeRho.push_back(Rho);
+      }
+    }
+  }
+
+  // Dense rows where the row is at least a quarter populated: there the
+  // branch-free contiguous stream beats the indexed edge walk. Mixing the
+  // two layouts is bit-safe — a dense row's extra zero entries add
+  // mult * 0.0 == +0.0 to non-negative accumulators.
+  C.DenseOff.assign(C.NumInstr, NoDenseRow);
+  for (InstrId Id = 0; Id < C.NumInstr; ++Id) {
+    size_t Edges = C.EdgeBegin[Id + 1] - C.EdgeBegin[Id];
+    if (Edges == 0 || Edges * 4 < C.NumLive)
+      continue;
+    C.DenseOff[Id] = C.Dense.size();
+    C.Dense.resize(C.Dense.size() + C.NumLive, 0.0);
+    double *Row = C.Dense.data() + C.DenseOff[Id];
+    for (size_t E = C.EdgeBegin[Id]; E != C.EdgeBegin[Id + 1]; ++E)
+      Row[C.EdgeLive[E]] = C.EdgeRho[E];
+  }
+  return C;
+}
+
+bool CompiledMapping::supports(const KernelBatch &B, size_t K) const {
+  auto [Begin, End] = B.termRange(K);
+  const InstrId *Ids = B.termIds();
+  for (size_t T = Begin; T != End; ++T)
+    if (!predictable(Ids[T]))
+      return false;
+  return true;
+}
+
+bool CompiledMapping::kernelCycles(const KernelBatch &B, size_t K,
+                                   double *Loads, double *CyclesOut) const {
+  if (!supports(B, K))
+    return false;
+  auto [Begin, End] = B.termRange(K);
+  const InstrId *Ids = B.termIds();
+  const double *Mults = B.termMults();
+
+  std::fill(Loads, Loads + NumLive, 0.0);
+  // Term-outer / resource-inner: for any fixed resource the additions
+  // still happen in term order, so each per-resource sum replays exactly
+  // the scalar predictCycles reduction.
+  for (size_t T = Begin; T != End; ++T) {
+    const InstrId Id = Ids[T];
+    const double Mult = Mults[T];
+    const size_t Off = DenseOff[Id];
+    if (Off != NoDenseRow) {
+      const double *Row = Dense.data() + Off;
+      for (uint32_t R = 0; R < NumLive; ++R)
+        Loads[R] += Mult * Row[R];
+    } else {
+      for (size_t E = EdgeBegin[Id]; E != EdgeBegin[Id + 1]; ++E)
+        Loads[EdgeLive[E]] += Mult * EdgeRho[E];
+    }
+  }
+
+  // max over doubles is order- and duplicate-insensitive (no NaNs: the
+  // loaders reject non-finite rhos and multiplicities).
+  double MaxLoad = 0.0;
+  for (uint32_t R = 0; R < NumLive; ++R)
+    MaxLoad = std::max(MaxLoad, Loads[R]);
+  *CyclesOut = MaxLoad;
+  return true;
+}
+
+std::optional<double> CompiledMapping::kernelIpc(const KernelBatch &B,
+                                                 size_t K,
+                                                 double *Loads) const {
+  double Cycles = 0.0;
+  if (!kernelCycles(B, K, Loads, &Cycles))
+    return std::nullopt;
+  if (Cycles <= 0.0)
+    return std::nullopt;
+  return B.kernelSize(K) / Cycles;
+}

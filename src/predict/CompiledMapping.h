@@ -1,0 +1,114 @@
+//===- predict/CompiledMapping.h - Streaming-layout mapping ----*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An immutable, prediction-optimized compilation of a ResourceMapping.
+/// The mutable mapping stores a row-major Rho[instr][resource] matrix that
+/// is mostly zeros (each instruction uses a handful of resources) and may
+/// carry resources no instruction uses at all. Compilation drops the
+/// zero-usage resources, renumbers the survivors into a contiguous "live"
+/// index space, and lays each instruction's usages out twice:
+///
+///  * CSR edges (live-resource index, rho) for sparse rows — the common
+///    case; and
+///  * a dense row of all live-resource rhos for high-degree instructions,
+///    where streaming the contiguous row beats chasing edge indices.
+///
+/// Both layouts produce bit-identical loads: within one resource the
+/// additions happen in kernel term order exactly as the scalar
+/// ResourceMapping::predictCycles double loop performs them, skipped zero
+/// edges contribute +0.0 to a non-negative accumulator (a bitwise no-op),
+/// and dropped resources always carry load +0.0, which never changes a max
+/// that starts at +0.0. See predict/BatchEngine.h for the batch drivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PREDICT_COMPILEDMAPPING_H
+#define PALMED_PREDICT_COMPILEDMAPPING_H
+
+#include "core/ResourceMapping.h"
+#include "predict/KernelBatch.h"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace palmed {
+namespace predict {
+
+/// Immutable compiled form of a ResourceMapping (plus an optional set of
+/// instructions to decline, mirroring MappingPredictor's coverage model).
+class CompiledMapping {
+public:
+  CompiledMapping() = default;
+
+  /// Compiles \p M. Instructions in \p Unsupported predict as unsupported
+  /// even when the mapping covers them (MappingPredictor's decline set).
+  static CompiledMapping compile(const ResourceMapping &M,
+                                 const std::set<InstrId> &Unsupported = {});
+
+  /// Instruction-space size the mapping was compiled for.
+  size_t numInstructions() const { return NumInstr; }
+
+  /// Number of surviving (non-zero-usage) resources.
+  uint32_t numLiveResources() const { return NumLive; }
+
+  /// Original ResourceId of live resource \p Live. Live indices preserve
+  /// the original resource order (ascending ResourceId).
+  ResourceId liveResourceId(uint32_t Live) const { return LiveIds[Live]; }
+
+  /// True when \p Id is mapped and not declined — i.e. kernels made of
+  /// such instructions get a prediction.
+  bool predictable(InstrId Id) const {
+    return Id < NumInstr && Predictable[Id] != 0;
+  }
+
+  /// True when every term of batch kernel \p K is predictable.
+  bool supports(const KernelBatch &B, size_t K) const;
+
+  /// Computes kernel \p K's per-live-resource loads into \p Loads (room
+  /// for numLiveResources() doubles) and the closed-form cycles
+  /// max_r(load) into \p CyclesOut. Returns false — leaving the outputs
+  /// unspecified — when the kernel contains an unpredictable instruction.
+  /// Bit-identical to ResourceMapping::predictCycles on supported kernels.
+  bool kernelCycles(const KernelBatch &B, size_t K, double *Loads,
+                    double *CyclesOut) const;
+
+  /// Checked IPC |K| / cycles; nullopt when unsupported or the kernel
+  /// stresses no live resource. Bit-identical to
+  /// ResourceMapping::predictIpc. \p Loads is caller-provided scratch.
+  std::optional<double> kernelIpc(const KernelBatch &B, size_t K,
+                                  double *Loads) const;
+
+private:
+  size_t NumInstr = 0;
+  uint32_t NumLive = 0;
+  /// Live index -> original ResourceId, ascending.
+  std::vector<ResourceId> LiveIds;
+  /// Per-instruction predictability flag (char, not vector<bool>: the
+  /// support scan is on the hot path).
+  std::vector<char> Predictable;
+
+  /// CSR edges: instruction Id's usages are
+  /// [EdgeBegin[Id], EdgeBegin[Id + 1]) pairs of (EdgeLive, EdgeRho),
+  /// in ascending live-index order.
+  std::vector<size_t> EdgeBegin;
+  std::vector<uint32_t> EdgeLive;
+  std::vector<double> EdgeRho;
+
+  /// Dense rows for high-degree instructions: DenseOff[Id] is an offset
+  /// into Dense of a NumLive-wide rho row, or NoDenseRow for CSR-only
+  /// instructions.
+  static constexpr size_t NoDenseRow = static_cast<size_t>(-1);
+  std::vector<size_t> DenseOff;
+  std::vector<double> Dense;
+};
+
+} // namespace predict
+} // namespace palmed
+
+#endif // PALMED_PREDICT_COMPILEDMAPPING_H

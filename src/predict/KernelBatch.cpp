@@ -1,0 +1,36 @@
+//===- predict/KernelBatch.cpp - Structure-of-arrays kernel batch ---------===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "predict/KernelBatch.h"
+
+using namespace palmed;
+using namespace palmed::predict;
+
+void KernelBatch::reserve(size_t NumKernels, size_t NumTerms) {
+  Ids.reserve(NumTerms);
+  Mults.reserve(NumTerms);
+  Offsets.reserve(NumKernels + 1);
+  Sizes.reserve(NumKernels);
+}
+
+size_t KernelBatch::add(const Microkernel &K) {
+  double Size = 0.0;
+  for (const auto &[Id, Mult] : K.terms()) {
+    Ids.push_back(Id);
+    Mults.push_back(Mult);
+    Size += Mult;
+  }
+  Offsets.push_back(Ids.size());
+  Sizes.push_back(Size);
+  return Sizes.size() - 1;
+}
+
+void KernelBatch::clear() {
+  Ids.clear();
+  Mults.clear();
+  Offsets.assign(1, 0);
+  Sizes.clear();
+}

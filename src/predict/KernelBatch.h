@@ -1,0 +1,76 @@
+//===- predict/KernelBatch.h - Structure-of-arrays kernel batch -*- C++ -*-===//
+//
+// Part of the PALMED reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A batch of microkernels flattened into structure-of-arrays form: one
+/// contiguous term array (instruction ids + multiplicities) plus per-kernel
+/// offsets into it. This is the input format of the batched prediction
+/// engine (predict/BatchEngine.h): a whole corpus streams through one pass
+/// without per-kernel allocations, pointer chasing, or virtual calls.
+///
+/// Determinism contract: terms are stored in the kernel's own (sorted)
+/// term order and the per-kernel |K| is accumulated in that same order, so
+/// every floating-point reduction downstream replays exactly the additions
+/// the scalar ResourceMapping::predictIpc path would perform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PALMED_PREDICT_KERNELBATCH_H
+#define PALMED_PREDICT_KERNELBATCH_H
+
+#include "isa/Microkernel.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace palmed {
+namespace predict {
+
+/// Flattened batch of microkernels (SoA): term ids/multiplicities in one
+/// pair of arrays, kernels delimited by an offsets table.
+class KernelBatch {
+public:
+  /// Pre-sizes the backing arrays for \p NumKernels kernels totalling
+  /// about \p NumTerms distinct terms.
+  void reserve(size_t NumKernels, size_t NumTerms);
+
+  /// Appends \p K; returns its index within the batch.
+  size_t add(const Microkernel &K);
+
+  /// Number of kernels in the batch.
+  size_t size() const { return Offsets.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Total number of flattened terms across all kernels.
+  size_t numTerms() const { return Ids.size(); }
+
+  /// Half-open term range [first, second) of kernel \p K.
+  std::pair<size_t, size_t> termRange(size_t K) const {
+    return {Offsets[K], Offsets[K + 1]};
+  }
+
+  /// |K| = sum of multiplicities, accumulated in term order (bit-identical
+  /// to Microkernel::size()).
+  double kernelSize(size_t K) const { return Sizes[K]; }
+
+  /// Raw SoA views for the engine's inner loops.
+  const InstrId *termIds() const { return Ids.data(); }
+  const double *termMults() const { return Mults.data(); }
+
+  void clear();
+
+private:
+  std::vector<InstrId> Ids;
+  std::vector<double> Mults;
+  /// size() + 1 entries; Offsets[0] == 0.
+  std::vector<size_t> Offsets{0};
+  std::vector<double> Sizes;
+};
+
+} // namespace predict
+} // namespace palmed
+
+#endif // PALMED_PREDICT_KERNELBATCH_H

@@ -6,7 +6,7 @@
 
 #include "serve/Server.h"
 
-#include "core/MappingAnalysis.h"
+#include "predict/BatchEngine.h"
 #include "serve/MappingIO.h"
 
 #include <algorithm>
@@ -66,33 +66,63 @@ ServerTotals Server::totals() const {
   return T;
 }
 
-Prediction Server::predictOne(ServedMachine &M,
-                              const std::string &KernelText) {
-  Prediction P;
-  auto K = Microkernel::parse(KernelText, M.Machine.isa());
-  if (!K) {
-    P.S = Prediction::Status::ParseError;
-  } else if (auto Ipc = M.Mapping.predictIpc(*K)) {
-    P.Ipc = *Ipc;
-    BottleneckReport Report = analyzeKernel(M.Mapping, *K);
-    size_t N = std::min(Report.NumCoBottlenecks, Report.Loads.size());
-    P.Bottlenecks.reserve(N);
-    for (size_t I = 0; I < N; ++I)
-      P.Bottlenecks.push_back(
-          static_cast<uint32_t>(Report.Loads[I].Resource));
+std::vector<Prediction>
+Server::predictDistinct(ServedMachine &M,
+                        const std::vector<const std::string *> &Distinct,
+                        bool UseExecutor) {
+  const size_t N = Distinct.size();
+
+  // Parse fan-out, index-slotted (Microkernel::parse is a pure function
+  // of the text and the immutable ISA).
+  std::vector<std::optional<Microkernel>> Parsed(N);
+  auto ParseOne = [&](size_t I, unsigned) {
+    Parsed[I] = Microkernel::parse(*Distinct[I], M.Machine.isa());
+  };
+  if (UseExecutor) {
+    Exec.parallelFor(N, ParseOne);
   } else {
-    P.S = Prediction::Status::Unsupported;
+    for (size_t I = 0; I < N; ++I)
+      ParseOne(I, 0);
   }
 
-  // Pre-encode the answer record once; cache hits just append the bytes.
-  KernelAnswer A;
-  A.S = static_cast<KernelAnswer::Status>(P.S);
-  A.Ipc = P.Ipc;
-  A.Bottlenecks.reserve(P.Bottlenecks.size());
-  for (uint32_t R : P.Bottlenecks)
-    A.Bottlenecks.push_back(M.Mapping.resourceName(R));
-  appendKernelAnswer(P.Wire, A);
-  return P;
+  // One detailed batch pass over the compiled mapping for everything
+  // that parsed; parse failures keep an invalid batch index.
+  constexpr size_t NoKernel = static_cast<size_t>(-1);
+  predict::KernelBatch B;
+  B.reserve(N, N * 4);
+  std::vector<size_t> BatchIndex(N, NoKernel);
+  for (size_t I = 0; I < N; ++I)
+    if (Parsed[I])
+      BatchIndex[I] = B.add(*Parsed[I]);
+  std::vector<predict::KernelDetail> Details(B.size());
+  // Eps matches analyzeKernel's default co-bottleneck tie tolerance, so
+  // query answers report the same bottleneck sets the analyze CLI shows.
+  predict::predictDetailedBatch(M.Compiled, B, /*Eps=*/0.05, Details.data(),
+                                UseExecutor ? &Exec : nullptr);
+
+  // Serial encode: pre-build each answer's wire record once; cache hits
+  // later just append the bytes.
+  std::vector<Prediction> Out(N);
+  for (size_t I = 0; I < N; ++I) {
+    Prediction &P = Out[I];
+    if (BatchIndex[I] == NoKernel) {
+      P.S = Prediction::Status::ParseError;
+    } else if (const predict::KernelDetail &D = Details[BatchIndex[I]];
+               D.Supported) {
+      P.Ipc = D.Ipc;
+      P.Bottlenecks = D.CoBottlenecks;
+    } else {
+      P.S = Prediction::Status::Unsupported;
+    }
+    KernelAnswer A;
+    A.S = static_cast<KernelAnswer::Status>(P.S);
+    A.Ipc = P.Ipc;
+    A.Bottlenecks.reserve(P.Bottlenecks.size());
+    for (uint32_t R : P.Bottlenecks)
+      A.Bottlenecks.push_back(M.Mapping.resourceName(R));
+    appendKernelAnswer(P.Wire, A);
+  }
+  return Out;
 }
 
 std::optional<std::string> Server::evaluateWire(const QueryRequest &Request,
@@ -148,19 +178,25 @@ std::optional<std::string> Server::evaluateWire(const QueryRequest &Request,
       ++It->second;
     }
     std::vector<char> WasHit(Distinct.size(), 0);
-    auto Work = [&](size_t I, unsigned) {
-      bool H = false;
-      M->Cache->getOrCompute(
-          *Distinct[I], [&] { return predictOne(*M, *Distinct[I]); }, &H);
-      WasHit[I] = H ? 1 : 0;
-    };
-    if (Distinct.size() == 1 || Exec.numWorkers() == 1) {
-      for (size_t I = 0; I < Distinct.size(); ++I)
-        Work(I, 0);
-    } else {
-      // The executor is single-driver: one batch fan-out at a time.
-      std::lock_guard<std::mutex> Lock(ExecMutex);
-      Exec.parallelFor(Distinct.size(), Work);
+    {
+      const bool UseExec = Distinct.size() > 1 && Exec.numWorkers() > 1;
+      // The executor is single-driver: hold the mutex across both of
+      // predictDistinct's fan-outs (parse + batch predict).
+      std::unique_lock<std::mutex> Lock;
+      if (UseExec)
+        Lock = std::unique_lock<std::mutex>(ExecMutex);
+      std::vector<Prediction> Computed =
+          predictDistinct(*M, Distinct, UseExec);
+      for (size_t I = 0; I < Distinct.size(); ++I) {
+        // getOrCompute publishes the precomputed answer; if another
+        // connection raced us to the same kernel we merely discard a
+        // duplicate of the same deterministic result (WasHit reports it
+        // as a hit, exactly as before).
+        bool H = false;
+        M->Cache->getOrCompute(
+            *Distinct[I], [&] { return std::move(Computed[I]); }, &H);
+        WasHit[I] = H ? 1 : 0;
+      }
     }
     for (size_t D = 0; D < Distinct.size(); ++D) {
       uint64_t Occ = Count[std::string_view(*Distinct[D])];

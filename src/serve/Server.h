@@ -11,12 +11,16 @@
 /// serve/Protocol.h.
 ///
 /// Threading model: serve() runs the accept loop on the calling thread
-/// and spawns one handler thread per connection. Batch evaluation fans
-/// the distinct cache-missing kernels of a request over one shared
-/// palmed::Executor (serialized by a mutex — the executor is
-/// single-driver by contract); cache hits never touch the executor. Each
-/// served machine fronts its mapping with a PredictionCache, so identical
-/// kernels are predicted exactly once across all connections.
+/// and spawns one handler thread per connection. Batch evaluation runs
+/// the distinct cache-missing kernels of a request through the batch
+/// prediction engine (predict/BatchEngine.h) against a per-machine
+/// CompiledMapping: a parse fan-out, then one detailed batch pass, both
+/// fanned over one shared palmed::Executor (serialized by a mutex held
+/// across both fans — the executor is single-driver by contract); cache
+/// hits never touch the executor. Each served machine fronts its mapping
+/// with a PredictionCache; results are inserted via getOrCompute, so a
+/// concurrent connection racing on the same kernel at worst duplicates
+/// deterministic work and still observes one canonical entry.
 ///
 /// Lifecycle: addMachine() while stopped, bind(), then serve() until
 /// requestStop() — which is async-signal-safe (it only stores a flag), so
@@ -35,6 +39,7 @@
 
 #include "core/ResourceMapping.h"
 #include "machine/MachineModel.h"
+#include "predict/CompiledMapping.h"
 #include "serve/PredictionCache.h"
 #include "serve/Protocol.h"
 #include "support/Executor.h"
@@ -156,13 +161,19 @@ private:
                   ResourceMapping Mapping)
         : Name(std::move(Name)), Machine(std::move(Machine)),
           Mapping(std::move(Mapping)),
-          Cache(std::make_unique<PredictionCache>()) {}
+          Cache(std::make_unique<PredictionCache>()),
+          // this->: the parameter of the same name was just moved from.
+          Compiled(predict::CompiledMapping::compile(this->Mapping)) {}
 
     std::string Name;
     MachineModel Machine;
     ResourceMapping Mapping;
     /// Cache shards hold mutexes; keep the struct address-stable.
     std::unique_ptr<PredictionCache> Cache;
+    /// Immutable streaming-layout compilation of Mapping; the cold-miss
+    /// path predicts whole batches through it (and, being a checked API,
+    /// it keeps unmapped kernels well-defined in release builds too).
+    predict::CompiledMapping Compiled;
   };
 
   struct Connection {
@@ -172,7 +183,18 @@ private:
   };
 
   ServedMachine *findMachine(const std::string &Name);
-  Prediction predictOne(ServedMachine &M, const std::string &KernelText);
+
+  /// Predicts the distinct cache-missing kernel texts of one request in
+  /// one batch: parse fan-out, one predictDetailedBatch pass over the
+  /// compiled mapping, then serial wire encoding. Returns one finished
+  /// Prediction per input (parse failures and unsupported kernels
+  /// included). When \p UseExecutor is set the caller must hold ExecMutex
+  /// for the whole call — both internal fans drive the shared executor.
+  std::vector<Prediction>
+  predictDistinct(ServedMachine &M,
+                  const std::vector<const std::string *> &Distinct,
+                  bool UseExecutor);
+
   void handleConnection(Connection &Conn);
   void reapFinishedConnections();
 

@@ -1,0 +1,430 @@
+//===- tests/predict_test.cpp - Batch prediction engine tests -------------===//
+//
+// Part of the PALMED reproduction.
+//
+// The engine's contract is bit-identity: predicting a KernelBatch through
+// a CompiledMapping must produce, slot for slot, the exact double bits of
+// the scalar ResourceMapping::predictIpc path — across machines, random
+// kernels, partial mappings, worker counts, and the detailed
+// (co-bottleneck) path vs analyzeKernel. Suites are named Predict* so the
+// TSan CI job's suite regex picks them up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Predictor.h"
+#include "core/DualConstruction.h"
+#include "core/MappingAnalysis.h"
+#include "eval/Workload.h"
+#include "machine/StandardMachines.h"
+#include "machine/SyntheticIsa.h"
+#include "predict/BatchEngine.h"
+#include "predict/CompiledMapping.h"
+#include "predict/KernelBatch.h"
+#include "support/Executor.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace palmed;
+using predict::CompiledMapping;
+using predict::KernelBatch;
+
+namespace {
+
+uint64_t bitsOf(double V) {
+  uint64_t B = 0;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+/// Exact (bitwise) equality of two optional predictions.
+::testing::AssertionResult bitEqual(const std::optional<double> &A,
+                                    const std::optional<double> &B) {
+  if (A.has_value() != B.has_value())
+    return ::testing::AssertionFailure()
+           << "engagement mismatch: " << A.has_value() << " vs "
+           << B.has_value();
+  if (A && bitsOf(*A) != bitsOf(*B))
+    return ::testing::AssertionFailure()
+           << "bit mismatch: " << *A << " (0x" << std::hex << bitsOf(*A)
+           << ") vs " << *B << " (0x" << bitsOf(*B) << ")";
+  return ::testing::AssertionSuccess();
+}
+
+/// Asserts batch == scalar, slot by slot, for one mapping and kernel set;
+/// exercises both the raw engine and the MappingPredictor override.
+void expectBatchMatchesScalar(const ResourceMapping &M,
+                              const std::vector<Microkernel> &Kernels) {
+  CompiledMapping CM = CompiledMapping::compile(M);
+  KernelBatch B;
+  for (const Microkernel &K : Kernels)
+    B.add(K);
+  std::vector<std::optional<double>> Out(B.size());
+  predict::predictIpcBatch(CM, B, Out.data());
+
+  MappingPredictor P("m", M);
+  std::vector<std::optional<double>> ViaPredictor =
+      P.predictIpcBatch(Kernels);
+
+  for (size_t I = 0; I < Kernels.size(); ++I) {
+    std::optional<double> Scalar = M.predictIpc(Kernels[I]);
+    EXPECT_TRUE(bitEqual(Out[I], Scalar)) << "kernel " << I;
+    EXPECT_TRUE(bitEqual(ViaPredictor[I], Scalar))
+        << "predictor kernel " << I;
+  }
+}
+
+std::vector<Microkernel> workloadKernels(const MachineModel &M,
+                                         size_t NumBlocks) {
+  WorkloadConfig Cfg;
+  Cfg.NumBlocks = NumBlocks;
+  std::vector<Microkernel> Out;
+  for (const BasicBlock &B : generateWorkload(M, Cfg))
+    Out.push_back(B.K);
+  return Out;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- KernelBatch
+
+TEST(PredictKernelBatch, SoALayoutAndSizes) {
+  KernelBatch B;
+  EXPECT_TRUE(B.empty());
+  EXPECT_EQ(B.size(), 0u);
+
+  Microkernel K1;
+  K1.add(3, 2.0);
+  K1.add(1, 0.5);
+  Microkernel K2 = Microkernel::single(7, 1.0);
+  Microkernel K3; // Empty kernel is a valid batch member.
+
+  EXPECT_EQ(B.add(K1), 0u);
+  EXPECT_EQ(B.add(K2), 1u);
+  EXPECT_EQ(B.add(K3), 2u);
+  EXPECT_EQ(B.size(), 3u);
+  EXPECT_EQ(B.numTerms(), 3u);
+
+  // Terms flattened in each kernel's own sorted order.
+  auto [B1, E1] = B.termRange(0);
+  ASSERT_EQ(E1 - B1, 2u);
+  EXPECT_EQ(B.termIds()[B1], 1u);
+  EXPECT_EQ(B.termMults()[B1], 0.5);
+  EXPECT_EQ(B.termIds()[B1 + 1], 3u);
+  auto [B3, E3] = B.termRange(2);
+  EXPECT_EQ(B3, E3);
+
+  // |K| accumulated in term order: bit-identical to Microkernel::size().
+  EXPECT_EQ(bitsOf(B.kernelSize(0)), bitsOf(K1.size()));
+  EXPECT_EQ(bitsOf(B.kernelSize(1)), bitsOf(K2.size()));
+  EXPECT_EQ(B.kernelSize(2), 0.0);
+
+  B.clear();
+  EXPECT_TRUE(B.empty());
+  EXPECT_EQ(B.numTerms(), 0u);
+}
+
+// --------------------------------------------------------- CompiledMapping
+
+TEST(PredictCompiledMapping, DropsZeroUsageResources) {
+  ResourceMapping M(4);
+  ResourceId R0 = M.addResource("used0");
+  M.addResource("dead");
+  ResourceId R2 = M.addResource("used2");
+  M.setUsage(0, R0, 0.5);
+  M.setUsage(1, R2, 1.0);
+  M.markMapped(2); // Mapped, zero usage everywhere.
+
+  CompiledMapping CM = CompiledMapping::compile(M);
+  ASSERT_EQ(CM.numLiveResources(), 2u);
+  // Live indices preserve the original resource order.
+  EXPECT_EQ(CM.liveResourceId(0), R0);
+  EXPECT_EQ(CM.liveResourceId(1), R2);
+  EXPECT_TRUE(CM.predictable(0));
+  EXPECT_TRUE(CM.predictable(2));
+  EXPECT_FALSE(CM.predictable(3)); // Unmapped.
+  EXPECT_FALSE(CM.predictable(99)); // Out of range.
+
+  // The zero-usage-but-mapped instruction predicts like the scalar path:
+  // supported, zero cycles, nullopt IPC.
+  KernelBatch B;
+  B.add(Microkernel::single(2));
+  double Loads[2], Cycles = -1.0;
+  EXPECT_TRUE(CM.kernelCycles(B, 0, Loads, &Cycles));
+  EXPECT_EQ(Cycles, 0.0);
+  EXPECT_FALSE(CM.kernelIpc(B, 0, Loads).has_value());
+  EXPECT_FALSE(M.predictIpc(Microkernel::single(2)).has_value());
+}
+
+TEST(PredictCompiledMapping, UnsupportedSetDeclinesLikeMappingPredictor) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Dual = buildDualMapping(M);
+  InstrId Addss = M.isa().findByName("ADDSS");
+  InstrId Bsr = M.isa().findByName("BSR");
+  ASSERT_NE(Addss, InvalidInstr);
+  ASSERT_NE(Bsr, InvalidInstr);
+
+  std::set<InstrId> Unsupported = {Bsr};
+  CompiledMapping CM = CompiledMapping::compile(Dual, Unsupported);
+  MappingPredictor P("partial-tool", Dual, Unsupported);
+
+  std::vector<Microkernel> Kernels;
+  Kernels.push_back(Microkernel::single(Addss, 2.0));
+  Microkernel Mixed;
+  Mixed.add(Addss, 1.0);
+  Mixed.add(Bsr, 1.0);
+  Kernels.push_back(Mixed);
+
+  KernelBatch B;
+  for (const Microkernel &K : Kernels)
+    B.add(K);
+  std::vector<std::optional<double>> Out(B.size());
+  predict::predictIpcBatch(CM, B, Out.data());
+  std::vector<std::optional<double>> Want = P.predictIpcBatch(Kernels);
+  ASSERT_TRUE(Out[0].has_value());
+  EXPECT_FALSE(Out[1].has_value()); // Declined via the Unsupported set.
+  for (size_t I = 0; I < Kernels.size(); ++I)
+    EXPECT_TRUE(bitEqual(Out[I], Want[I])) << I;
+}
+
+// -------------------------------------------------- Bitwise equivalence
+
+TEST(PredictEquivalence, SklDualBitwise) {
+  MachineModel M = makeSklLike();
+  expectBatchMatchesScalar(buildDualMapping(M), workloadKernels(M, 200));
+}
+
+TEST(PredictEquivalence, ZenDualBitwise) {
+  MachineModel M = makeZenLike();
+  expectBatchMatchesScalar(buildDualMapping(M), workloadKernels(M, 200));
+}
+
+TEST(PredictEquivalence, StressDualBitwise) {
+  MachineModel M = makeStressMachine(StressIsaConfig());
+  expectBatchMatchesScalar(buildDualMapping(M), workloadKernels(M, 150));
+}
+
+TEST(PredictEquivalence, HugeDualBitwise) {
+  MachineModel M = makeStressMachine(hugeStressConfig());
+  expectBatchMatchesScalar(buildDualMapping(M), workloadKernels(M, 100));
+}
+
+TEST(PredictEquivalence, RandomKernelProperty) {
+  MachineModel M = makeSklLike();
+  ResourceMapping Dual = buildDualMapping(M);
+  Rng R(0x9e3779b97f4a7c15ull);
+  std::vector<Microkernel> Kernels;
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    Microkernel K;
+    size_t Distinct = R.uniformIntIn(1, 12);
+    for (size_t D = 0; D < Distinct; ++D) {
+      InstrId Id = static_cast<InstrId>(R.uniformInt(M.isa().size()));
+      // Mix integral and fractional multiplicities (the paper's kernels
+      // carry fractional coefficients mid-construction).
+      double Mult = R.chance(0.5)
+                        ? static_cast<double>(R.uniformIntIn(1, 4))
+                        : R.uniformRealIn(0.25, 3.0);
+      K.add(Id, Mult);
+    }
+    Kernels.push_back(std::move(K));
+  }
+  expectBatchMatchesScalar(Dual, Kernels);
+}
+
+TEST(PredictEquivalence, EmptyBatchAndSingleKernel) {
+  MachineModel M = makeFig1Machine();
+  ResourceMapping Dual = buildDualMapping(M);
+  CompiledMapping CM = CompiledMapping::compile(Dual);
+
+  KernelBatch Empty;
+  predict::predictIpcBatch(CM, Empty, nullptr); // Must be a no-op.
+
+  expectBatchMatchesScalar(
+      Dual, {Microkernel::single(M.isa().findByName("ADDSS"), 3.0)});
+}
+
+TEST(PredictEquivalence, UnmappedInstructionKernels) {
+  MachineModel M = makeFig1Machine();
+  // Partial mapping: only ADDSS is mapped; everything else must decline
+  // through the checked API — identically in scalar and batch form, and
+  // without UB in release builds (the release-safety regression for the
+  // serve daemon's old unchecked predictCycles path).
+  ResourceMapping Partial(M.isa().size());
+  ResourceId R0 = Partial.addResource("r0");
+  InstrId Addss = M.isa().findByName("ADDSS");
+  InstrId Bsr = M.isa().findByName("BSR");
+  Partial.setUsage(Addss, R0, 0.5);
+
+  std::vector<Microkernel> Kernels;
+  Kernels.push_back(Microkernel::single(Addss, 2.0));
+  Kernels.push_back(Microkernel::single(Bsr));
+  Microkernel Mixed;
+  Mixed.add(Addss, 1.0);
+  Mixed.add(Bsr, 2.0);
+  Kernels.push_back(Mixed);
+  expectBatchMatchesScalar(Partial, Kernels);
+
+  CompiledMapping CM = CompiledMapping::compile(Partial);
+  KernelBatch B;
+  for (const Microkernel &K : Kernels)
+    B.add(K);
+  EXPECT_TRUE(CM.supports(B, 0));
+  EXPECT_FALSE(CM.supports(B, 1));
+  EXPECT_FALSE(CM.supports(B, 2));
+}
+
+// ------------------------------------------------------------ Executor fan
+
+TEST(PredictEngine, SerialEqualsParallelFanOut) {
+  MachineModel M = makeSklLike();
+  ResourceMapping Dual = buildDualMapping(M);
+  CompiledMapping CM = CompiledMapping::compile(Dual);
+  // Enough kernels to span several chunks per worker.
+  std::vector<Microkernel> Kernels = workloadKernels(M, 400);
+  KernelBatch B;
+  for (const Microkernel &K : Kernels)
+    B.add(K);
+
+  std::vector<std::optional<double>> Serial(B.size());
+  predict::predictIpcBatch(CM, B, Serial.data(), /*Exec=*/nullptr);
+
+  Executor Exec(4);
+  std::vector<std::optional<double>> Parallel(B.size());
+  predict::predictIpcBatch(CM, B, Parallel.data(), &Exec);
+  for (size_t I = 0; I < B.size(); ++I)
+    EXPECT_TRUE(bitEqual(Serial[I], Parallel[I])) << I;
+
+  std::vector<predict::KernelDetail> DSerial(B.size()), DPar(B.size());
+  predict::predictDetailedBatch(CM, B, 0.05, DSerial.data());
+  predict::predictDetailedBatch(CM, B, 0.05, DPar.data(), &Exec);
+  for (size_t I = 0; I < B.size(); ++I) {
+    EXPECT_EQ(DSerial[I].Supported, DPar[I].Supported) << I;
+    EXPECT_EQ(bitsOf(DSerial[I].Cycles), bitsOf(DPar[I].Cycles)) << I;
+    EXPECT_EQ(bitsOf(DSerial[I].Ipc), bitsOf(DPar[I].Ipc)) << I;
+    EXPECT_EQ(DSerial[I].CoBottlenecks, DPar[I].CoBottlenecks) << I;
+  }
+}
+
+// ------------------------------------------------------------ Detailed path
+
+TEST(PredictDetailed, MatchesAnalyzeKernel) {
+  MachineModel M = makeSklLike();
+  ResourceMapping Dual = buildDualMapping(M);
+  CompiledMapping CM = CompiledMapping::compile(Dual);
+  std::vector<Microkernel> Kernels = workloadKernels(M, 150);
+  KernelBatch B;
+  for (const Microkernel &K : Kernels)
+    B.add(K);
+  std::vector<predict::KernelDetail> Details(B.size());
+  predict::predictDetailedBatch(CM, B, /*Eps=*/0.05, Details.data());
+
+  for (size_t I = 0; I < Kernels.size(); ++I) {
+    BottleneckReport Report = analyzeKernel(Dual, Kernels[I], 0.05);
+    ASSERT_EQ(Details[I].Supported, Report.valid()) << I;
+    if (!Report.valid())
+      continue;
+    EXPECT_EQ(bitsOf(Details[I].Cycles), bitsOf(Report.PredictedCycles))
+        << I;
+    EXPECT_EQ(bitsOf(Details[I].Ipc), bitsOf(Report.PredictedIpc)) << I;
+    size_t N = std::min(Report.NumCoBottlenecks, Report.Loads.size());
+    ASSERT_EQ(Details[I].CoBottlenecks.size(), N) << I;
+    for (size_t J = 0; J < N; ++J)
+      EXPECT_EQ(Details[I].CoBottlenecks[J],
+                static_cast<uint32_t>(Report.Loads[J].Resource))
+          << I << "/" << J;
+  }
+}
+
+// ------------------------------------------------------- Predictor surface
+
+namespace {
+
+/// A predictor that only implements the scalar virtual call — exercises
+/// the documented default predictIpcBatch (the literal serial loop).
+class ScalarOnlyPredictor : public Predictor {
+public:
+  explicit ScalarOnlyPredictor(ResourceMapping M) : M(std::move(M)) {}
+  std::optional<double> predictIpc(const Microkernel &K) override {
+    return M.predictIpc(K);
+  }
+  std::string name() const override { return "scalar-only"; }
+
+private:
+  ResourceMapping M;
+};
+
+} // namespace
+
+TEST(PredictPredictor, DefaultBatchEqualsOverride) {
+  MachineModel M = makeZenLike();
+  ResourceMapping Dual = buildDualMapping(M);
+  std::vector<Microkernel> Kernels = workloadKernels(M, 120);
+
+  ScalarOnlyPredictor Default(Dual);
+  MappingPredictor Engine("palmed", Dual);
+  std::vector<std::optional<double>> A = Default.predictIpcBatch(Kernels);
+  std::vector<std::optional<double>> B = Engine.predictIpcBatch(Kernels);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_TRUE(bitEqual(A[I], B[I])) << I;
+
+  // clone() keeps predicting identically through the batch surface.
+  auto Clone = Engine.clone();
+  ASSERT_NE(Clone, nullptr);
+  std::vector<std::optional<double>> C = Clone->predictIpcBatch(Kernels);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_TRUE(bitEqual(A[I], C[I])) << I;
+}
+
+// ------------------------------------------------- Ragged ResourceMapping
+
+TEST(PredictResourceMapping, RaggedRowsReadAsZero) {
+  ResourceMapping M(3);
+  ResourceId R0 = M.addResource("a");
+  M.setUsage(0, R0, 1.0);
+  // Adding more resources later must not disturb existing rows, and the
+  // never-written entries must read as zero.
+  ResourceId R1 = M.addResource("b");
+  ResourceId R2 = M.addResource("c");
+  EXPECT_EQ(M.rho(0, R0), 1.0);
+  EXPECT_EQ(M.rho(0, R1), 0.0);
+  EXPECT_EQ(M.rho(0, R2), 0.0);
+  EXPECT_EQ(M.rho(1, R2), 0.0); // Unmapped row.
+  // Out-of-range reads are defined (release-safety satellite).
+  EXPECT_EQ(M.rho(0, 57), 0.0);
+  EXPECT_EQ(M.rho(99, R0), 0.0);
+
+  // Writing a high resource then a low one keeps both.
+  M.setUsage(1, R2, 0.25);
+  M.setUsage(1, R0, 0.75);
+  EXPECT_EQ(M.rho(1, R0), 0.75);
+  EXPECT_EQ(M.rho(1, R1), 0.0);
+  EXPECT_EQ(M.rho(1, R2), 0.25);
+  EXPECT_EQ(M.consumption(1), 1.0);
+}
+
+TEST(PredictResourceMapping, RaggedRowsRoundTripThroughText) {
+  MachineModel Machine = makeFig1Machine();
+  ResourceMapping M(Machine.isa().size());
+  ResourceId RA = M.addResource("ra");
+  M.setUsage(0, RA, 0.5); // Row 0 is short: only 1 entry.
+  ResourceId RB = M.addResource("rb");
+  M.setUsage(1, RB, 1.5); // Row 1 skips ra entirely.
+  M.markMapped(2);        // Mapped with no usage at all.
+
+  std::string Text = M.toText(Machine.isa());
+  auto Back = ResourceMapping::fromText(Text, Machine.isa());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->numResources(), 2u);
+  EXPECT_EQ(Back->rho(0, RA), 0.5);
+  EXPECT_EQ(Back->rho(0, RB), 0.0);
+  EXPECT_EQ(Back->rho(1, RA), 0.0);
+  EXPECT_EQ(Back->rho(1, RB), 1.5);
+  EXPECT_TRUE(Back->isMapped(2));
+  EXPECT_EQ(Back->toText(Machine.isa()), Text);
+}

@@ -478,12 +478,24 @@ TEST(ServeServer, ReportsErrorsAndStatuses) {
     std::string Error;
     QueryRequest Req;
     Req.Machine = "partial";
-    Req.Kernels = {"ADDSS", "BSR"};
+    // The mixed kernel exercises the release-safety regression: BSR has no
+    // row entries at all in the ragged partial mapping, and the old serve
+    // path reached predictCycles' unchecked rho reads for it. It must come
+    // back Unsupported, never garbage or a crash.
+    Req.Kernels = {"ADDSS", "BSR", "ADDSS BSR"};
     QueryResponse Resp = S2.evaluate(Req, &Hits, &Misses, &Error);
     EXPECT_TRUE(Error.empty()) << Error;
-    ASSERT_EQ(Resp.Answers.size(), 2u);
+    ASSERT_EQ(Resp.Answers.size(), 3u);
     EXPECT_EQ(Resp.Answers[0].S, KernelAnswer::Status::Ok);
     EXPECT_EQ(Resp.Answers[1].S, KernelAnswer::Status::Unsupported);
+    EXPECT_EQ(Resp.Answers[2].S, KernelAnswer::Status::Unsupported);
+    // The batch engine behind the serve path must agree bit for bit with
+    // the scalar mapping on the kernel it does support.
+    auto K = Microkernel::parse("ADDSS", F.Fig1.isa());
+    ASSERT_TRUE(K);
+    auto Want = Partial.predictIpc(*K);
+    ASSERT_TRUE(Want);
+    EXPECT_EQ(Resp.Answers[0].Ipc, *Want);
   }
 
   // Stats and list round-trip with sane values.

@@ -28,10 +28,12 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -68,6 +70,8 @@ void usage() {
       "  palmed_cli analyze --machine M --mapping F \"KERNEL\"\n"
       "  palmed_cli eval    --machine M [--threads N] [--blocks N]\n"
       "                     [--suite spec|poly] [--tools a,b,c|help]\n"
+      "  palmed_cli eval    --machine M --corpus FILE [--mapping F]\n"
+      "                     [--threads N]\n"
       "  palmed_cli dual    --machine M\n"
       "  palmed_cli query   --socket PATH [--machine M] [KERNEL...]\n"
       "                     [--stats] [--list]\n"
@@ -85,7 +89,11 @@ void usage() {
       "palmed_serve loads. predict/analyze auto-detect either format.\n"
       "query sends the kernels to a palmed_serve daemon in one batch;\n"
       "--stats prints 'key value' counter lines, --list the served\n"
-      "machines.\n",
+      "machines.\n"
+      "eval --corpus batch-predicts a file of kernel lines (one KERNEL\n"
+      "per line; blank lines and # comments skipped) through the batch\n"
+      "prediction engine and reports blocks/s; --mapping uses a saved\n"
+      "mapping instead of inferring one.\n",
       versionString());
 }
 
@@ -116,6 +124,7 @@ struct Options {
   std::string Command;
   std::string Machine = "skl";
   std::string MappingFile;
+  std::string CorpusFile;
   std::string OutFile;
   std::string SaveFile;
   std::string SocketPath;
@@ -153,6 +162,11 @@ std::optional<Options> parseArgs(int Argc, char **Argv) {
     } else if (Arg == "--mapping") {
       if (const char *V = Next())
         O.MappingFile = V;
+      else
+        return std::nullopt;
+    } else if (Arg == "--corpus") {
+      if (const char *V = Next())
+        O.CorpusFile = V;
       else
         return std::nullopt;
     } else if (Arg == "--out") {
@@ -379,7 +393,103 @@ std::vector<std::string> splitList(const std::string &Csv) {
   return Out;
 }
 
+/// `eval --corpus`: batch-predicts a file of microkernel lines through
+/// the compiled batch engine and reports corpus-prediction throughput.
+/// One kernel per line in Microkernel::parse syntax; blank lines and
+/// lines starting with '#' are skipped. Any malformed line aborts with a
+/// nonzero exit naming the line. The mapping comes from --mapping when
+/// given, otherwise it is inferred by the pipeline.
+int cmdEvalCorpus(const Options &O) {
+  auto Machine = makeMachine(O.Machine);
+  if (!Machine)
+    return 1;
+
+  std::ifstream In(O.CorpusFile);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open corpus file '%s'\n",
+                 O.CorpusFile.c_str());
+    return 1;
+  }
+  predict::KernelBatch Batch;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    auto K = Microkernel::parse(Line, Machine->isa());
+    if (!K) {
+      std::fprintf(stderr,
+                   "error: corpus line %zu: cannot parse kernel '%s'\n",
+                   LineNo, Line.c_str());
+      return 1;
+    }
+    Batch.add(*K);
+  }
+  if (Batch.empty()) {
+    std::fprintf(stderr, "error: corpus file '%s' contains no kernels\n",
+                 O.CorpusFile.c_str());
+    return 1;
+  }
+
+  std::optional<ResourceMapping> Mapping;
+  if (!O.MappingFile.empty()) {
+    Mapping = loadMapping(O.MappingFile, *Machine);
+    if (!Mapping)
+      return 1;
+  } else {
+    std::fprintf(stderr, "inferring mapping for '%s'...\n",
+                 Machine->name().c_str());
+    AnalyticOracle Oracle(*Machine);
+    BenchmarkRunner Runner(*Machine, Oracle);
+    Pipeline P(Runner);
+    Mapping = P.run().Mapping;
+  }
+
+  ExecutionPolicy Pol = policyFor(O.Threads);
+  std::unique_ptr<Executor> Exec;
+  if (Pol.isParallel())
+    Exec = std::make_unique<Executor>(Pol.NumThreads);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point T0 = Clock::now();
+  predict::CompiledMapping CM = predict::CompiledMapping::compile(*Mapping);
+  Clock::time_point T1 = Clock::now();
+  std::vector<std::optional<double>> Ipc(Batch.size());
+  predict::predictIpcBatch(CM, Batch, Ipc.data(), Exec.get());
+  Clock::time_point T2 = Clock::now();
+
+  size_t Supported = 0;
+  double IpcSum = 0.0;
+  for (const auto &V : Ipc) {
+    if (!V)
+      continue;
+    ++Supported;
+    IpcSum += *V;
+  }
+  double CompileUs =
+      std::chrono::duration<double, std::micro>(T1 - T0).count();
+  double PredictS = std::chrono::duration<double>(T2 - T1).count();
+  double BlocksPerS =
+      PredictS > 0.0 ? static_cast<double>(Batch.size()) / PredictS : 0.0;
+  std::printf("corpus %s: %zu blocks, %zu supported (%.1f%%), machine %s\n",
+              O.CorpusFile.c_str(), Batch.size(), Supported,
+              100.0 * static_cast<double>(Supported) /
+                  static_cast<double>(Batch.size()),
+              Machine->name().c_str());
+  if (Supported)
+    std::printf("mean predicted IPC: %.3f\n",
+                IpcSum / static_cast<double>(Supported));
+  std::printf("compile: %.1f us; predicted %zu blocks in %.3f ms: "
+              "%.0f blocks/s\n",
+              CompileUs, Batch.size(), PredictS * 1e3, BlocksPerS);
+  return 0;
+}
+
 int cmdEval(const Options &O) {
+  if (!O.CorpusFile.empty())
+    return cmdEvalCorpus(O);
   const PredictorRegistry &Registry = PredictorRegistry::builtin();
   if (O.Tools == "help" || O.Tools == "list") {
     std::printf("registered predictors:\n");
